@@ -1,0 +1,81 @@
+// Command hidisc-asm assembles HiDISC assembly into the toolchain's
+// binary format.
+//
+// Usage:
+//
+//	hidisc-asm [-o out.bin] [-l] prog.s
+//
+// With -l the listing (disassembly with labels) is printed instead of
+// writing a binary; with -run the program is executed on the
+// functional simulator and its OUT lines printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/fnsim"
+)
+
+func main() {
+	out := flag.String("o", "", "output binary path (default: input with .bin)")
+	listing := flag.Bool("l", false, "print the listing instead of writing a binary")
+	run := flag.Bool("run", false, "execute on the functional simulator and print output")
+	maxInsts := flag.Uint64("max-insts", 1_000_000_000, "functional execution budget")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hidisc-asm [-o out.bin] [-l] [-run] prog.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	p, err := asm.Assemble(name, string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *listing:
+		fmt.Print(p.Listing())
+	case *run:
+		res, err := fnsim.RunProgram(p, *maxInsts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, line := range res.Output {
+			fmt.Println(line)
+		}
+		fmt.Fprintf(os.Stderr, "executed %d instructions, memory hash %#x\n", res.Insts, res.MemHash)
+	default:
+		dst := *out
+		if dst == "" {
+			dst = strings.TrimSuffix(path, filepath.Ext(path)) + ".bin"
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.WriteBinary(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d instructions, %d data bytes -> %s\n",
+			name, len(p.Insts), len(p.Data), dst)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hidisc-asm:", err)
+	os.Exit(1)
+}

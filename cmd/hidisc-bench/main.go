@@ -1,0 +1,103 @@
+// Command hidisc-bench regenerates the paper's evaluation: Table 1
+// (simulation parameters), Figure 8 (speedup per benchmark), Table 2
+// (average speedups), Figure 9 (cache-miss reduction), and Figure 10
+// (latency tolerance for Pointer and Neighborhood).
+//
+// Usage:
+//
+//	hidisc-bench [-scale test|paper] [-table1] [-fig8] [-table2] [-fig9] [-fig10] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hidisc/internal/experiments"
+	"hidisc/internal/machine"
+	"hidisc/internal/workloads"
+)
+
+func main() {
+	scale := flag.String("scale", "paper", "workload scale: test or paper")
+	t1 := flag.Bool("table1", false, "print Table 1 (simulation parameters)")
+	f8 := flag.Bool("fig8", false, "run Figure 8 (speedups)")
+	t2 := flag.Bool("table2", false, "run Table 2 (average speedups)")
+	f9 := flag.Bool("fig9", false, "run Figure 9 (miss reduction)")
+	f10 := flag.Bool("fig10", false, "run Figure 10 (latency tolerance)")
+	lod := flag.Bool("lod", false, "run the loss-of-decoupling analysis table")
+	extras := flag.Bool("extras", false, "also run the Matrix and CornerTurn stressmarks")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	sc := workloads.ScalePaper
+	if *scale == "test" {
+		sc = workloads.ScaleTest
+	}
+	if !(*t1 || *f8 || *t2 || *f9 || *f10 || *lod || *extras) {
+		*all = true
+	}
+
+	r := experiments.NewRunner(sc)
+	start := time.Now()
+
+	if *all || *t1 {
+		fmt.Println(experiments.Table1())
+	}
+	var fig8 *experiments.Fig8
+	if *all || *f8 || *t2 || *f9 || *lod {
+		var err error
+		fig8, err = experiments.RunFig8(r)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *f8 {
+		fmt.Println(fig8)
+	}
+	if *all || *t2 {
+		fmt.Println(experiments.RunTable2(fig8))
+	}
+	if *all || *f9 {
+		fig9 := experiments.RunFig9(fig8)
+		fmt.Println(fig9)
+		fmt.Printf("average HiDISC miss reduction: %.1f%%\n\n", fig9.AverageReduction("hidisc")*100)
+	}
+	if *all || *lod {
+		fmt.Println(experiments.LODTable(fig8))
+	}
+	if *all || *f10 {
+		for _, name := range []string{"Pointer", "NB"} {
+			p, err := experiments.RunFig10(r, name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(p)
+		}
+	}
+	if *all || *extras {
+		fmt.Println("Extra stressmarks (suite completion; not in the paper's figures):")
+		for _, name := range []string{"Matrix", "CornerTurn"} {
+			var base int64
+			for _, arch := range machine.Arches {
+				m, err := r.Run(name, arch, r.Hier)
+				if err != nil {
+					fatal(err)
+				}
+				if arch == machine.Superscalar {
+					base = m.Cycles
+				}
+				fmt.Printf("  %-10s %-12s %10d cycles  %.3fx  IPC %.3f\n",
+					name, arch, m.Cycles, float64(base)/float64(m.Cycles), m.IPC)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hidisc-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command hidisc-compile runs the HiDISC compiler's stream separation
+// on a sequential binary (or assembly source): it derives the program
+// flow graph, slices the Access and Computation streams, inserts queue
+// communication, and — when profiling is enabled — builds the Cache
+// Miss Access Slices. The output is a human-readable separation
+// report; -cs/-as write the separated streams as binaries.
+//
+// Usage:
+//
+//	hidisc-compile [-profile] [-cs cs.bin] [-as as.bin] prog.{s,bin}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/isa"
+	"hidisc/internal/mem"
+	"hidisc/internal/profile"
+	"hidisc/internal/slicer"
+)
+
+func main() {
+	withProfile := flag.Bool("profile", true, "run the cache-access profile and build CMAS")
+	csOut := flag.String("cs", "", "write the computation stream binary here")
+	asOut := flag.String("as", "", "write the access stream binary here")
+	maxInsts := flag.Uint64("max-insts", 1_000_000_000, "profiling execution budget")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hidisc-compile [-profile] [-cs out] [-as out] prog.{s,bin}")
+		os.Exit(2)
+	}
+	p, err := loadProgram(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := slicer.Options{}
+	if *withProfile {
+		prof, err := profile.CacheProfile(p, mem.DefaultHierConfig(), *maxInsts)
+		if err != nil {
+			fatal(fmt.Errorf("profiling: %w", err))
+		}
+		opts.Profile = prof
+	}
+	b, err := slicer.Separate(p, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(b.Report())
+
+	if *csOut != "" {
+		if err := writeBinary(*csOut, b.CS); err != nil {
+			fatal(err)
+		}
+	}
+	if *asOut != "" {
+		if err := writeBinary(*asOut, b.AS); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadProgram(path string) (*isa.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if filepath.Ext(path) == ".bin" {
+		return isa.ReadBinary(strings.NewReader(string(data)))
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return asm.Assemble(name, string(data))
+}
+
+func writeBinary(path string, p *isa.Program) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hidisc-compile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Command hidisc-sim runs one program on one of the four simulated
+// architectures and prints cycle counts and statistics.
+//
+// Usage:
+//
+//	hidisc-sim [-arch superscalar|cp+ap|cp+cmp|hidisc] [-l2 N -mem N] prog.{s,bin}
+//	hidisc-sim -workload Pointer -arch hidisc
+//
+// The program is compiled with the HiDISC compiler (profiled when the
+// architecture includes a CMP) and verified against the functional
+// reference before statistics are reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/cpu"
+	"hidisc/internal/fnsim"
+	"hidisc/internal/isa"
+	"hidisc/internal/machine"
+	"hidisc/internal/mem"
+	"hidisc/internal/profile"
+	"hidisc/internal/slicer"
+	"hidisc/internal/stats"
+	"hidisc/internal/workloads"
+)
+
+func main() {
+	arch := flag.String("arch", "hidisc", "architecture: superscalar, cp+ap, cp+cmp, hidisc")
+	workload := flag.String("workload", "", "run a built-in benchmark instead of a file")
+	scale := flag.String("scale", "paper", "built-in workload scale: test or paper")
+	l2lat := flag.Int("l2", 0, "override L2 latency (cycles)")
+	memlat := flag.Int("mem", 0, "override memory latency (cycles)")
+	maxInsts := flag.Uint64("max-insts", 1_000_000_000, "functional execution budget")
+	traceCycles := flag.Int64("trace", 0, "print a pipeline trace for the first N cycles")
+	compare := flag.Bool("compare", false, "run all four architectures and print a comparison table")
+	flag.Parse()
+
+	var p *isa.Program
+	var err error
+	switch {
+	case *workload != "":
+		sc := workloads.ScalePaper
+		if *scale == "test" {
+			sc = workloads.ScaleTest
+		}
+		w, werr := workloads.ByName(*workload, sc)
+		if werr != nil {
+			fatal(werr)
+		}
+		p, err = w.Program()
+	case flag.NArg() == 1:
+		p, err = loadProgram(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: hidisc-sim [-arch A] (-workload NAME | prog.{s,bin})")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	hier := mem.DefaultHierConfig()
+	if *l2lat > 0 {
+		hier.L2.Latency = *l2lat
+	}
+	if *memlat > 0 {
+		hier.MemLatency = *memlat
+	}
+
+	ref, err := fnsim.RunProgram(p, *maxInsts)
+	if err != nil {
+		fatal(fmt.Errorf("reference run: %w", err))
+	}
+
+	opts := slicer.Options{}
+	a := machine.Arch(*arch)
+	if *compare || a == machine.CPCMP || a == machine.HiDISC {
+		prof, perr := profile.CacheProfile(p, hier, *maxInsts)
+		if perr != nil {
+			fatal(perr)
+		}
+		opts.Profile = prof
+	}
+	b, err := slicer.Separate(p, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		var reports []stats.Report
+		for _, arch := range machine.Arches {
+			res, rerr := machine.RunArch(b, arch, hier)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			if res.MemHash != ref.MemHash {
+				fatal(fmt.Errorf("%s: memory image differs from the reference", arch))
+			}
+			reports = append(reports, stats.Report{Result: res, SeqInsts: ref.Insts})
+		}
+		fmt.Print(stats.Compare(reports))
+		return
+	}
+	cfg := machine.DefaultConfig(a)
+	cfg.Hier = hier
+	if *traceCycles > 0 {
+		tr := &cpu.TextTracer{W: os.Stderr, ToCycle: *traceCycles}
+		cfg.Wide.Tracer = tr
+		cfg.CP.Tracer = tr
+		cfg.AP.Tracer = tr
+	}
+	mach, err := machine.New(b, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := mach.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if res.MemHash != ref.MemHash {
+		fatal(fmt.Errorf("simulation memory image differs from the functional reference"))
+	}
+
+	for _, line := range res.Output {
+		fmt.Println(line)
+	}
+	fmt.Fprint(os.Stderr, stats.Report{Result: res, SeqInsts: ref.Insts})
+}
+
+func loadProgram(path string) (*isa.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if filepath.Ext(path) == ".bin" {
+		return isa.ReadBinary(strings.NewReader(string(data)))
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return asm.Assemble(name, string(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hidisc-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package hidisc is a from-scratch Go reproduction of "HiDISC: A
+// Decoupled Architecture for Data-Intensive Applications" (Ro,
+// Gaudiot, Crago, Despain; IPDPS 2003): a cycle-level simulator for
+// the three-processor hierarchical decoupled architecture, the
+// stream-separating compiler that drives it, the DIS benchmark and
+// stressmark kernels it was evaluated on, and a harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// The library lives under internal/; the public surface is the set of
+// command-line tools under cmd/ (hidisc-asm, hidisc-compile,
+// hidisc-sim, hidisc-bench), the runnable examples under examples/,
+// and the benchmark suite in bench_test.go. See README.md for a tour,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package hidisc

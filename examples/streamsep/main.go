@@ -1,0 +1,125 @@
+// Streamsep: inspect the HiDISC compiler. The example separates the
+// Livermore-style kernel the paper walks through in Figures 5-7 and
+// prints the annotated sequential binary, the two streams with their
+// queue communication, and the cache-miss access slice.
+//
+//	go run ./examples/streamsep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/mem"
+	"hidisc/internal/profile"
+	"hidisc/internal/slicer"
+)
+
+// A Livermore-loop-style kernel (x[k] = q + y[k] * (r*z[k+10] +
+// t*z[k+11]), the paper's Figure 5 example) over arrays sized past the
+// L1 so the profile finds delinquent loads.
+const lll1 = `
+        .data
+z:      .space 65688          ; 8211 doubles
+y:      .space 65536          ; 8192 doubles
+x:      .space 65536
+consts: .double 2.5, 0.5, 0.25 ; q, r, t
+        .text
+main:   la   $r2, z           ; initialise z and y
+        la   $r3, y
+        li   $r4, 0
+        li   $r1, 8211
+init:   addi $r5, $r4, 2
+        cvt.d.w $f1, $r5
+        s.d  $f1, 0($r2)
+        addi $r2, $r2, 8
+        addi $r4, $r4, 1
+        addi $r1, $r1, -1
+        bgtz $r1, init
+        li   $r4, 0
+        li   $r1, 8192
+inity:  addi $r5, $r4, 7
+        cvt.d.w $f1, $r5
+        s.d  $f1, 0($r3)
+        addi $r3, $r3, 8
+        addi $r4, $r4, 1
+        addi $r1, $r1, -1
+        bgtz $r1, inity
+        ; kernel: x[k] = q + y[k]*( r*z[k+10] + t*z[k+11] )
+        la   $r8, consts
+        l.d  $f20, 0($r8)     ; q
+        l.d  $f21, 8($r8)     ; r
+        l.d  $f22, 16($r8)    ; t
+        li   $r24, 0          ; k
+        li   $r1, 8192
+        la   $r9, z
+        la   $r11, y
+        la   $r13, x
+kern:   l.d  $f16, 80($r9)    ; z[k+10]
+        l.d  $f18, 88($r9)    ; z[k+11]
+        mul.d $f4, $f21, $f16 ; r*z[k+10]
+        mul.d $f10, $f22, $f18 ; t*z[k+11]
+        add.d $f16, $f4, $f10
+        l.d  $f18, 0($r11)    ; y[k]
+        mul.d $f6, $f16, $f18
+        add.d $f6, $f20, $f6  ; q + ...
+        s.d  $f6, 0($r13)     ; x[k]
+        addi $r9, $r9, 8
+        addi $r11, $r11, 8
+        addi $r13, $r13, 8
+        addi $r24, $r24, 1
+        addi $r1, $r1, -1
+        bgtz $r1, kern
+        la   $r13, x
+        l.d  $f1, 80($r13)    ; spot-check x[10]
+        out.d $f1
+        halt
+`
+
+func main() {
+	prog, err := asm.Assemble("lll1", lll1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := profile.CacheProfile(prog, mem.DefaultHierConfig(), 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := slicer.Separate(prog, slicer.Options{Profile: prof})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The kernel loop region of the annotated sequential binary: the
+	// paper's Figure 5/6 view (AS/CS tags, LDQ/SDQ taps, CQ pushes).
+	kern := prog.Labels["kern"]
+	fmt.Println("annotated sequential binary (kernel loop):")
+	for i := kern; i < kern+15 && i < len(bundle.Seq.Insts); i++ {
+		fmt.Printf("%6d: %s\n", i, bundle.Seq.Insts[i])
+	}
+
+	fmt.Println("\naccess stream (kernel loop region):")
+	asStart := bundle.ASPos[kern]
+	for i := asStart; i < asStart+14 && i < len(bundle.AS.Insts); i++ {
+		fmt.Printf("%6d: %s\n", i, bundle.AS.Insts[i])
+	}
+
+	fmt.Println("\ncomputation stream (kernel loop region):")
+	csStart := bundle.CSPos[kern]
+	for i := csStart; i < csStart+12 && i < len(bundle.CS.Insts); i++ {
+		fmt.Printf("%6d: %s\n", i, bundle.CS.Insts[i])
+	}
+
+	for _, c := range bundle.CMAS {
+		fmt.Printf("\ncache miss access slice #%d (seeds: seq insts %v):\n", c.ID, c.DelinquentPCs)
+		for i, in := range c.Insts {
+			fmt.Printf("%6d: %s\n", i, in)
+		}
+	}
+
+	st := bundle.Stats()
+	fmt.Printf("\nsummary: %d instructions -> %d AS + %d CS; %d LDQ producers, "+
+		"%d SDQ producers, %d CQ branches, %d CMAS\n",
+		st.Total, st.Access, st.Compute, st.LDQPushes, st.SDQPushes, st.CQBranches, st.CMASCount)
+}

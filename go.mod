@@ -1,0 +1,3 @@
+module hidisc
+
+go 1.22

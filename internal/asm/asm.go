@@ -1,0 +1,646 @@
+// Package asm implements the two-pass assembler for the HiDISC
+// toolchain. Workload kernels are written in this assembly dialect
+// (the transliteration of SimpleScalar's PISA used by the paper's
+// examples) and assembled into isa.Program binaries that the stream
+// separator and the simulators consume.
+//
+// Syntax overview:
+//
+//	        .data
+//	tab:    .word 1, 2, 0x10          ; 32-bit words
+//	vals:   .double 1.5, -2.0         ; 64-bit floats
+//	buf:    .space 1024               ; zero-filled bytes
+//	msg:    .ascii "hi"               ; raw bytes
+//	        .align 8
+//	        .text
+//	main:   la   $r2, tab
+//	loop:   lw   $r3, 0($r2)
+//	        addi $r2, $r2, 4
+//	        bne  $r3, $r0, loop
+//	        halt
+//
+// Comments run from ';' or '#' to end of line. Registers are $r0..$r31
+// (aliases $zero, $sp, $fp, $ra), $f0..$f31, and the architectural
+// queues $LDQ, $SDQ, $CQ, $SCQ. Pseudo-instructions: la, mov, b, beqz,
+// bnez, nop-free li with a symbol operand. The ".entry label" directive
+// selects the start instruction (default: label "main", else index 0).
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"hidisc/internal/isa"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type pending struct {
+	line  int
+	label string   // mnemonic label text of the instruction's label field
+	op    string   // mnemonic
+	args  []string // raw operand strings
+}
+
+type assembler struct {
+	name    string
+	lines   []string
+	sec     section
+	insts   []pending
+	data    []byte
+	labels  map[string]int    // code label -> instruction index
+	symbols map[string]uint32 // data label -> absolute address
+	entry   string
+}
+
+// Assemble translates source into a program named name.
+func Assemble(name, source string) (*isa.Program, error) {
+	a := &assembler{
+		name:    name,
+		lines:   strings.Split(source, "\n"),
+		labels:  make(map[string]int),
+		symbols: make(map[string]uint32),
+	}
+	if err := a.pass1(); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+// MustAssemble is Assemble that panics on error; for tests and the
+// built-in workload kernels, whose sources are fixed at build time.
+func MustAssemble(name, source string) *isa.Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(l string) string {
+	for i := 0; i < len(l); i++ {
+		c := l[i]
+		if c == ';' || c == '#' {
+			return l[:i]
+		}
+		if c == '"' { // skip string literal
+			for i++; i < len(l) && l[i] != '"'; i++ {
+			}
+		}
+	}
+	return l
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// pass1 scans lines, records labels and data, and queues instructions
+// for encoding.
+func (a *assembler) pass1() error {
+	for ln, raw := range a.lines {
+		line := ln + 1
+		l := strings.TrimSpace(stripComment(raw))
+		if l == "" {
+			continue
+		}
+		// Leading labels (possibly several).
+		for {
+			i := strings.IndexByte(l, ':')
+			if i < 0 || strings.ContainsAny(l[:i], " \t\",(") {
+				break
+			}
+			label := l[:i]
+			if !validIdent(label) {
+				return a.errf(line, "invalid label %q", label)
+			}
+			if err := a.defineLabel(line, label); err != nil {
+				return err
+			}
+			l = strings.TrimSpace(l[i+1:])
+			if l == "" {
+				break
+			}
+		}
+		if l == "" {
+			continue
+		}
+		fields := strings.Fields(l)
+		op := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(l[len(fields[0]):])
+		if strings.HasPrefix(op, ".") {
+			if err := a.directive(line, op, rest); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.sec != secText {
+			return a.errf(line, "instruction %q outside .text", op)
+		}
+		args := splitArgs(rest)
+		a.insts = append(a.insts, pending{line: line, op: op, args: args})
+	}
+	return nil
+}
+
+func (a *assembler) defineLabel(line int, label string) error {
+	if _, dup := a.labels[label]; dup {
+		return a.errf(line, "duplicate label %q", label)
+	}
+	if _, dup := a.symbols[label]; dup {
+		return a.errf(line, "duplicate symbol %q", label)
+	}
+	if a.sec == secText {
+		a.labels[label] = len(a.insts)
+	} else {
+		a.symbols[label] = isa.DataBase + uint32(len(a.data))
+	}
+	return nil
+}
+
+func (a *assembler) directive(line int, op, rest string) error {
+	switch op {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".entry":
+		a.entry = strings.TrimSpace(rest)
+	case ".equ":
+		// .equ NAME, value — a named constant usable wherever a symbol
+		// is accepted.
+		parts := splitArgs(rest)
+		if len(parts) != 2 {
+			return a.errf(line, ".equ needs a name and a value")
+		}
+		name := strings.TrimSpace(parts[0])
+		if !validIdent(name) {
+			return a.errf(line, "invalid .equ name %q", name)
+		}
+		v, err := a.constExpr(line, parts[1])
+		if err != nil {
+			return err
+		}
+		if _, dup := a.symbols[name]; dup {
+			return a.errf(line, "duplicate symbol %q", name)
+		}
+		if _, dup := a.labels[name]; dup {
+			return a.errf(line, "duplicate label %q", name)
+		}
+		a.symbols[name] = uint32(v)
+	case ".word":
+		for _, f := range splitArgs(rest) {
+			v, err := a.constExpr(line, f)
+			if err != nil {
+				return err
+			}
+			a.appendU32(uint32(v))
+		}
+	case ".double":
+		for _, f := range splitArgs(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return a.errf(line, "bad double %q", f)
+			}
+			bits := math.Float64bits(v)
+			a.appendU32(uint32(bits))
+			a.appendU32(uint32(bits >> 32))
+		}
+	case ".byte":
+		for _, f := range splitArgs(rest) {
+			v, err := a.constExpr(line, f)
+			if err != nil {
+				return err
+			}
+			if v < -128 || v > 255 {
+				return a.errf(line, "byte value %d out of range", v)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".space":
+		n, err := a.constExpr(line, strings.TrimSpace(rest))
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return a.errf(line, ".space size %d negative", n)
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		n, err := a.constExpr(line, strings.TrimSpace(rest))
+		if err != nil {
+			return err
+		}
+		if n <= 0 || n&(n-1) != 0 {
+			return a.errf(line, ".align %d not a power of two", n)
+		}
+		for len(a.data)%int(n) != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return a.errf(line, "bad string %s", rest)
+		}
+		a.data = append(a.data, s...)
+		if op == ".asciz" {
+			a.data = append(a.data, 0)
+		}
+	default:
+		return a.errf(line, "unknown directive %q", op)
+	}
+	return nil
+}
+
+func (a *assembler) appendU32(v uint32) {
+	a.data = append(a.data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// pass2 encodes the queued instructions now that all labels are known.
+func (a *assembler) pass2() (*isa.Program, error) {
+	p := &isa.Program{
+		Name:    a.name,
+		Data:    a.data,
+		Symbols: a.symbols,
+		Labels:  a.labels,
+	}
+	for _, pd := range a.insts {
+		in, err := a.encode(pd)
+		if err != nil {
+			return nil, err
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	entry := a.entry
+	if entry == "" {
+		if _, ok := a.labels["main"]; ok {
+			entry = "main"
+		}
+	}
+	if entry != "" {
+		idx, ok := a.labels[entry]
+		if !ok {
+			return nil, fmt.Errorf("asm: entry label %q not defined", entry)
+		}
+		p.Entry = idx
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *assembler) encode(pd pending) (isa.Inst, error) {
+	op, args, err := a.expandPseudo(pd)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	o, ok := isa.OpByName[op]
+	if !ok {
+		return isa.Inst{}, a.errf(pd.line, "unknown instruction %q", pd.op)
+	}
+	need := operandCount(o.Format())
+	if o == isa.PREF {
+		need = 1 // pref has no destination: "pref imm(rs)"
+	}
+	if len(args) != need {
+		return isa.Inst{}, a.errf(pd.line, "%s: got %d operands, want %d", op, len(args), need)
+	}
+	in := isa.Inst{Op: o}
+	switch o.Format() {
+	case isa.FmtNone:
+	case isa.FmtR3:
+		if in.Rd, err = a.reg(pd.line, args[0]); err != nil {
+			return in, err
+		}
+		if in.Rs, err = a.reg(pd.line, args[1]); err != nil {
+			return in, err
+		}
+		if in.Rt, err = a.reg(pd.line, args[2]); err != nil {
+			return in, err
+		}
+	case isa.FmtR2I:
+		if in.Rd, err = a.reg(pd.line, args[0]); err != nil {
+			return in, err
+		}
+		if in.Rs, err = a.reg(pd.line, args[1]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = a.immExpr(pd.line, args[2]); err != nil {
+			return in, err
+		}
+	case isa.FmtRI:
+		if in.Rd, err = a.reg(pd.line, args[0]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = a.immExpr(pd.line, args[1]); err != nil {
+			return in, err
+		}
+	case isa.FmtR2:
+		if in.Rd, err = a.reg(pd.line, args[0]); err != nil {
+			return in, err
+		}
+		if in.Rs, err = a.reg(pd.line, args[1]); err != nil {
+			return in, err
+		}
+	case isa.FmtMemL:
+		i := 0
+		if o != isa.PREF {
+			if in.Rd, err = a.reg(pd.line, args[0]); err != nil {
+				return in, err
+			}
+			i = 1
+		}
+		if in.Imm, in.Rs, err = a.memOperand(pd.line, args[i]); err != nil {
+			return in, err
+		}
+	case isa.FmtMemS:
+		if in.Rt, err = a.reg(pd.line, args[0]); err != nil {
+			return in, err
+		}
+		if in.Imm, in.Rs, err = a.memOperand(pd.line, args[1]); err != nil {
+			return in, err
+		}
+	case isa.FmtB2:
+		if in.Rs, err = a.reg(pd.line, args[0]); err != nil {
+			return in, err
+		}
+		if in.Rt, err = a.reg(pd.line, args[1]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = a.codeTarget(pd.line, args[2]); err != nil {
+			return in, err
+		}
+	case isa.FmtB1:
+		if in.Rs, err = a.reg(pd.line, args[0]); err != nil {
+			return in, err
+		}
+		if in.Imm, err = a.codeTarget(pd.line, args[1]); err != nil {
+			return in, err
+		}
+	case isa.FmtB0:
+		if in.Imm, err = a.codeTarget(pd.line, args[0]); err != nil {
+			return in, err
+		}
+	case isa.FmtR1:
+		if in.Rs, err = a.reg(pd.line, args[0]); err != nil {
+			return in, err
+		}
+	case isa.FmtI:
+		if in.Imm, err = a.immExpr(pd.line, args[0]); err != nil {
+			return in, err
+		}
+	default:
+		return in, a.errf(pd.line, "unhandled format for %q", op)
+	}
+	return in, nil
+}
+
+// expandPseudo rewrites pseudo-instructions into real ones.
+func (a *assembler) expandPseudo(pd pending) (string, []string, error) {
+	op, args := strings.ToLower(pd.op), pd.args
+	switch op {
+	case "la":
+		// la rd, sym  ->  li rd, address-or-index
+		return "li", args, nil
+	case "mov", "move":
+		if len(args) != 2 {
+			return "", nil, a.errf(pd.line, "mov: got %d operands, want 2", len(args))
+		}
+		return "add", []string{args[0], args[1], "$r0"}, nil
+	case "b":
+		return "j", args, nil
+	case "beqz":
+		if len(args) != 2 {
+			return "", nil, a.errf(pd.line, "beqz: got %d operands, want 2", len(args))
+		}
+		return "beq", []string{args[0], "$r0", args[1]}, nil
+	case "bnez":
+		if len(args) != 2 {
+			return "", nil, a.errf(pd.line, "bnez: got %d operands, want 2", len(args))
+		}
+		return "bne", []string{args[0], "$r0", args[1]}, nil
+	}
+	return op, args, nil
+}
+
+func operandCount(f isa.Fmt) int {
+	switch f {
+	case isa.FmtNone:
+		return 0
+	case isa.FmtR3, isa.FmtR2I, isa.FmtB2:
+		return 3
+	case isa.FmtRI, isa.FmtR2, isa.FmtMemL, isa.FmtMemS, isa.FmtB1:
+		return 2
+	case isa.FmtB0, isa.FmtR1, isa.FmtI:
+		return 1
+	}
+	return -1
+}
+
+// reg parses a register or queue operand.
+func (a *assembler) reg(line int, s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return isa.RegNone, a.errf(line, "expected register, got %q", s)
+	}
+	body := s[1:]
+	switch body {
+	case "zero":
+		return isa.R0, nil
+	case "sp":
+		return isa.SP, nil
+	case "fp":
+		return isa.FP, nil
+	case "ra":
+		return isa.RA, nil
+	case "LDQ", "ldq":
+		return isa.RegLDQ, nil
+	case "SDQ", "sdq":
+		return isa.RegSDQ, nil
+	case "CQ", "cq":
+		return isa.RegCQ, nil
+	case "SCQ", "scq":
+		return isa.RegSCQ, nil
+	}
+	if len(body) >= 2 && (body[0] == 'r' || body[0] == 'f') {
+		n, err := strconv.Atoi(body[1:])
+		if err == nil && n >= 0 && n < 32 {
+			if body[0] == 'r' {
+				return isa.R(n), nil
+			}
+			return isa.F(n), nil
+		}
+	}
+	return isa.RegNone, a.errf(line, "bad register %q", s)
+}
+
+// memOperand parses "imm(reg)" or "sym(reg)" or "sym+imm(reg)".
+func (a *assembler) memOperand(line int, s string) (int32, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, isa.RegNone, a.errf(line, "bad memory operand %q", s)
+	}
+	base, err := a.reg(line, s[open+1:len(s)-1])
+	if err != nil {
+		return 0, isa.RegNone, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return 0, base, nil
+	}
+	off, err := a.immExpr(line, offStr)
+	if err != nil {
+		return 0, isa.RegNone, err
+	}
+	return off, base, nil
+}
+
+// codeTarget resolves a branch/jump target: a code label or a number.
+func (a *assembler) codeTarget(line int, s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	if idx, ok := a.labels[s]; ok {
+		return int32(idx), nil
+	}
+	if v, err := parseInt(s); err == nil {
+		return int32(v), nil
+	}
+	return 0, a.errf(line, "undefined code label %q", s)
+}
+
+// immExpr resolves "int", "sym", or "sym+int" / "sym-int".
+func (a *assembler) immExpr(line int, s string) (int32, error) {
+	v, err := a.constExpr(line, s)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v), nil
+}
+
+func (a *assembler) constExpr(line int, s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, a.errf(line, "empty expression")
+	}
+	if v, err := parseInt(s); err == nil {
+		return v, nil
+	}
+	// sym, sym+N, sym-N
+	sym := s
+	var off int64
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			n, err := parseInt(s[i:])
+			if err != nil {
+				return 0, a.errf(line, "bad expression %q", s)
+			}
+			sym, off = s[:i], n
+			break
+		}
+	}
+	sym = strings.TrimSpace(sym)
+	if addr, ok := a.symbols[sym]; ok {
+		return int64(addr) + off, nil
+	}
+	if idx, ok := a.labels[sym]; ok {
+		return int64(idx) + off, nil
+	}
+	return 0, a.errf(line, "undefined symbol %q", sym)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	out := int64(v)
+	if neg {
+		out = -out
+	}
+	if out < math.MinInt32 || out > math.MaxUint32 {
+		return 0, fmt.Errorf("value %s out of 32-bit range", s)
+	}
+	return out, nil
+}
+
+// splitArgs splits an operand list on commas, respecting parentheses
+// and string quotes.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

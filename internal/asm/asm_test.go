@@ -1,0 +1,379 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hidisc/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := assemble(t, `
+        .text
+main:   li   $r1, 100
+loop:   addi $r1, $r1, -1
+        bgtz $r1, loop
+        halt
+`)
+	if len(p.Insts) != 4 {
+		t.Fatalf("got %d insts", len(p.Insts))
+	}
+	want := []isa.Inst{
+		{Op: isa.LI, Rd: isa.R1, Imm: 100},
+		{Op: isa.ADDI, Rd: isa.R1, Rs: isa.R1, Imm: -1},
+		{Op: isa.BGTZ, Rs: isa.R1, Imm: 1},
+		{Op: isa.HALT},
+	}
+	for i := range want {
+		if p.Insts[i] != want[i] {
+			t.Errorf("inst %d: got %v, want %v", i, p.Insts[i], want[i])
+		}
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+	if p.Labels["loop"] != 1 {
+		t.Errorf("loop = %d", p.Labels["loop"])
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	p := assemble(t, `
+        .data
+tab:    .word 1, 2, 0x10, -1
+vals:   .double 1.5
+        .align 8
+buf:    .space 16
+bytes:  .byte 65, 0xFF
+msg:    .asciz "hi"
+        .text
+main:   la  $r2, tab
+        la  $r3, vals
+        lw  $r4, tab+8($r0)
+        halt
+`)
+	if p.Symbols["tab"] != isa.DataBase {
+		t.Errorf("tab = %#x", p.Symbols["tab"])
+	}
+	if p.Symbols["vals"] != isa.DataBase+16 {
+		t.Errorf("vals = %#x", p.Symbols["vals"])
+	}
+	// .align 8 after 16+8=24 bytes: already aligned.
+	if p.Symbols["buf"] != isa.DataBase+24 {
+		t.Errorf("buf = %#x", p.Symbols["buf"])
+	}
+	if p.Symbols["bytes"] != isa.DataBase+40 {
+		t.Errorf("bytes = %#x", p.Symbols["bytes"])
+	}
+	// Data contents.
+	if p.Data[0] != 1 || p.Data[4] != 2 || p.Data[8] != 0x10 {
+		t.Error("word data wrong")
+	}
+	if p.Data[12] != 0xFF || p.Data[15] != 0xFF {
+		t.Error(".word -1 not all ones")
+	}
+	bits := uint64(0)
+	for i := 0; i < 8; i++ {
+		bits |= uint64(p.Data[16+i]) << (8 * i)
+	}
+	if math.Float64frombits(bits) != 1.5 {
+		t.Error(".double encoding wrong")
+	}
+	if p.Data[40] != 65 || p.Data[41] != 0xFF {
+		t.Error(".byte data wrong")
+	}
+	if string(p.Data[42:44]) != "hi" || p.Data[44] != 0 {
+		t.Error(".asciz data wrong")
+	}
+	// la resolves to the data address.
+	if p.Insts[0].Imm != int32(isa.DataBase) {
+		t.Errorf("la tab imm = %#x", p.Insts[0].Imm)
+	}
+	if p.Insts[2].Imm != int32(isa.DataBase+8) {
+		t.Errorf("sym+off imm = %#x", p.Insts[2].Imm)
+	}
+}
+
+func TestRegistersAndQueues(t *testing.T) {
+	p := assemble(t, `
+main:   add   $r1, $sp, $ra
+        mul.d $f4, $LDQ, $LDQ
+        s.d   $SDQ, 8($r13)
+        l.d   $LDQ, 88($r9)
+        add   $r2, $zero, $fp
+        halt
+`)
+	if p.Insts[0].Rs != isa.SP || p.Insts[0].Rt != isa.RA {
+		t.Error("aliases wrong")
+	}
+	in := p.Insts[1]
+	if in.Op != isa.FMUL || in.Rd != isa.F(4) || in.Rs != isa.RegLDQ || in.Rt != isa.RegLDQ {
+		t.Errorf("queue sources: %v", in)
+	}
+	in = p.Insts[2]
+	if in.Op != isa.SFD || in.Rt != isa.RegSDQ || in.Rs != isa.R13 || in.Imm != 8 {
+		t.Errorf("store with SDQ: %v", in)
+	}
+	in = p.Insts[3]
+	if in.Rd != isa.RegLDQ {
+		t.Errorf("load to LDQ: %v", in)
+	}
+	if p.Insts[4].Rs != isa.R0 || p.Insts[4].Rt != isa.FP {
+		t.Error("zero/fp aliases wrong")
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := assemble(t, `
+main:   mov   $r1, $r2
+        b     done
+        beqz  $r3, done
+        bnez  $r4, main
+done:   halt
+`)
+	if p.Insts[0].Op != isa.ADD || p.Insts[0].Rt != isa.R0 {
+		t.Errorf("mov: %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.J || p.Insts[1].Imm != 4 {
+		t.Errorf("b: %v", p.Insts[1])
+	}
+	if p.Insts[2].Op != isa.BEQ || p.Insts[2].Rt != isa.R0 || p.Insts[2].Imm != 4 {
+		t.Errorf("beqz: %v", p.Insts[2])
+	}
+	if p.Insts[3].Op != isa.BNE || p.Insts[3].Imm != 0 {
+		t.Errorf("bnez: %v", p.Insts[3])
+	}
+}
+
+func TestEntryDirectiveAndMainDefault(t *testing.T) {
+	p := assemble(t, `
+        .entry start
+first:  nop
+start:  halt
+`)
+	if p.Entry != 1 {
+		t.Errorf("entry = %d, want 1", p.Entry)
+	}
+	p = assemble(t, `
+top:    nop
+main:   halt
+`)
+	if p.Entry != 1 {
+		t.Errorf("main default entry = %d, want 1", p.Entry)
+	}
+	p = assemble(t, `
+        nop
+        halt
+`)
+	if p.Entry != 0 {
+		t.Errorf("fallback entry = %d, want 0", p.Entry)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := assemble(t, `
+; full-line comment
+main:   nop           ; trailing comment
+        # hash comment
+        halt          # another
+`)
+	if len(p.Insts) != 2 {
+		t.Errorf("got %d insts, want 2", len(p.Insts))
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p := assemble(t, `
+main: start: nop
+        halt
+`)
+	if p.Labels["main"] != 0 || p.Labels["start"] != 0 {
+		t.Errorf("labels: %v", p.Labels)
+	}
+}
+
+func TestControlFlowForms(t *testing.T) {
+	p := assemble(t, `
+main:   jal  f
+        jr   $ra
+f:      bcq  main
+        jcq
+        getscq 2
+        putscq 2
+        pref 32($r9)
+        out  $r1
+        halt
+`)
+	ops := []isa.Op{isa.JAL, isa.JR, isa.BCQ, isa.JCQ, isa.GETSCQ, isa.PUTSCQ, isa.PREF, isa.OUT, isa.HALT}
+	for i, op := range ops {
+		if p.Insts[i].Op != op {
+			t.Errorf("inst %d: got %v, want %v", i, p.Insts[i].Op, op)
+		}
+	}
+	if p.Insts[0].Imm != 2 {
+		t.Errorf("jal target = %d", p.Insts[0].Imm)
+	}
+	if p.Insts[6].Rs != isa.R9 || p.Insts[6].Imm != 32 {
+		t.Errorf("pref operand: %v", p.Insts[6])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"main: frobnicate $r1", "unknown instruction"},
+		{"main: add $r1, $r2", "operands"},
+		{"main: add $r1, $r2, $r99", "bad register"},
+		{"main: lw $r1, tab($r2)", "undefined symbol"},
+		{"main: beq $r1, $r0, nowhere", "undefined code label"},
+		{".data\nx: .word 1\n.data\nx: .word 2", "duplicate"},
+		{"main: halt\nmain: halt", "duplicate"},
+		{".entry nowhere\nmain: halt", "not defined"},
+		{".bogus 3", "unknown directive"},
+		{".data\n.byte 300", "out of range"},
+		{".data\n.align 3", "power of two"},
+		{".data\n.space -4", "negative"},
+		{".data\nx: .word 1\nlw $r1, 0($r2)", "outside .text"},
+		{"main: lw $r1, 0", "bad memory operand"},
+		{"main: li $r1, 0x1ffffffff", "undefined symbol"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil {
+			t.Errorf("source %q: no error, want %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("source %q: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("t", "main: nop\n\n bad $r1\nhalt")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q missing line number", err)
+	}
+}
+
+func TestNegativeAndHexImmediates(t *testing.T) {
+	p := assemble(t, `
+main:   li   $r1, -42
+        li   $r2, 0xFF00
+        addi $r3, $r1, -0x10
+        halt
+`)
+	if p.Insts[0].Imm != -42 || p.Insts[1].Imm != 0xFF00 || p.Insts[2].Imm != -16 {
+		t.Errorf("immediates: %d %d %d", p.Insts[0].Imm, p.Insts[1].Imm, p.Insts[2].Imm)
+	}
+}
+
+func TestLargeUnsignedImmediate(t *testing.T) {
+	p := assemble(t, "main: li $r1, 0xFFFFFFFF\nhalt")
+	if uint32(p.Insts[0].Imm) != 0xFFFFFFFF {
+		t.Errorf("imm = %#x", uint32(p.Insts[0].Imm))
+	}
+}
+
+// TestDisasmReassembleRoundTrip checks that disassembled instructions
+// re-assemble to the same encodings (for formats without labels).
+func TestDisasmReassembleRoundTrip(t *testing.T) {
+	src := `
+main:   add   $r9, $r25, $r8
+        l.d   $f16, 88($r9)
+        s.d   $f4, 0($r13)
+        mul.d $f4, $f16, $f18
+        li    $r4, -3
+        slti  $r5, $r4, 10
+        cvt.d.w $f2, $r3
+        pref  32($r9)
+        getscq 1
+        halt
+`
+	p1 := assemble(t, src)
+	var lines []string
+	for _, in := range p1.Insts {
+		lines = append(lines, in.String())
+	}
+	p2 := assemble(t, "main: "+strings.Join(lines, "\n"))
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("length mismatch %d vs %d", len(p1.Insts), len(p2.Insts))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %v vs %v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("t", "main: frobnicate")
+}
+
+func TestSplitArgsRespectsParensAndStrings(t *testing.T) {
+	got := splitArgs(`$r1, 8($r2), "a,b"`)
+	if len(got) != 3 || got[1] != "8($r2)" || got[2] != `"a,b"` {
+		t.Errorf("splitArgs = %q", got)
+	}
+	if splitArgs("") != nil {
+		t.Error("empty splitArgs not nil")
+	}
+}
+
+func TestEquDirective(t *testing.T) {
+	p := assemble(t, `
+        .equ N, 64
+        .equ MASK, N-1
+        .data
+buf:    .space N
+        .text
+main:   li   $r1, N
+        andi $r2, $r1, MASK
+        lw   $r3, buf+4($r0)
+        halt
+`)
+	if p.Insts[0].Imm != 64 {
+		t.Errorf("li N = %d", p.Insts[0].Imm)
+	}
+	if p.Insts[1].Imm != 63 {
+		t.Errorf("andi MASK = %d", p.Insts[1].Imm)
+	}
+	if uint32(p.Insts[2].Imm) != isa.DataBase+4 {
+		t.Errorf("buf+4 = %#x", uint32(p.Insts[2].Imm))
+	}
+	if len(p.Data) != 64 {
+		t.Errorf(".space N = %d bytes", len(p.Data))
+	}
+}
+
+func TestEquErrors(t *testing.T) {
+	for _, src := range []string{
+		".equ N",               // missing value
+		".equ 9x, 3",           // bad name
+		".equ N, 1\n.equ N, 2", // duplicate
+		".equ N, undefinedsym", // undefined value
+	} {
+		if _, err := Assemble("t", src+"\nmain: halt"); err == nil {
+			t.Errorf("source %q accepted", src)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package cfg builds control-flow graphs over isa programs and
+// provides the dataflow analyses the HiDISC compiler needs: dominator
+// trees, natural-loop detection, and instruction-granularity reaching
+// definitions (the paper's Program Flow Graph of Section 4.2).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"hidisc/internal/isa"
+)
+
+// Block is a basic block: instructions [Start, End).
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int
+	Preds []int
+}
+
+// Graph is the control-flow graph of one program.
+type Graph struct {
+	Prog    *isa.Program
+	Blocks  []*Block
+	BlockOf []int // instruction index -> block ID
+	Entry   int   // block containing the program entry
+}
+
+// Build constructs the CFG. Indirect jumps (JR/JALR) are resolved
+// conservatively: their successors are every instruction following a
+// JAL/JALR (the possible return points), which is exact for programs
+// that use JR only as a return. JCQ mirrors JR and is treated the same
+// way.
+func Build(p *isa.Program) (*Graph, error) {
+	n := len(p.Insts)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: empty program %q", p.Name)
+	}
+
+	// Return points for indirect jumps.
+	var returnPoints []int
+	for i, in := range p.Insts {
+		if (in.Op == isa.JAL || in.Op == isa.JALR) && i+1 < n {
+			returnPoints = append(returnPoints, i+1)
+		}
+	}
+
+	// Leaders: entry, instruction 0, branch targets, fall-throughs
+	// after control instructions, and return points.
+	leader := make([]bool, n)
+	leader[0] = true
+	leader[p.Entry] = true
+	for i, in := range p.Insts {
+		if in.Op.IsDirectControl() {
+			leader[in.Target()] = true
+		}
+		if in.Op.IsControl() && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+	for _, r := range returnPoints {
+		leader[r] = true
+	}
+
+	g := &Graph{Prog: p, BlockOf: make([]int, n)}
+	for i := 0; i < n; {
+		b := &Block{ID: len(g.Blocks), Start: i}
+		i++
+		for i < n && !leader[i] {
+			i++
+		}
+		b.End = i
+		g.Blocks = append(g.Blocks, b)
+		for j := b.Start; j < b.End; j++ {
+			g.BlockOf[j] = b.ID
+		}
+	}
+
+	addEdge := func(from, to int) {
+		fb, tb := g.Blocks[from], g.Blocks[to]
+		for _, s := range fb.Succs {
+			if s == tb.ID {
+				return
+			}
+		}
+		fb.Succs = append(fb.Succs, tb.ID)
+		tb.Preds = append(tb.Preds, fb.ID)
+	}
+
+	for _, b := range g.Blocks {
+		last := p.Insts[b.End-1]
+		switch {
+		case last.Op == isa.HALT:
+			// no successors
+		case last.Op.IsCondBranch():
+			addEdge(b.ID, g.BlockOf[last.Target()])
+			if b.End < n {
+				addEdge(b.ID, g.BlockOf[b.End])
+			}
+		case last.Op.IsJump() && !last.Op.IsIndirect():
+			addEdge(b.ID, g.BlockOf[last.Target()])
+		case last.Op.IsJump(): // JR / JALR / JCQ
+			for _, r := range returnPoints {
+				addEdge(b.ID, g.BlockOf[r])
+			}
+		default:
+			if b.End < n {
+				addEdge(b.ID, g.BlockOf[b.End])
+			}
+		}
+	}
+	g.Entry = g.BlockOf[p.Entry]
+	return g, nil
+}
+
+// BlockFor returns the block containing instruction index i.
+func (g *Graph) BlockFor(i int) *Block { return g.Blocks[g.BlockOf[i]] }
+
+// ReversePostorder returns the block IDs reachable from the entry in
+// reverse postorder.
+func (g *Graph) ReversePostorder() []int {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate-dominator array using the
+// Cooper-Harvey-Kennedy iterative algorithm. idom[entry] = entry;
+// unreachable blocks have idom -1.
+func (g *Graph) Dominators() []int {
+	rpo := g.ReversePostorder()
+	order := make([]int, len(g.Blocks)) // block -> rpo position
+	for i := range order {
+		order[i] = -1
+	}
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom := make([]int, len(g.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[g.Entry] = g.Entry
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] == -1 || order[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b given idom.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if idom[b] == -1 || idom[b] == b {
+			return b == a
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is a natural loop: a header block and the set of blocks in the
+// body (header included).
+type Loop struct {
+	Header int
+	Blocks map[int]bool
+	// BackEdges lists the blocks with an edge back to the header.
+	BackEdges []int
+}
+
+// Contains reports whether instruction index i is inside the loop.
+func (l *Loop) Contains(g *Graph, i int) bool { return l.Blocks[g.BlockOf[i]] }
+
+// InstRange iterates the loop's instruction indices in program order.
+func (l *Loop) Insts(g *Graph) []int {
+	var out []int
+	ids := make([]int, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		ids = append(ids, b)
+	}
+	sort.Ints(ids)
+	for _, b := range ids {
+		for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NaturalLoops finds all natural loops (merging loops that share a
+// header) and returns them sorted by header block ID.
+func (g *Graph) NaturalLoops() []*Loop {
+	idom := g.Dominators()
+	byHeader := make(map[int]*Loop)
+	for _, b := range g.Blocks {
+		if idom[b.ID] == -1 && b.ID != g.Entry {
+			continue // unreachable
+		}
+		for _, s := range b.Succs {
+			if !Dominates(idom, s, b.ID) {
+				continue
+			}
+			// b -> s is a back edge; s is the header.
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[int]bool{s: true}}
+				byHeader[s] = l
+			}
+			l.BackEdges = append(l.BackEdges, b.ID)
+			// Walk predecessors from the latch to collect the body.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				for _, p := range g.Blocks[n].Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	headers := make([]int, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}
+
+// InnermostLoopFor returns the smallest loop containing instruction i,
+// or nil.
+func (g *Graph) InnermostLoopFor(loops []*Loop, i int) *Loop {
+	var best *Loop
+	for _, l := range loops {
+		if l.Contains(g, i) && (best == nil || len(l.Blocks) < len(best.Blocks)) {
+			best = l
+		}
+	}
+	return best
+}
+
+// Preheader returns the unique out-of-loop predecessor block of the
+// loop header, or -1 when the header has zero or multiple outside
+// predecessors.
+func (g *Graph) Preheader(l *Loop) int {
+	pre := -1
+	for _, p := range g.Blocks[l.Header].Preds {
+		if l.Blocks[p] {
+			continue
+		}
+		if pre != -1 {
+			return -1
+		}
+		pre = p
+	}
+	return pre
+}
+
+// PostDominators computes the immediate post-dominator of every block
+// using the iterative algorithm on the reverse graph with a virtual
+// exit joining all terminal blocks. Terminal blocks (and blocks that
+// cannot reach any exit) get ipdom -1, meaning the virtual exit.
+func (g *Graph) PostDominators() []int {
+	n := len(g.Blocks)
+	const exit = -1
+	// Reverse postorder on the reverse graph, starting from the
+	// terminal blocks.
+	seen := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, p := range g.Blocks[b].Preds {
+			if !seen[p] {
+				dfs(p)
+			}
+		}
+		post = append(post, b)
+	}
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 0 && !seen[b.ID] {
+			dfs(b.ID)
+		}
+	}
+	order := make([]int, n) // block -> rpo position (smaller = closer to exit)
+	for i := range order {
+		order[i] = -1
+	}
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		order[post[i]] = len(rpo)
+		rpo = append(rpo, post[i])
+	}
+
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = -2 // unknown
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			if a == exit || b == exit {
+				return exit
+			}
+			for order[a] > order[b] {
+				a = ipdom[a]
+				if a == exit {
+					return exit
+				}
+			}
+			for order[b] > order[a] {
+				b = ipdom[b]
+				if b == exit {
+					return exit
+				}
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			var newIpdom = -2
+			if len(g.Blocks[b].Succs) == 0 {
+				newIpdom = exit
+			}
+			for _, s := range g.Blocks[b].Succs {
+				if order[s] == -1 || (ipdom[s] == -2 && len(g.Blocks[s].Succs) != 0) {
+					continue
+				}
+				cand := s
+				if newIpdom == -2 {
+					newIpdom = cand
+				} else if newIpdom != exit || cand != exit {
+					newIpdom = intersect(newIpdom, cand)
+				}
+			}
+			if newIpdom != -2 && ipdom[b] != newIpdom {
+				ipdom[b] = newIpdom
+				changed = true
+			}
+		}
+	}
+	for i := range ipdom {
+		if ipdom[i] == -2 {
+			ipdom[i] = exit
+		}
+	}
+	return ipdom
+}

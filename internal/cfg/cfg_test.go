@@ -1,0 +1,379 @@
+package cfg
+
+import (
+	"testing"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/fnsim"
+	"hidisc/internal/isa"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+const loopSrc = `
+main:   li   $r1, 10
+        li   $r2, 0
+loop:   add  $r2, $r2, $r1
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        out  $r2
+        halt
+`
+
+func TestBlockStructure(t *testing.T) {
+	g := build(t, loopSrc)
+	// Blocks: [0,2) preheader, [2,5) loop, [5,7) exit.
+	if len(g.Blocks) != 3 {
+		t.Fatalf("got %d blocks: %+v", len(g.Blocks), g.Blocks)
+	}
+	b0, b1, b2 := g.Blocks[0], g.Blocks[1], g.Blocks[2]
+	if b0.Start != 0 || b0.End != 2 || b1.Start != 2 || b1.End != 5 || b2.Start != 5 || b2.End != 7 {
+		t.Errorf("block ranges wrong: %+v %+v %+v", b0, b1, b2)
+	}
+	if len(b0.Succs) != 1 || b0.Succs[0] != 1 {
+		t.Errorf("b0 succs = %v", b0.Succs)
+	}
+	wantSuccs := map[int]bool{1: true, 2: true}
+	if len(b1.Succs) != 2 || !wantSuccs[b1.Succs[0]] || !wantSuccs[b1.Succs[1]] {
+		t.Errorf("b1 succs = %v", b1.Succs)
+	}
+	if len(b2.Succs) != 0 {
+		t.Errorf("b2 succs = %v", b2.Succs)
+	}
+	for i := 0; i < 7; i++ {
+		want := 0
+		if i >= 2 {
+			want = 1
+		}
+		if i >= 5 {
+			want = 2
+		}
+		if g.BlockOf[i] != want {
+			t.Errorf("BlockOf[%d] = %d, want %d", i, g.BlockOf[i], want)
+		}
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := build(t, `
+main:   beq  $r1, $r0, else
+        li   $r2, 1
+        j    join
+else:   li   $r2, 2
+join:   out  $r2
+        halt
+`)
+	idom := g.Dominators()
+	// Block 0 = branch; 1 = then; 2 = else; 3 = join.
+	if idom[1] != 0 || idom[2] != 0 || idom[3] != 0 {
+		t.Errorf("idom = %v", idom)
+	}
+	if !Dominates(idom, 0, 3) {
+		t.Error("entry should dominate join")
+	}
+	if Dominates(idom, 1, 3) {
+		t.Error("then-branch should not dominate join")
+	}
+}
+
+func TestNaturalLoopDetection(t *testing.T) {
+	g := build(t, loopSrc)
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = %d", l.Header)
+	}
+	if len(l.Blocks) != 1 || !l.Blocks[1] {
+		t.Errorf("body = %v", l.Blocks)
+	}
+	if len(l.BackEdges) != 1 || l.BackEdges[0] != 1 {
+		t.Errorf("back edges = %v", l.BackEdges)
+	}
+	if pre := g.Preheader(l); pre != 0 {
+		t.Errorf("preheader = %d", pre)
+	}
+	insts := l.Insts(g)
+	if len(insts) != 3 || insts[0] != 2 || insts[2] != 4 {
+		t.Errorf("loop insts = %v", insts)
+	}
+	if !l.Contains(g, 3) || l.Contains(g, 5) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := build(t, `
+main:   li   $r1, 3
+outer:  li   $r2, 3
+inner:  addi $r2, $r2, -1
+        bgtz $r2, inner
+        addi $r1, $r1, -1
+        bgtz $r1, outer
+        halt
+`)
+	loops := g.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	// Innermost for the inner add instruction (index 2).
+	inner := g.InnermostLoopFor(loops, 2)
+	if inner == nil || len(inner.Blocks) != 1 {
+		t.Fatalf("innermost = %+v", inner)
+	}
+	outer := g.InnermostLoopFor(loops, 4)
+	if outer == nil || len(outer.Blocks) < 2 {
+		t.Fatalf("outer = %+v", outer)
+	}
+	if !outer.Blocks[inner.Header] {
+		t.Error("outer loop should contain inner header")
+	}
+}
+
+func TestIndirectJumpReturnPoints(t *testing.T) {
+	g := build(t, `
+main:   jal  f
+        out  $r2
+        halt
+f:      li   $r2, 1
+        jr   $ra
+`)
+	// The jr block must have an edge to the return point (out).
+	jrBlock := g.BlockFor(4)
+	retBlock := g.BlockFor(1)
+	found := false
+	for _, s := range jrBlock.Succs {
+		if s == retBlock.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("jr successors %v missing return block %d", jrBlock.Succs, retBlock.ID)
+	}
+}
+
+func TestReachingDefsStraightLine(t *testing.T) {
+	g := build(t, `
+main:   li   $r1, 1
+        li   $r1, 2
+        add  $r2, $r1, $r0
+        halt
+`)
+	df := ReachingDefs(g)
+	defs := df.Defs(2, isa.R1)
+	if len(defs) != 1 || defs[0] != 1 {
+		t.Errorf("defs of r1 at inst 2 = %v, want [1]", defs)
+	}
+	if uses := df.Uses(1); len(uses) != 1 || uses[0] != 2 {
+		t.Errorf("uses of def 1 = %v", uses)
+	}
+	if uses := df.Uses(0); len(uses) != 0 {
+		t.Errorf("killed def 0 has uses %v", uses)
+	}
+}
+
+func TestReachingDefsAcrossJoin(t *testing.T) {
+	g := build(t, `
+main:   beq  $r3, $r0, else
+        li   $r1, 1
+        j    join
+else:   li   $r1, 2
+join:   add  $r2, $r1, $r0
+        halt
+`)
+	df := ReachingDefs(g)
+	defs := df.Defs(4, isa.R1)
+	if len(defs) != 2 || defs[0] != 1 || defs[1] != 3 {
+		t.Errorf("defs at join = %v, want [1 3]", defs)
+	}
+}
+
+func TestReachingDefsLoopCarried(t *testing.T) {
+	g := build(t, loopSrc)
+	df := ReachingDefs(g)
+	// Inst 2 (add r2,r2,r1) reads r1: defs are inst 0 (li) and inst 3
+	// (addi, loop carried).
+	defs := df.Defs(2, isa.R1)
+	if len(defs) != 2 || defs[0] != 0 || defs[1] != 3 {
+		t.Errorf("loop-carried defs of r1 = %v, want [0 3]", defs)
+	}
+	// r2 at inst 5 (out) reads: only the add (self-loop def).
+	defs = df.Defs(5, isa.R2)
+	if len(defs) != 1 || defs[0] != 2 {
+		t.Errorf("defs of r2 at out = %v, want [2]", defs)
+	}
+}
+
+func TestReachingDefsEntryContext(t *testing.T) {
+	g := build(t, `
+main:   add  $r2, $sp, $r0
+        halt
+`)
+	df := ReachingDefs(g)
+	defs := df.Defs(0, isa.SP)
+	if len(defs) != 1 || defs[0] != EntryDef {
+		t.Errorf("defs of sp = %v, want [EntryDef]", defs)
+	}
+}
+
+func TestReachingDefsR0NotTracked(t *testing.T) {
+	g := build(t, `
+main:   add  $r0, $r1, $r1
+        add  $r2, $r0, $r0
+        halt
+`)
+	df := ReachingDefs(g)
+	if defs := df.Defs(1, isa.R0); defs != nil {
+		t.Errorf("r0 uses tracked: %v", defs)
+	}
+	if uses := df.Uses(0); len(uses) != 0 {
+		t.Errorf("r0 def has uses: %v", uses)
+	}
+}
+
+// TestReachingDefsSoundOnExecution executes a branchy looped program
+// in the functional simulator, tracking the actual dynamic writer of
+// each register, and asserts the analysis covers every observed
+// (use, def) pair.
+func TestReachingDefsSoundOnExecution(t *testing.T) {
+	src := `
+main:   li   $r1, 20
+        li   $r2, 0
+        li   $r3, 0
+loop:   andi $r4, $r1, 1
+        beq  $r4, $r0, even
+        add  $r2, $r2, $r1
+        j    next
+even:   add  $r3, $r3, $r1
+next:   addi $r1, $r1, -1
+        bgtz $r1, loop
+        out  $r2
+        out  $r3
+        halt
+`
+	p := asm.MustAssemble("t", src)
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := ReachingDefs(g)
+
+	writer := map[isa.Reg]int{}
+	sim := fnsim.New(p)
+	sim.Observer = func(ev fnsim.Event) {
+		for _, src := range ev.Inst.Sources() {
+			if !src.IsArch() || src == isa.R0 {
+				continue
+			}
+			d, wrote := writer[src]
+			if !wrote {
+				d = EntryDef
+			}
+			found := false
+			for _, cand := range df.Defs(ev.PC, src) {
+				if cand == d {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("inst %d use of %v: dynamic def %d not in static set %v",
+					ev.PC, src, d, df.Defs(ev.PC, src))
+			}
+		}
+		if d := ev.Inst.Dest(); d.IsArch() && d != isa.R0 {
+			writer[d] = ev.PC
+		}
+	}
+	if err := sim.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildEmptyProgramFails(t *testing.T) {
+	if _, err := Build(&isa.Program{Name: "e"}); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g := build(t, loopSrc)
+	rpo := g.ReversePostorder()
+	if len(rpo) != 3 || rpo[0] != g.Entry {
+		t.Errorf("rpo = %v", rpo)
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	g := build(t, `
+main:   beq  $r1, $r0, else
+        li   $r2, 1
+        j    join
+else:   li   $r2, 2
+join:   out  $r2
+        halt
+`)
+	ipdom := g.PostDominators()
+	// Blocks: 0 branch, 1 then, 2 else, 3 join.
+	if ipdom[0] != 3 {
+		t.Errorf("ipdom(branch) = %d, want join (3)", ipdom[0])
+	}
+	if ipdom[1] != 3 || ipdom[2] != 3 {
+		t.Errorf("arm ipdoms = %d, %d, want 3", ipdom[1], ipdom[2])
+	}
+	if ipdom[3] != -1 {
+		t.Errorf("ipdom(join) = %d, want virtual exit", ipdom[3])
+	}
+}
+
+func TestPostDominatorsLoop(t *testing.T) {
+	g := build(t, loopSrc)
+	ipdom := g.PostDominators()
+	// Blocks: 0 preheader, 1 loop, 2 exit.
+	if ipdom[0] != 1 {
+		t.Errorf("ipdom(preheader) = %d, want loop (1)", ipdom[0])
+	}
+	if ipdom[1] != 2 {
+		t.Errorf("ipdom(loop) = %d, want exit (2)", ipdom[1])
+	}
+	if ipdom[2] != -1 {
+		t.Errorf("ipdom(exit) = %d, want virtual exit", ipdom[2])
+	}
+}
+
+func TestPostDominatorsNestedLoops(t *testing.T) {
+	g := build(t, `
+main:   li   $r1, 3
+outer:  li   $r2, 3
+inner:  addi $r2, $r2, -1
+        bgtz $r2, inner
+        addi $r1, $r1, -1
+        bgtz $r1, outer
+        halt
+`)
+	ipdom := g.PostDominators()
+	// The inner loop block's ipdom is the outer continuation, whose
+	// ipdom is the halt block.
+	innerBlock := g.BlockOf[2]
+	contBlock := g.BlockOf[4]
+	haltBlock := g.BlockOf[6]
+	if ipdom[innerBlock] != contBlock {
+		t.Errorf("ipdom(inner) = %d, want %d", ipdom[innerBlock], contBlock)
+	}
+	if ipdom[contBlock] != haltBlock {
+		t.Errorf("ipdom(cont) = %d, want %d", ipdom[contBlock], haltBlock)
+	}
+}

@@ -1,0 +1,177 @@
+package cfg
+
+import (
+	"sort"
+
+	"hidisc/internal/isa"
+)
+
+// EntryDef is the pseudo definition index standing for register values
+// live at program entry (the initial context: the stack pointer and
+// zero-initialised registers).
+const EntryDef = -1
+
+type useKey struct {
+	inst int
+	reg  isa.Reg
+}
+
+// DataFlow holds instruction-granularity use-def and def-use chains
+// computed by reaching-definitions analysis over a Graph.
+type DataFlow struct {
+	g  *Graph
+	ud map[useKey][]int
+	du map[int][]int
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) orInto(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) copyFrom(o bitset) {
+	copy(b, o)
+}
+
+// ReachingDefs computes the dataflow chains for the program in g.
+// A definition is any instruction writing an architectural register;
+// queue pseudo-registers are not tracked (queue pairing is handled
+// structurally by the stream separator).
+func ReachingDefs(g *Graph) *DataFlow {
+	n := len(g.Prog.Insts)
+	df := &DataFlow{g: g, ud: make(map[useKey][]int), du: make(map[int][]int)}
+
+	// All defs of each register, program-wide.
+	defsOf := make(map[isa.Reg][]int)
+	for i, in := range g.Prog.Insts {
+		if d := in.Dest(); d.IsArch() && d != isa.R0 {
+			defsOf[d] = append(defsOf[d], i)
+		}
+	}
+
+	nb := len(g.Blocks)
+	gen := make([]bitset, nb)
+	kill := make([]bitset, nb)
+	in := make([]bitset, nb)
+	out := make([]bitset, nb)
+	for b := 0; b < nb; b++ {
+		gen[b], kill[b], in[b], out[b] = newBitset(n), newBitset(n), newBitset(n), newBitset(n)
+	}
+
+	for _, blk := range g.Blocks {
+		last := make(map[isa.Reg]int)
+		for i := blk.Start; i < blk.End; i++ {
+			if d := g.Prog.Insts[i].Dest(); d.IsArch() && d != isa.R0 {
+				last[d] = i
+			}
+		}
+		for r, i := range last {
+			gen[blk.ID].set(i)
+			for _, d := range defsOf[r] {
+				if d != i {
+					kill[blk.ID].set(d)
+				}
+			}
+		}
+		// Defs overwritten within the block are also killed by it.
+		for i := blk.Start; i < blk.End; i++ {
+			if d := g.Prog.Insts[i].Dest(); d.IsArch() && d != isa.R0 && last[d] != i {
+				kill[blk.ID].set(i)
+			}
+		}
+	}
+
+	// Iterate to fixpoint in reverse postorder.
+	rpo := g.ReversePostorder()
+	tmp := newBitset(n)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			blk := g.Blocks[b]
+			for _, p := range blk.Preds {
+				if in[b].orInto(out[p]) {
+					changed = true
+				}
+			}
+			// out = gen | (in &^ kill)
+			tmp.copyFrom(in[b])
+			for i := range tmp {
+				tmp[i] = gen[b][i] | (tmp[i] &^ kill[b][i])
+			}
+			for i := range tmp {
+				if tmp[i] != out[b][i] {
+					out[b][i] = tmp[i]
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Walk each block to attribute defs to uses.
+	for _, blk := range g.Blocks {
+		current := make(map[isa.Reg][]int)
+		for r, ds := range defsOf {
+			for _, d := range ds {
+				if in[blk.ID].has(d) {
+					current[r] = append(current[r], d)
+				}
+			}
+		}
+		for i := blk.Start; i < blk.End; i++ {
+			inst := g.Prog.Insts[i]
+			for _, src := range inst.Sources() {
+				if !src.IsArch() || src == isa.R0 {
+					continue
+				}
+				ds := current[src]
+				if len(ds) == 0 {
+					ds = []int{EntryDef}
+				}
+				key := useKey{inst: i, reg: src}
+				if _, seen := df.ud[key]; !seen {
+					cp := append([]int(nil), ds...)
+					sort.Ints(cp)
+					df.ud[key] = cp
+					for _, d := range cp {
+						if d != EntryDef {
+							df.du[d] = append(df.du[d], i)
+						}
+					}
+				}
+			}
+			if d := inst.Dest(); d.IsArch() && d != isa.R0 {
+				current[d] = []int{i}
+			}
+		}
+	}
+	for d := range df.du {
+		sort.Ints(df.du[d])
+	}
+	return df
+}
+
+// Defs returns the definition sites whose value may reach the use of
+// register r by instruction i, sorted; EntryDef appears when the
+// initial register context may reach the use.
+func (df *DataFlow) Defs(i int, r isa.Reg) []int {
+	return df.ud[useKey{inst: i, reg: r}]
+}
+
+// Uses returns the instructions that may consume the value defined by
+// instruction d, sorted.
+func (df *DataFlow) Uses(d int) []int { return df.du[d] }

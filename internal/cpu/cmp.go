@@ -1,0 +1,440 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"hidisc/internal/isa"
+	"hidisc/internal/mem"
+	"hidisc/internal/queue"
+)
+
+// CMPConfig parameterises the Cache Management Processor: a
+// multithreaded in-order engine with the integer and load/store
+// resources of Table 1 (4 ALUs, 2 cache ports). Each CMAS id owns at
+// most one thread context; a trigger forks the context with the Access
+// Processor's architectural registers.
+type CMPConfig struct {
+	Contexts          int    // maximum live contexts (default 8)
+	IssueWidth        int    // in-order issue width per context per cycle (default 4)
+	MemPorts          int    // cache ports per cycle, engine wide (default 2)
+	MaxInstsPerThread uint64 // runaway guard (default 1 << 20)
+
+	// DynamicDistance enables runtime control of the prefetching
+	// distance (the paper's Section 6 future work): when a window of
+	// recent prefetches mostly hits in the L1 — the slice is running
+	// too close behind the demand stream, or re-touching lines — the
+	// context's prefetches are offset further ahead, up to
+	// MaxDynamicDistance bytes; when they mostly fill new lines the
+	// offset decays back toward the compiler's static distance.
+	DynamicDistance    bool
+	DynamicWindow      int   // prefetches per adaptation step (default 64)
+	DynamicStep        int32 // offset adjustment in bytes (default 64)
+	MaxDynamicDistance int32 // offset cap in bytes (default 512)
+}
+
+func (c CMPConfig) withDefaults() CMPConfig {
+	if c.Contexts == 0 {
+		c.Contexts = 8
+	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 4
+	}
+	if c.MemPorts == 0 {
+		c.MemPorts = 2
+	}
+	if c.MaxInstsPerThread == 0 {
+		c.MaxInstsPerThread = 1 << 20
+	}
+	if c.DynamicWindow == 0 {
+		c.DynamicWindow = 64
+	}
+	if c.DynamicStep == 0 {
+		c.DynamicStep = 64
+	}
+	if c.MaxDynamicDistance == 0 {
+		c.MaxDynamicDistance = 512
+	}
+	return c
+}
+
+// CMPStats counts Cache Management Processor events.
+type CMPStats struct {
+	Forks        uint64
+	ForksIgnored uint64 // trigger while the context was already running
+	Executed     uint64
+	Prefetches   uint64
+	Killed       uint64 // runaway or shutdown terminations
+	Completed    uint64 // contexts that ran to HALT
+	PutStalls    int64  // cycles blocked depositing a slip credit
+
+	// Dynamic-distance adaptation events.
+	DistanceGrows   uint64
+	DistanceShrinks uint64
+}
+
+// cmpCtx is one CMAS thread: in-order issue with a register-ready
+// scoreboard, so independent instructions flow at full width while
+// value-dependent chains (pointer chases) serialise naturally. Loads
+// are non-blocking — only a consumer of the loaded value waits.
+type cmpCtx struct {
+	active  bool
+	pc      int
+	intR    [isa.NumIntRegs]uint32
+	fpR     [isa.NumFPRegs]float64
+	readyAt [isa.NumIntRegs + isa.NumFPRegs]int64
+	insts   uint64
+
+	// Dynamic prefetch-distance state (see CMPConfig.DynamicDistance).
+	extraDist    int32
+	windowCount  int
+	windowUseful int
+}
+
+func (c *cmpCtx) srcReady(now int64, in isa.Inst) bool {
+	for _, r := range in.Sources() {
+		if r.IsArch() && c.readyAt[r] > now {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *cmpCtx) setReady(r isa.Reg, at int64) {
+	if r.IsArch() && r != isa.R0 {
+		c.readyAt[r] = at
+	}
+}
+
+// CMPEngine executes Cache Miss Access Slices. Its memory accesses are
+// marked as prefetches in the hierarchy and it never writes program
+// state: the only externally visible effects are cache fills and slip-
+// control credits.
+type CMPEngine struct {
+	cfg   CMPConfig
+	progs [][]isa.Inst
+	mem   *mem.Memory
+	hier  *mem.Hierarchy
+	scq   []*queue.Queue
+	ctxs  []*cmpCtx
+	stats CMPStats
+}
+
+// NewCMP builds the engine. progs[id] is the CMAS program for id, and
+// scq[id] its slip-control queue.
+func NewCMP(cfg CMPConfig, progs [][]isa.Inst, m *mem.Memory, h *mem.Hierarchy, scq []*queue.Queue) *CMPEngine {
+	cfg = cfg.withDefaults()
+	return &CMPEngine{
+		cfg:   cfg,
+		progs: progs,
+		mem:   m,
+		hier:  h,
+		scq:   scq,
+		ctxs:  make([]*cmpCtx, len(progs)),
+	}
+}
+
+// Stats returns the engine's counters.
+func (e *CMPEngine) Stats() CMPStats { return e.stats }
+
+// SCQ returns the current slip-control queue generation for a CMAS id
+// (forking replaces generations).
+func (e *CMPEngine) SCQ(id int) *queue.Queue { return e.scq[id] }
+
+// ActiveContexts returns the number of live CMAS threads.
+func (e *CMPEngine) ActiveContexts() int {
+	n := 0
+	for _, c := range e.ctxs {
+		if c != nil && c.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Fork starts (or restarts) the CMAS thread for id with the given
+// architectural context. A trigger that arrives while the thread is
+// still running is ignored — the running slice is already ahead.
+func (e *CMPEngine) Fork(id int, ir [isa.NumIntRegs]uint32, fr [isa.NumFPRegs]float64) {
+	if id < 0 || id >= len(e.progs) {
+		return
+	}
+	if c := e.ctxs[id]; c != nil && c.active {
+		e.stats.ForksIgnored++
+		return
+	}
+	if e.ActiveContexts() >= e.cfg.Contexts {
+		e.stats.ForksIgnored++
+		return
+	}
+	e.ctxs[id] = &cmpCtx{active: true, intR: ir, fpR: fr}
+	if id < len(e.scq) && e.scq[id] != nil {
+		// Retire the previous slip-control queue generation and start a
+		// fresh one in the shared slice. Claims still in flight against
+		// the old (closed) generation stay trivially satisfied; simply
+		// reopening the old queue would strand them: a claim issued
+		// beyond the closed tail would become permanently not-ready
+		// once new pushes raised the tail past it.
+		old := e.scq[id]
+		old.Close()
+		e.scq[id] = queue.New(old.Name(), old.Cap())
+	}
+	e.stats.Forks++
+}
+
+// Shutdown kills every context and closes the slip-control queues;
+// called when the feeding processor halts.
+func (e *CMPEngine) Shutdown() {
+	for id, c := range e.ctxs {
+		if c != nil && c.active {
+			c.active = false
+			e.stats.Killed++
+			e.closeSCQ(id)
+		}
+	}
+}
+
+func (e *CMPEngine) closeSCQ(id int) {
+	if id < len(e.scq) && e.scq[id] != nil {
+		e.scq[id].Close()
+	}
+}
+
+// Cycle advances every live context by up to IssueWidth in-order
+// instructions, sharing the engine's cache ports.
+func (e *CMPEngine) Cycle(now int64) error {
+	ports := 0
+	for id, c := range e.ctxs {
+		if c == nil || !c.active {
+			continue
+		}
+		for n := 0; n < e.cfg.IssueWidth && c.active; n++ {
+			prog := e.progs[id]
+			if c.pc < 0 || c.pc >= len(prog) {
+				return fmt.Errorf("cmp: CMAS %d pc %d out of range", id, c.pc)
+			}
+			in := prog[c.pc]
+			if !c.srcReady(now, in) {
+				break
+			}
+			if in.Op.IsMem() && ports >= e.cfg.MemPorts {
+				break // port contention: retry next cycle
+			}
+			advanced, usedPort, taken, err := e.step(now, id, c, in)
+			if err != nil {
+				return fmt.Errorf("cmp: CMAS %d pc %d (%v): %w", id, c.pc, in, err)
+			}
+			if usedPort {
+				ports++
+			}
+			if !advanced {
+				break
+			}
+			c.insts++
+			e.stats.Executed++
+			if c.insts > e.cfg.MaxInstsPerThread {
+				c.active = false
+				e.stats.Killed++
+				e.closeSCQ(id)
+			}
+			if taken {
+				break // fetch break after a taken branch
+			}
+		}
+	}
+	return nil
+}
+
+// step executes one CMAS instruction in context c; sources are known
+// ready. It reports whether the pc advanced (PUTSCQ on a full queue
+// retries), whether a cache port was consumed, and whether a taken
+// branch ended the issue group.
+func (e *CMPEngine) step(now int64, id int, c *cmpCtx, in isa.Inst) (advanced, usedPort, taken bool, err error) {
+	next := c.pc + 1
+	getInt := func(r isa.Reg) uint32 {
+		if r == isa.R0 {
+			return 0
+		}
+		return c.intR[r]
+	}
+	done := now + int64(in.Op.Class().Latency())
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.HALT:
+		c.active = false
+		e.stats.Completed++
+		e.closeSCQ(id)
+		c.pc = next
+		return true, false, true, nil
+
+	case isa.PUTSCQ:
+		q := e.scqFor(int(in.Imm))
+		if q == nil {
+			return false, false, false, fmt.Errorf("no slip-control queue %d", in.Imm)
+		}
+		if !q.Push(1) {
+			e.stats.PutStalls++
+			return false, false, false, nil // full: bounded run-ahead
+		}
+
+	case isa.LW, isa.LBU, isa.LFD, isa.PREF:
+		addr := getInt(in.Rs) + uint32(in.Imm)
+		if in.Op == isa.PREF && e.cfg.DynamicDistance {
+			addr += uint32(c.extraDist)
+		}
+		fill := e.hier.Access(now, addr, false, true)
+		e.stats.Prefetches++
+		usedPort = true
+		if in.Op == isa.PREF && e.cfg.DynamicDistance {
+			e.adapt(c, fill-now > int64(e.hier.Config().L1D.Latency))
+		}
+		// Non-blocking: the value is scoreboarded at the fill time, so
+		// only consumers of a chased pointer wait.
+		switch in.Op {
+		case isa.LW:
+			e.setInt(c, in.Rd, e.mem.Read32(addr))
+		case isa.LBU:
+			e.setInt(c, in.Rd, uint32(e.mem.Read8(addr)))
+		case isa.LFD:
+			e.setFP(c, in.Rd, e.mem.ReadFloat64(addr))
+		}
+		if in.Op != isa.PREF {
+			c.setReady(in.Dest(), fill)
+		}
+		c.pc = next
+		return true, true, false, nil
+
+	case isa.SW, isa.SB, isa.SFD:
+		return false, false, false, fmt.Errorf("store in CMAS (side-effect violation)")
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+		isa.NOR, isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU:
+		v, evErr := isa.EvalIntALU(in.Op, getInt(in.Rs), getInt(in.Rt))
+		if evErr != nil {
+			// A slice racing ahead of stale data may divide by zero;
+			// the result is speculative, so squash the thread rather
+			// than the simulation.
+			c.active = false
+			e.stats.Killed++
+			e.closeSCQ(id)
+			return true, false, true, nil
+		}
+		e.setInt(c, in.Rd, v)
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI, isa.SLTI:
+		v, evErr := isa.EvalIntALUImm(in.Op, getInt(in.Rs), in.Imm)
+		if evErr != nil {
+			return false, false, false, evErr
+		}
+		e.setInt(c, in.Rd, v)
+	case isa.LI:
+		e.setInt(c, in.Rd, uint32(in.Imm))
+	case isa.LUI:
+		e.setInt(c, in.Rd, uint32(in.Imm)<<16)
+
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FMOV, isa.FNEG, isa.FABS:
+		a := e.getFP(c, in.Rs)
+		b := float64(0)
+		if in.Op.ReadsRt() {
+			b = e.getFP(c, in.Rt)
+		}
+		v, evErr := isa.EvalFP(in.Op, a, b)
+		if evErr != nil {
+			return false, false, false, evErr
+		}
+		e.setFP(c, in.Rd, v)
+	case isa.CVTIF:
+		e.setFP(c, in.Rd, float64(int32(getInt(in.Rs))))
+	case isa.CVTFI:
+		e.setInt(c, in.Rd, uint32(int32(math.Trunc(e.getFP(c, in.Rs)))))
+	case isa.FLT, isa.FLE, isa.FEQ:
+		v, evErr := isa.EvalFPCmp(in.Op, e.getFP(c, in.Rs), e.getFP(c, in.Rt))
+		if evErr != nil {
+			return false, false, false, evErr
+		}
+		if v {
+			e.setInt(c, in.Rd, 1)
+		} else {
+			e.setInt(c, in.Rd, 0)
+		}
+
+	case isa.BEQ, isa.BNE, isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ:
+		b := uint32(0)
+		if in.Op == isa.BEQ || in.Op == isa.BNE {
+			b = getInt(in.Rt)
+		}
+		t, evErr := isa.EvalBranch(in.Op, getInt(in.Rs), b)
+		if evErr != nil {
+			return false, false, false, evErr
+		}
+		if t {
+			next = in.Target()
+			taken = true
+		}
+	case isa.J:
+		next = in.Target()
+		taken = true
+
+	default:
+		return false, false, false, fmt.Errorf("op %v not supported on the CMP", in.Op)
+	}
+
+	if d := in.Dest(); d.IsArch() {
+		c.setReady(d, done)
+	}
+	c.pc = next
+	return true, usedPort, taken, nil
+}
+
+// adapt runs the dynamic-distance controller: filled is true when the
+// prefetch brought in a new line (it missed), false when it hit a line
+// already present (too late, or re-touching).
+func (e *CMPEngine) adapt(c *cmpCtx, filled bool) {
+	c.windowCount++
+	if filled {
+		c.windowUseful++
+	}
+	if c.windowCount < e.cfg.DynamicWindow {
+		return
+	}
+	useful := c.windowUseful * 4
+	switch {
+	case useful < e.cfg.DynamicWindow: // under 25% filling: push further ahead
+		if c.extraDist < e.cfg.MaxDynamicDistance {
+			c.extraDist += e.cfg.DynamicStep
+			e.stats.DistanceGrows++
+		}
+	case useful > 3*e.cfg.DynamicWindow: // over 75% filling: relax toward static
+		if c.extraDist > 0 {
+			c.extraDist -= e.cfg.DynamicStep
+			e.stats.DistanceShrinks++
+		}
+	}
+	c.windowCount, c.windowUseful = 0, 0
+}
+
+func (e *CMPEngine) scqFor(id int) *queue.Queue {
+	if id < 0 || id >= len(e.scq) {
+		return nil
+	}
+	return e.scq[id]
+}
+
+func (e *CMPEngine) setInt(c *cmpCtx, r isa.Reg, v uint32) {
+	if r.IsInt() && r != isa.R0 {
+		c.intR[r] = v
+	}
+}
+
+func (e *CMPEngine) setFP(c *cmpCtx, r isa.Reg, v float64) {
+	if r.IsFP() {
+		c.fpR[r.FPIndex()] = v
+	}
+}
+
+func (e *CMPEngine) getFP(c *cmpCtx, r isa.Reg) float64 {
+	if r.IsFP() {
+		return c.fpR[r.FPIndex()]
+	}
+	return 0
+}

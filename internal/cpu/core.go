@@ -1,0 +1,1181 @@
+// Package cpu implements the cycle-level processor models: an
+// out-of-order superscalar core in the style of SimpleScalar's
+// sim-outorder (register-update-unit window, load/store queue,
+// functional unit pools, bimodal branch prediction) extended with the
+// HiDISC architectural-queue operands, plus the simple multithreaded
+// in-order engine used as the Cache Management Processor.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"hidisc/internal/bpred"
+	"hidisc/internal/isa"
+	"hidisc/internal/mem"
+	"hidisc/internal/queue"
+)
+
+// Config parameterises one out-of-order core.
+type Config struct {
+	Name        string
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	WindowSize  int // RUU entries
+	LSQSize     int
+	IFQSize     int
+
+	IntALU   int // integer ALUs (also execute branches and queue ops)
+	IntMulDv int // integer multiply/divide units
+	FPALU    int // FP adders (also compares, converts, moves)
+	FPMulDv  int // FP multiply/divide units
+	MemPorts int // cache ports (loads at issue, stores at commit)
+
+	// HasMem permits load/store execution; the Computation Processor
+	// of the decoupled configurations has no memory access.
+	HasMem bool
+	// Prefetching marks this core's memory accesses as prefetches in
+	// the hierarchy statistics (the CMP).
+	Prefetching bool
+	// EnableTriggers forks CMAS threads at trigger annotations.
+	EnableTriggers bool
+	// BlockingSCQ makes GETSCQ wait for a slip-control credit (the
+	// paper's literal Figure 3 handshake). The default is non-blocking
+	// consumption: the CMP's run-ahead stays bounded by the SCQ
+	// capacity, but a prefetcher slower than the Access Processor can
+	// never throttle it.
+	BlockingSCQ bool
+	// JCQMap translates JCQ tokens (producer coordinates) into this
+	// core's program coordinates; identity when nil.
+	JCQMap []int
+
+	// Tracer, when non-nil, receives pipeline events (see trace.go).
+	Tracer Tracer
+
+	PredictorKind string // "bimodal" (default), "gshare", or "taken"
+	PredictorSize int    // predictor table entries (default 2048)
+	BTBSize       int    // default 64
+	RASDepth      int    // default 8
+}
+
+func (c Config) withDefaults() Config {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.FetchWidth, 8)
+	def(&c.IssueWidth, 8)
+	def(&c.CommitWidth, 8)
+	def(&c.WindowSize, 64)
+	def(&c.LSQSize, 32)
+	def(&c.IFQSize, 16)
+	def(&c.IntALU, 4)
+	def(&c.IntMulDv, 1)
+	def(&c.FPALU, 4)
+	def(&c.FPMulDv, 1)
+	def(&c.MemPorts, 2)
+	def(&c.PredictorSize, 2048)
+	def(&c.BTBSize, 64)
+	def(&c.RASDepth, 8)
+	return c
+}
+
+// QueueSet wires a core to the architectural queues it may consume
+// (Pop) and produce (Push), and to the per-CMAS slip-control queues.
+type QueueSet struct {
+	Pop  map[isa.Reg]*queue.Queue
+	Push map[isa.Reg]*queue.Queue
+	SCQ  []*queue.Queue
+}
+
+// Stats counts core events.
+type Stats struct {
+	Cycles            int64
+	Committed         uint64
+	CommittedLoads    uint64
+	CommittedStores   uint64
+	CommittedBranch   uint64
+	Mispredicts       uint64
+	FetchStalls       int64
+	DispatchStalls    int64 // window or LSQ full
+	QueueWaitCycles   int64 // oldest entry waiting on an architectural queue
+	MemWaitCycles     int64 // oldest entry waiting on a cache access
+	CommitQueueStall  int64 // commit blocked by a full output queue
+	Squashed          uint64
+	DispatchRedirects uint64 // BCQ/JCQ resolved at dispatch against the fetch direction
+}
+
+type srcOperand struct {
+	reg      isa.Reg
+	ready    bool
+	val      uint64
+	producer *entry
+	qref     *queue.Queue
+	qseq     int64
+}
+
+type entry struct {
+	seq  int64
+	pc   int
+	inst isa.Inst
+
+	srcs []srcOperand
+	dest isa.Reg
+
+	result     uint64
+	execErr    error
+	issued     bool
+	completed  bool
+	completeAt int64
+
+	// control
+	isCtl      bool
+	taken      bool
+	predNext   int
+	actualNext int
+
+	// memory
+	isLoad, isStore bool
+	addr            uint32
+	addrReady       bool
+	fwdFrom         *entry // store that forwarded this load's value
+
+	// queue production
+	pushed   bool // queue pushes already released at completion
+	squashed bool
+}
+
+type fetched struct {
+	pc       int
+	inst     isa.Inst
+	predNext int
+}
+
+type fuPool struct {
+	busyUntil []int64
+}
+
+func (f *fuPool) acquire(now int64, occupy int64) bool {
+	for i := range f.busyUntil {
+		if f.busyUntil[i] <= now {
+			f.busyUntil[i] = now + occupy
+			return true
+		}
+	}
+	return false
+}
+
+// Core is one out-of-order processor.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	mem  *mem.Memory
+	hier *mem.Hierarchy
+	qs   QueueSet
+
+	intR [isa.NumIntRegs]uint32
+	fpR  [isa.NumFPRegs]float64
+
+	pc           int
+	fetchStopped bool
+	fetchCQPeek  int // control-queue tokens consumed by instructions still in the IFQ
+	ifq          []fetched
+	window       []*entry
+	lsq          []*entry
+	rename       map[isa.Reg]*entry
+	nextSeq      int64
+
+	// pushList holds queue-producing entries in program order; pushes
+	// release as soon as an entry has completed non-speculatively, so
+	// the consumer stream is fed without waiting for the producer's
+	// commit (which may itself be waiting on the consumer).
+	pushList []*entry
+	pushHead int
+
+	intALU, intMulDv, fpALU, fpMulDv, memPorts fuPool
+
+	pred bpred.Predictor
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+
+	halted bool
+	output []string
+	stats  Stats
+
+	// OnTrigger, when set, is invoked at dispatch of a trigger-
+	// annotated instruction with the CMAS id and the committed
+	// architectural register context.
+	OnTrigger func(id int, ir [isa.NumIntRegs]uint32, fr [isa.NumFPRegs]float64)
+}
+
+// New builds a core executing prog against the shared memory image and
+// hierarchy.
+func New(cfg Config, prog *isa.Program, m *mem.Memory, h *mem.Hierarchy, qs QueueSet) *Core {
+	cfg = cfg.withDefaults()
+	mk := func(n int) fuPool { return fuPool{busyUntil: make([]int64, n)} }
+	c := &Core{
+		cfg:      cfg,
+		prog:     prog,
+		mem:      m,
+		hier:     h,
+		qs:       qs,
+		pc:       prog.Entry,
+		rename:   make(map[isa.Reg]*entry),
+		intALU:   mk(cfg.IntALU),
+		intMulDv: mk(cfg.IntMulDv),
+		fpALU:    mk(cfg.FPALU),
+		fpMulDv:  mk(cfg.FPMulDv),
+		memPorts: mk(cfg.MemPorts),
+		pred:     newPredictor(cfg),
+		btb:      bpred.NewBTB(cfg.BTBSize),
+		ras:      bpred.NewRAS(cfg.RASDepth),
+	}
+	c.intR[isa.SP] = isa.StackTop
+	return c
+}
+
+func newPredictor(cfg Config) bpred.Predictor {
+	switch cfg.PredictorKind {
+	case "", "bimodal":
+		return bpred.NewBimodal(cfg.PredictorSize)
+	case "gshare":
+		return bpred.NewGShare(cfg.PredictorSize, 8)
+	case "taken":
+		return bpred.NewTaken()
+	}
+	panic(fmt.Sprintf("cpu: unknown predictor kind %q", cfg.PredictorKind))
+}
+
+// PredictorStats returns the branch predictor's counters.
+func (c *Core) PredictorStats() bpred.Stats { return c.pred.Stats() }
+
+// Halted reports whether the core has committed HALT.
+func (c *Core) Halted() bool { return c.halted }
+
+// Stats returns the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Output returns values printed by OUT/OUTF at commit, in order.
+func (c *Core) Output() []string { return c.output }
+
+// Name returns the configured core name.
+func (c *Core) Name() string { return c.cfg.Name }
+
+// SnapshotRegs returns the committed architectural register state.
+func (c *Core) SnapshotRegs() ([isa.NumIntRegs]uint32, [isa.NumFPRegs]float64) {
+	return c.intR, c.fpR
+}
+
+// IntReg returns a committed integer register value (tests).
+func (c *Core) IntReg(r isa.Reg) uint32 { return c.intR[r] }
+
+// Cycle advances the core by one clock. Stage order models the
+// pipeline flowing from commit back to fetch, so results propagate
+// with realistic one-cycle stage separation.
+func (c *Core) Cycle(now int64) error {
+	if c.halted {
+		return nil
+	}
+	c.stats.Cycles++
+	if err := c.commit(now); err != nil {
+		return fmt.Errorf("core %s: %w", c.cfg.Name, err)
+	}
+	if c.halted {
+		return nil
+	}
+	c.writeback(now)
+	c.releasePushes()
+	if err := c.issue(now); err != nil {
+		return fmt.Errorf("core %s: %w", c.cfg.Name, err)
+	}
+	c.dispatch(now)
+	c.fetch(now)
+	c.accountStalls(now)
+	return nil
+}
+
+// --- commit ---
+
+func (c *Core) commit(now int64) error {
+	for n := 0; n < c.cfg.CommitWidth && len(c.window) > 0; n++ {
+		e := c.window[0]
+		if !e.completed {
+			return nil
+		}
+		if e.execErr != nil {
+			return fmt.Errorf("pc %d (%v): %w", e.pc, e.inst, e.execErr)
+		}
+		// Queue-operand values must have arrived (claims satisfied).
+		for i := range e.srcs {
+			s := &e.srcs[i]
+			if s.qref != nil && !s.qref.Ready(s.qseq) {
+				return nil
+			}
+		}
+		// Output-queue space for every push this instruction performs
+		// (usually released already at non-speculative completion).
+		var pushes []pushOp
+		if !e.pushed {
+			pushes = c.pushPlan(e)
+			need := map[*queue.Queue]int{}
+			for _, p := range pushes {
+				need[p.q]++
+			}
+			for q, k := range need {
+				if q.Cap()-q.Len() < k {
+					c.stats.CommitQueueStall++
+					return nil
+				}
+			}
+		}
+		// Stores need a cache port to retire into the write buffer.
+		if e.isStore {
+			if !e.addrReady {
+				return nil
+			}
+			if !c.memPorts.acquire(now, 1) {
+				return nil
+			}
+			c.storeCommit(now, e)
+		}
+
+		// Effects.
+		if e.dest.IsArch() && e.dest != isa.R0 {
+			c.writeReg(e.dest, e.result)
+			if c.rename[e.dest] == e {
+				delete(c.rename, e.dest)
+			}
+		}
+		for _, p := range pushes {
+			if !p.q.Push(p.v) {
+				panic("cpu: push space vanished within commit")
+			}
+		}
+		e.pushed = true // the release list must not push this entry again
+		for i := range e.srcs {
+			if e.srcs[i].qref != nil {
+				e.srcs[i].qref.Free(e.srcs[i].qseq)
+			}
+		}
+		if e.isCtl {
+			c.stats.CommittedBranch++
+			if e.inst.Op.IsCondBranch() && e.inst.Op != isa.BCQ {
+				c.pred.Update(e.pc, e.taken)
+			}
+			if e.inst.Op.IsIndirect() {
+				c.btb.Update(e.pc, e.actualNext)
+			}
+		}
+		switch e.inst.Op {
+		case isa.OUT:
+			c.output = append(c.output, fmt.Sprintf("%d", int32(uint32(e.result))))
+		case isa.OUTF:
+			c.output = append(c.output, fmt.Sprintf("%g", math.Float64frombits(e.result)))
+		case isa.HALT:
+			c.halted = true
+		}
+		if e.inst.Ann.Has(isa.AnnConsumeSCQ) ||
+			(e.inst.Op == isa.GETSCQ && !c.cfg.BlockingSCQ) {
+			id := e.inst.Ann.CMASID()
+			if e.inst.Op == isa.GETSCQ {
+				id = int(e.inst.Imm)
+			}
+			if id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
+				c.qs.SCQ[id].PopCommitted() // non-blocking credit consume
+			}
+		}
+		if e.isLoad {
+			c.stats.CommittedLoads++
+		}
+		if e.isStore {
+			c.stats.CommittedStores++
+		}
+		c.stats.Committed++
+		c.trace(now, StageCommit, e, "")
+		c.window = c.window[1:]
+		if e.isLoad || e.isStore {
+			c.lsq = c.lsq[1:]
+		}
+		if c.halted {
+			return nil
+		}
+	}
+	return nil
+}
+
+type pushOp struct {
+	q *queue.Queue
+	v uint64
+}
+
+// releasePushes performs queue pushes for completed entries that are
+// no longer control-speculative, in program order. Decoupling depends
+// on this: the producer's commit may legitimately wait on the consumer
+// (e.g. an Access Processor store whose datum the Computation
+// Processor has not produced yet), so pushing only at commit would
+// serialise the two streams into lockstep.
+func (c *Core) releasePushes() {
+	oldestUnresolved := int64(math.MaxInt64)
+	for _, w := range c.window {
+		if w.isCtl && !w.completed {
+			oldestUnresolved = w.seq
+			break
+		}
+	}
+	for c.pushHead < len(c.pushList) {
+		e := c.pushList[c.pushHead]
+		if e.squashed || e.pushed {
+			// Squashed, or already pushed by the commit fallback (the
+			// commit stage reaches an entry first when the release head
+			// was blocked on queue space in the preceding cycles).
+			c.pushHead++
+			continue
+		}
+		if !e.completed || e.execErr != nil || e.seq >= oldestUnresolved {
+			break
+		}
+		pushes := c.pushPlan(e)
+		need := map[*queue.Queue]int{}
+		for _, p := range pushes {
+			need[p.q]++
+		}
+		for q, k := range need {
+			if q.Cap()-q.Len() < k {
+				return // retry next cycle; order must be preserved
+			}
+		}
+		for _, p := range pushes {
+			if !p.q.Push(p.v) {
+				panic("cpu: push space vanished within release")
+			}
+		}
+		e.pushed = true
+		c.pushHead++
+	}
+	if c.pushHead > 4096 {
+		c.pushList = append([]*entry(nil), c.pushList[c.pushHead:]...)
+		c.pushHead = 0
+	}
+}
+
+// pushPlan lists the queue pushes instruction e performs at commit.
+func (c *Core) pushPlan(e *entry) []pushOp {
+	var out []pushOp
+	add := func(r isa.Reg, v uint64) {
+		q := c.qs.Push[r]
+		if q == nil {
+			return
+		}
+		out = append(out, pushOp{q, v})
+	}
+	if e.dest.IsQueue() {
+		add(e.dest, e.result)
+	}
+	if e.inst.Ann.Has(isa.AnnTapLDQ) {
+		add(isa.RegLDQ, e.result)
+	}
+	if e.inst.Ann.Has(isa.AnnTapSDQ) {
+		add(isa.RegSDQ, e.result)
+	}
+	if e.inst.Ann.Has(isa.AnnPushCQ) {
+		switch {
+		case e.inst.Op.IsCondBranch():
+			v := uint64(0)
+			if e.taken {
+				v = 1
+			}
+			add(isa.RegCQ, v)
+		case e.inst.Op == isa.JR, e.inst.Op == isa.JALR:
+			add(isa.RegCQ, uint64(uint32(e.actualNext)))
+		}
+	}
+	if e.inst.Op == isa.PUTSCQ {
+		id := int(e.inst.Imm)
+		if id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
+			out = append(out, pushOp{c.qs.SCQ[id], 1})
+		}
+	}
+	return out
+}
+
+func (c *Core) storeCommit(now int64, e *entry) {
+	c.hier.Access(now, e.addr, true, c.cfg.Prefetching)
+	v := e.srcs[1].val
+	switch e.inst.Op {
+	case isa.SW:
+		c.mem.Write32(e.addr, uint32(v))
+	case isa.SB:
+		c.mem.Write8(e.addr, byte(v))
+	case isa.SFD:
+		c.mem.Write64(e.addr, v)
+	}
+}
+
+func (c *Core) writeReg(r isa.Reg, raw uint64) {
+	if r.IsFP() {
+		c.fpR[r.FPIndex()] = math.Float64frombits(raw)
+	} else if r != isa.R0 {
+		c.intR[r] = uint32(raw)
+	}
+}
+
+// --- writeback ---
+
+func (c *Core) writeback(now int64) {
+	for _, e := range c.window {
+		if e.issued && !e.completed && e.completeAt <= now {
+			e.completed = true
+			c.trace(now, StageComplete, e, "")
+			if e.isCtl && e.actualNext != e.predNext {
+				c.stats.Mispredicts++
+				c.trace(now, StageSquash, e, fmt.Sprintf("mispredict: %d not %d", e.actualNext, e.predNext))
+				c.squashAfter(e)
+				c.pc = e.actualNext
+				c.fetchStopped = false
+				c.ifq = c.ifq[:0]
+				c.fetchCQPeek = 0
+				return // window changed; stop scanning
+			}
+		}
+	}
+}
+
+// squashAfter removes every entry younger than e, rewinding queue
+// claims and rebuilding the rename table.
+func (c *Core) squashAfter(e *entry) {
+	cut := len(c.window)
+	for i, w := range c.window {
+		if w.seq > e.seq {
+			cut = i
+			break
+		}
+	}
+	// Unclaim in reverse order so per-queue claim counters rewind
+	// exactly.
+	for i := len(c.window) - 1; i >= cut; i-- {
+		w := c.window[i]
+		w.squashed = true
+		for j := len(w.srcs) - 1; j >= 0; j-- {
+			if w.srcs[j].qref != nil {
+				w.srcs[j].qref.Unclaim(1)
+			}
+		}
+		c.stats.Squashed++
+	}
+	c.window = c.window[:cut]
+	// Rebuild LSQ and rename table from survivors.
+	c.lsq = c.lsq[:0]
+	c.rename = make(map[isa.Reg]*entry)
+	for _, w := range c.window {
+		if w.isLoad || w.isStore {
+			c.lsq = append(c.lsq, w)
+		}
+		if w.dest.IsArch() && w.dest != isa.R0 {
+			c.rename[w.dest] = w
+		}
+	}
+}
+
+// --- issue/execute ---
+
+func (c *Core) issue(now int64) error {
+	issued := 0
+	for _, e := range c.window {
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+		if e.issued {
+			continue
+		}
+		c.refreshOperands(e)
+		switch {
+		case e.isStore:
+			// Address generation when the base register arrives; the
+			// store completes when address and data are both present.
+			if !e.addrReady && e.srcs[0].ready {
+				e.addr = uint32(e.srcs[0].val) + uint32(e.inst.Imm)
+				e.addrReady = true
+				issued++
+			}
+			if e.addrReady && e.srcs[1].ready {
+				e.issued = true
+				e.completed = false
+				e.completeAt = now + 1
+			}
+			continue
+		case e.isLoad:
+			if !e.srcs[0].ready {
+				continue
+			}
+			if !e.addrReady {
+				e.addr = uint32(e.srcs[0].val) + uint32(e.inst.Imm)
+				e.addrReady = true
+			}
+			ok, fwd, wait := c.loadDisambiguate(e)
+			if wait {
+				continue
+			}
+			if !ok {
+				continue
+			}
+			if fwd != nil {
+				e.fwdFrom = fwd
+				if err := c.loadForward(e, fwd); err != nil {
+					e.execErr = err
+				}
+				e.issued = true
+				e.completeAt = now + 1
+				issued++
+				continue
+			}
+			if !c.memPorts.acquire(now, 1) {
+				continue
+			}
+			done := c.hier.Access(now, e.addr, false, c.cfg.Prefetching || e.inst.Op == isa.PREF)
+			c.loadValue(e)
+			e.issued = true
+			e.completeAt = done
+			issued++
+			continue
+		}
+		// Non-memory operations need every operand.
+		ready := true
+		for i := range e.srcs {
+			if !e.srcs[i].ready {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		pool, occupy := c.poolFor(e.inst.Op)
+		if pool != nil && !pool.acquire(now, occupy) {
+			continue
+		}
+		c.execute(now, e)
+		issued++
+	}
+	return nil
+}
+
+// refreshOperands resolves operands whose producers have completed or
+// whose queue values have arrived.
+func (c *Core) refreshOperands(e *entry) {
+	for i := range e.srcs {
+		s := &e.srcs[i]
+		if s.ready {
+			continue
+		}
+		if s.producer != nil {
+			if s.producer.completed {
+				s.val = s.producer.result
+				s.ready = true
+			}
+			continue
+		}
+		if s.qref != nil {
+			if s.qref.Ready(s.qseq) {
+				s.val = s.qref.ValueAt(s.qseq)
+				s.ready = true
+			}
+			continue
+		}
+	}
+}
+
+// loadDisambiguate applies the LSQ rules: the load may proceed when
+// every older store has a known address and none overlaps; an older
+// store with an identical address range and ready data forwards; any
+// other overlap waits.
+func (c *Core) loadDisambiguate(e *entry) (ok bool, fwd *entry, wait bool) {
+	lo, hi := e.addr, e.addr+uint32(memSize(e.inst.Op))
+	var newestFwd *entry
+	for _, s := range c.lsq {
+		if s.seq >= e.seq {
+			break
+		}
+		if !s.isStore {
+			continue
+		}
+		if !s.addrReady {
+			return false, nil, true
+		}
+		slo, shi := s.addr, s.addr+uint32(memSize(s.inst.Op))
+		if hi <= slo || shi <= lo {
+			continue // disjoint
+		}
+		if slo == lo && shi == hi {
+			if s.srcs[1].ready {
+				newestFwd = s
+				continue
+			}
+			return false, nil, true // matching store, data not ready
+		}
+		return false, nil, true // partial overlap: wait for commit
+	}
+	return true, newestFwd, false
+}
+
+func (c *Core) loadForward(e *entry, s *entry) error {
+	v := s.srcs[1].val
+	switch e.inst.Op {
+	case isa.LW:
+		e.result = uint64(uint32(v))
+	case isa.LBU:
+		e.result = uint64(byte(v))
+	case isa.LFD:
+		e.result = v
+	}
+	return nil
+}
+
+// loadValue reads the architectural value; disambiguation guarantees
+// no older in-flight store overlaps.
+func (c *Core) loadValue(e *entry) {
+	switch e.inst.Op {
+	case isa.LW:
+		e.result = uint64(c.mem.Read32(e.addr))
+	case isa.LBU:
+		e.result = uint64(c.mem.Read8(e.addr))
+	case isa.LFD:
+		e.result = c.mem.Read64(e.addr)
+	case isa.PREF:
+		// no architectural effect
+	}
+}
+
+func memSize(op isa.Op) int {
+	switch op {
+	case isa.LBU, isa.SB:
+		return 1
+	case isa.LFD, isa.SFD:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// poolFor maps an operation to its functional unit pool and occupancy.
+func (c *Core) poolFor(op isa.Op) (*fuPool, int64) {
+	cl := op.Class()
+	lat := int64(cl.Latency())
+	occupy := int64(1)
+	if !cl.Pipelined() {
+		occupy = lat
+	}
+	switch cl {
+	case isa.ClassIntALU, isa.ClassBranch, isa.ClassQueue:
+		return &c.intALU, occupy
+	case isa.ClassIntMul, isa.ClassIntDiv:
+		return &c.intMulDv, occupy
+	case isa.ClassFPAdd:
+		return &c.fpALU, occupy
+	case isa.ClassFPMul, isa.ClassFPDiv:
+		return &c.fpMulDv, occupy
+	case isa.ClassLoad, isa.ClassStore:
+		return &c.memPorts, occupy
+	}
+	return nil, 0
+}
+
+// execute computes the result of a non-memory instruction and
+// schedules its completion.
+func (c *Core) execute(now int64, e *entry) {
+	in := e.inst
+	lat := int64(in.Op.Class().Latency())
+	val := func(i int) uint64 {
+		if i < len(e.srcs) {
+			return e.srcs[i].val
+		}
+		return 0
+	}
+	asInt := func(i int) uint32 { return uint32(val(i)) }
+	asFP := func(i int) float64 { return math.Float64frombits(val(i)) }
+
+	var err error
+	switch in.Op {
+	case isa.NOP, isa.HALT, isa.GETSCQ, isa.PUTSCQ:
+		// GETSCQ's credit is its operand; PUTSCQ pushes at commit.
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+		isa.NOR, isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU:
+		var v uint32
+		v, err = isa.EvalIntALU(in.Op, asInt(0), asInt(1))
+		e.result = uint64(v)
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI, isa.SLTI:
+		var v uint32
+		v, err = isa.EvalIntALUImm(in.Op, asInt(0), in.Imm)
+		e.result = uint64(v)
+	case isa.LI:
+		e.result = uint64(uint32(in.Imm))
+	case isa.LUI:
+		e.result = uint64(uint32(in.Imm) << 16)
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+		var v float64
+		v, err = isa.EvalFP(in.Op, asFP(0), asFP(1))
+		e.result = math.Float64bits(v)
+	case isa.FMOV, isa.FNEG, isa.FABS:
+		a := asFP(0)
+		// A queue source carries raw bits; interpret as FP.
+		var v float64
+		v, err = isa.EvalFP(in.Op, a, 0)
+		e.result = math.Float64bits(v)
+	case isa.CVTIF:
+		e.result = math.Float64bits(float64(int32(asInt(0))))
+	case isa.CVTFI:
+		e.result = uint64(uint32(int32(math.Trunc(asFP(0)))))
+	case isa.FLT, isa.FLE, isa.FEQ:
+		var b bool
+		b, err = isa.EvalFPCmp(in.Op, asFP(0), asFP(1))
+		if b {
+			e.result = 1
+		}
+	case isa.OUT, isa.OUTF:
+		e.result = val(0)
+
+	case isa.BEQ, isa.BNE, isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ:
+		a := asInt(0)
+		b := uint32(0)
+		if in.Op == isa.BEQ || in.Op == isa.BNE {
+			b = asInt(1)
+		}
+		e.taken, err = isa.EvalBranch(in.Op, a, b)
+		e.actualNext = e.pc + 1
+		if e.taken {
+			e.actualNext = in.Target()
+		}
+	case isa.BCQ:
+		c.resolveCtlToken(e, val(0))
+	case isa.J:
+		e.taken = true
+		e.actualNext = in.Target()
+	case isa.JAL:
+		e.taken = true
+		e.actualNext = in.Target()
+		e.result = uint64(uint32(e.pc + 1))
+	case isa.JR, isa.JALR:
+		e.taken = true
+		e.actualNext = int(int32(asInt(0)))
+		if in.Op == isa.JALR {
+			e.result = uint64(uint32(e.pc + 1))
+		}
+		if e.actualNext < 0 || e.actualNext >= len(c.prog.Insts) {
+			err = fmt.Errorf("indirect jump to %d out of range", e.actualNext)
+			e.actualNext = 0
+		}
+	case isa.JCQ:
+		c.resolveCtlToken(e, val(0))
+	default:
+		err = fmt.Errorf("unimplemented op %v", in.Op)
+	}
+	if err != nil {
+		e.execErr = err
+	}
+	e.issued = true
+	e.completeAt = now + lat
+	c.trace(now, StageIssue, e, "")
+}
+
+// --- dispatch ---
+
+func (c *Core) dispatch(now int64) {
+	for n := 0; n < c.cfg.IssueWidth && len(c.ifq) > 0; n++ {
+		if len(c.window) >= c.cfg.WindowSize {
+			c.stats.DispatchStalls++
+			return
+		}
+		f := c.ifq[0]
+		in := f.inst
+		isMem := in.Op.IsMem()
+		if isMem && len(c.lsq) >= c.cfg.LSQSize {
+			c.stats.DispatchStalls++
+			return
+		}
+		c.ifq = c.ifq[1:]
+		if (in.Op == isa.BCQ || in.Op == isa.JCQ) && c.fetchCQPeek > 0 {
+			c.fetchCQPeek--
+		}
+
+		e := &entry{
+			seq:      c.nextSeq,
+			pc:       f.pc,
+			inst:     in,
+			dest:     in.Dest(),
+			predNext: f.predNext,
+			isCtl:    in.Op.IsControl(),
+			isLoad:   in.Op.IsLoad() || in.Op == isa.PREF,
+			isStore:  in.Op.IsStore(),
+		}
+		c.nextSeq++
+		e.actualNext = f.pc + 1 // non-control default: never mispredicts
+		if isMem && !c.cfg.HasMem {
+			e.execErr = fmt.Errorf("memory operation %v on a core without memory access", in.Op)
+		}
+
+		for _, r := range in.Sources() {
+			s := srcOperand{reg: r}
+			switch {
+			case r.IsQueue():
+				q := c.qs.Pop[r]
+				if q == nil {
+					e.execErr = fmt.Errorf("no pop rights on %v", r)
+					s.ready = true
+				} else {
+					s.qref = q
+					s.qseq = q.Claim()
+				}
+			case r == isa.R0:
+				s.ready = true
+			default:
+				if prod, ok := c.rename[r]; ok {
+					if prod.completed {
+						s.val = prod.result
+						s.ready = true
+					} else {
+						s.producer = prod
+					}
+				} else {
+					s.val = c.readReg(r)
+					s.ready = true
+				}
+			}
+			e.srcs = append(e.srcs, s)
+		}
+		// In blocking mode GETSCQ consumes a slip-control credit as a
+		// hidden operand (in non-blocking mode the credit, if present,
+		// is consumed at commit).
+		if in.Op == isa.GETSCQ && c.cfg.BlockingSCQ {
+			id := int(in.Imm)
+			if id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
+				q := c.qs.SCQ[id]
+				e.srcs = append(e.srcs, srcOperand{reg: isa.RegSCQ, qref: q, qseq: q.Claim()})
+			}
+		}
+
+		if e.dest.IsArch() && e.dest != isa.R0 {
+			c.rename[e.dest] = e
+		}
+		if in.Op == isa.NOP || in.Op == isa.HALT {
+			e.issued = true
+			e.completed = true
+			e.completeAt = now
+		}
+		c.trace(now, StageDispatch, e, "")
+		c.window = append(c.window, e)
+		if isMem {
+			c.lsq = append(c.lsq, e)
+		}
+		if e.dest.IsQueue() || in.Op == isa.PUTSCQ ||
+			in.Ann.Has(isa.AnnTapLDQ) || in.Ann.Has(isa.AnnTapSDQ) || in.Ann.Has(isa.AnnPushCQ) {
+			c.pushList = append(c.pushList, e)
+		}
+
+		if c.cfg.EnableTriggers && in.Ann.Has(isa.AnnTrigger) && c.OnTrigger != nil {
+			c.OnTrigger(in.Ann.CMASID(), c.intR, c.fpR)
+		}
+
+		// Control-queue branches resolve at dispatch when their token
+		// has already arrived (the usual case: the Access Processor
+		// runs ahead). A wrong fetch direction then only flushes the
+		// fetch queue — no window squash, no mispredict penalty. This
+		// is the hardware benefit of an *architectural* control queue
+		// over prediction.
+		if (in.Op == isa.BCQ || in.Op == isa.JCQ) && len(e.srcs) == 1 &&
+			e.srcs[0].qref != nil && e.srcs[0].qref.Ready(e.srcs[0].qseq) {
+			v := e.srcs[0].qref.ValueAt(e.srcs[0].qseq)
+			e.srcs[0].val = v
+			e.srcs[0].ready = true
+			c.resolveCtlToken(e, v)
+			e.issued, e.completed = true, true
+			e.completeAt = now
+			if e.execErr == nil && e.actualNext != e.predNext {
+				c.stats.DispatchRedirects++
+				c.trace(now, StageRedirect, e, fmt.Sprintf("token steers to %d", e.actualNext))
+				c.ifq = c.ifq[:0]
+				c.fetchCQPeek = 0
+				c.pc = e.actualNext
+				c.fetchStopped = false
+				e.predNext = e.actualNext // already steered; nothing to squash
+			}
+		}
+	}
+}
+
+// resolveCtlToken computes the target of a BCQ/JCQ from its token.
+func (c *Core) resolveCtlToken(e *entry, v uint64) {
+	if e.inst.Op == isa.BCQ {
+		e.taken = v != 0
+		e.actualNext = e.pc + 1
+		if e.taken {
+			e.actualNext = e.inst.Target()
+		}
+		return
+	}
+	e.taken = true
+	t, ok := c.translateJCQ(v)
+	if !ok {
+		e.execErr = fmt.Errorf("JCQ token %d out of range", int32(uint32(v)))
+	}
+	e.actualNext = t
+}
+
+// translateJCQ maps a control-queue token to this core's instruction
+// index via the JCQ table.
+func (c *Core) translateJCQ(v uint64) (int, bool) {
+	t := int(int32(uint32(v)))
+	if c.cfg.JCQMap != nil {
+		if t < 0 || t >= len(c.cfg.JCQMap) {
+			return 0, false
+		}
+		t = c.cfg.JCQMap[t]
+	}
+	if t < 0 || t >= len(c.prog.Insts) {
+		return 0, false
+	}
+	return t, true
+}
+
+func (c *Core) readReg(r isa.Reg) uint64 {
+	if r.IsFP() {
+		return math.Float64bits(c.fpR[r.FPIndex()])
+	}
+	return uint64(c.intR[r])
+}
+
+// --- fetch ---
+
+func (c *Core) fetch(now int64) {
+	if c.fetchStopped {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.ifq) >= c.cfg.IFQSize {
+			c.stats.FetchStalls++
+			return
+		}
+		if c.pc < 0 || c.pc >= len(c.prog.Insts) {
+			c.fetchStopped = true
+			return
+		}
+		in := c.prog.Insts[c.pc]
+		next := c.pc + 1
+		taken := false
+		switch {
+		case in.Op == isa.HALT:
+			c.ifq = append(c.ifq, fetched{pc: c.pc, inst: in, predNext: next})
+			c.fetchStopped = true
+			return
+		case in.Op == isa.J:
+			next = in.Target()
+			taken = true
+		case in.Op == isa.JAL:
+			c.ras.Push(c.pc + 1)
+			next = in.Target()
+			taken = true
+		case in.Op == isa.BCQ, in.Op == isa.JCQ:
+			// Steer fetch down the queued control token when it is
+			// already present: the architectural queue replaces
+			// prediction. The dispatch-time claim verifies the
+			// direction, so a wrong peek only costs a fetch redirect.
+			steered := false
+			if q := c.qs.Pop[isa.RegCQ]; q != nil {
+				if v, ok := q.PeekFuture(c.fetchCQPeek); ok {
+					if in.Op == isa.BCQ {
+						if v != 0 {
+							next = in.Target()
+							taken = true
+						}
+					} else if t, ok := c.translateJCQ(v); ok {
+						next = t
+						taken = true
+					}
+					steered = true
+				}
+			}
+			if !steered {
+				if in.Op == isa.BCQ {
+					if c.pred.Predict(c.pc) {
+						next = in.Target()
+						taken = true
+					}
+				} else if t, ok := c.btb.Lookup(c.pc); ok {
+					next = t
+					taken = true
+				}
+			}
+			c.fetchCQPeek++
+		case in.Op == isa.JR, in.Op == isa.JALR:
+			if in.Op == isa.JR && in.Rs == isa.RA {
+				if t, ok := c.ras.Pop(); ok {
+					next = t
+					taken = true
+					break
+				}
+			}
+			if t, ok := c.btb.Lookup(c.pc); ok {
+				next = t
+				taken = true
+			}
+			if in.Op == isa.JALR {
+				c.ras.Push(c.pc + 1)
+			}
+		case in.Op.IsCondBranch():
+			if c.pred.Predict(c.pc) {
+				next = in.Target()
+				taken = true
+			}
+		}
+		c.ifq = append(c.ifq, fetched{pc: c.pc, inst: in, predNext: next})
+		c.pc = next
+		if taken {
+			return // fetch break after a predicted-taken branch
+		}
+	}
+}
+
+// DescribeHead reports the oldest window entry's state for deadlock
+// diagnostics.
+func (c *Core) DescribeHead() string {
+	if len(c.window) == 0 {
+		return fmt.Sprintf("%s: window empty, pc=%d fetchStopped=%v ifq=%d", c.cfg.Name, c.pc, c.fetchStopped, len(c.ifq))
+	}
+	e := c.window[0]
+	s := fmt.Sprintf("%s head: pc=%d %q issued=%v completed=%v completeAt=%d addrReady=%v",
+		c.cfg.Name, e.pc, e.inst.String(), e.issued, e.completed, e.completeAt, e.addrReady)
+	for i := range e.srcs {
+		src := &e.srcs[i]
+		s += fmt.Sprintf(" src%d(%v ready=%v", i, src.reg, src.ready)
+		if src.qref != nil {
+			s += fmt.Sprintf(" q=%s seq=%d qready=%v", src.qref.Name(), src.qseq, src.qref.Ready(src.qseq))
+		}
+		if src.producer != nil {
+			s += fmt.Sprintf(" prod=pc%d done=%v", src.producer.pc, src.producer.completed)
+		}
+		s += ")"
+	}
+	return s
+}
+
+// accountStalls attributes head-of-window wait reasons for the LOD
+// analysis.
+func (c *Core) accountStalls(now int64) {
+	if len(c.window) == 0 {
+		return
+	}
+	e := c.window[0]
+	if e.completed {
+		return
+	}
+	for i := range e.srcs {
+		s := &e.srcs[i]
+		if !s.ready && s.qref != nil && !s.qref.Ready(s.qseq) {
+			c.stats.QueueWaitCycles++
+			return
+		}
+	}
+	if e.issued && (e.isLoad || e.isStore) {
+		c.stats.MemWaitCycles++
+	}
+}

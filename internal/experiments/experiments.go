@@ -1,0 +1,457 @@
+// Package experiments reproduces the paper's evaluation (Section 5):
+// Table 1 (simulation parameters), Figure 8 (speedup over the
+// superscalar baseline for the seven benchmarks on four architecture
+// models), Table 2 (average speedups), Figure 9 (cache-miss-rate
+// reduction), and Figure 10 (IPC under increasing L2/memory latency
+// for Pointer and Neighborhood).
+//
+// Matching the paper's experimental setup: the Superscalar and CP+AP
+// models run the streams without cache-management slices, while CP+CMP
+// and HiDISC use the profile-guided CMAS bundle.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"text/tabwriter"
+
+	"hidisc/internal/fnsim"
+	"hidisc/internal/machine"
+	"hidisc/internal/mem"
+	"hidisc/internal/profile"
+	"hidisc/internal/slicer"
+	"hidisc/internal/workloads"
+)
+
+// Compiled bundles one workload's build products.
+type Compiled struct {
+	Workload *workloads.Workload
+	SeqInsts uint64         // dynamic instruction count of the sequential binary
+	Plain    *slicer.Bundle // no CMAS (Superscalar, CP+AP)
+	CMAS     *slicer.Bundle // profile-guided CMAS (CP+CMP, HiDISC)
+}
+
+// Measurement is one (workload, architecture, hierarchy) simulation.
+type Measurement struct {
+	Workload    string
+	Arch        machine.Arch
+	Cycles      int64
+	SeqInsts    uint64
+	IPC         float64
+	L1DAccesses uint64
+	L1DMisses   uint64
+	L1DMissRate float64
+	Prefetches  uint64
+	UsefulPref  uint64
+	QueueWaitCP int64
+	Result      machine.Result
+}
+
+// Runner compiles workloads once and executes measurements, verifying
+// every simulation against the reference output.
+type Runner struct {
+	Scale    workloads.Scale
+	Hier     mem.HierConfig
+	compiled map[string]*Compiled
+	cache    map[string]Measurement
+	// Configure, when non-nil, post-processes the machine configuration
+	// before each run (used by ablation benches).
+	Configure func(*machine.Config)
+}
+
+// NewRunner returns a runner at the given scale with the Table 1
+// hierarchy.
+func NewRunner(scale workloads.Scale) *Runner {
+	return &Runner{
+		Scale:    scale,
+		Hier:     mem.DefaultHierConfig(),
+		compiled: map[string]*Compiled{},
+		cache:    map[string]Measurement{},
+	}
+}
+
+// Compile builds (and memoises) both bundles for the named workload.
+func (r *Runner) Compile(name string) (*Compiled, error) {
+	if c, ok := r.compiled[name]; ok {
+		return c, nil
+	}
+	w, err := workloads.ByName(name, r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	p, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := fnsim.RunProgram(p, w.MaxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: reference run: %w", name, err)
+	}
+	plain, err := slicer.Separate(p, slicer.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: separate: %w", name, err)
+	}
+	prof, err := profile.CacheProfile(p, r.Hier, w.MaxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", name, err)
+	}
+	cmas, err := slicer.Separate(p, slicer.Options{Profile: prof})
+	if err != nil {
+		return nil, fmt.Errorf("%s: separate with profile: %w", name, err)
+	}
+	c := &Compiled{Workload: w, SeqInsts: ref.Insts, Plain: plain, CMAS: cmas}
+	r.compiled[name] = c
+	return c, nil
+}
+
+// bundleFor selects the paper-faithful bundle per architecture.
+func (c *Compiled) bundleFor(arch machine.Arch) *slicer.Bundle {
+	if arch == machine.CPCMP || arch == machine.HiDISC {
+		return c.CMAS
+	}
+	return c.Plain
+}
+
+// Run measures one workload on one architecture with the given
+// hierarchy, verifying program output against the reference.
+func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measurement, error) {
+	key := fmt.Sprintf("%s|%s|%d|%d", name, arch, hier.L2.Latency, hier.MemLatency)
+	if m, ok := r.cache[key]; ok {
+		return m, nil
+	}
+	c, err := r.Compile(name)
+	if err != nil {
+		return Measurement{}, err
+	}
+	cfg := machine.DefaultConfig(arch)
+	cfg.Hier = hier
+	if r.Configure != nil {
+		r.Configure(&cfg)
+	}
+	mach, err := machine.New(c.bundleFor(arch), cfg)
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := mach.Run()
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%s on %s: %w", name, arch, err)
+	}
+	if err := verifyOutput(c.Workload, res.Output); err != nil {
+		return Measurement{}, fmt.Errorf("%s on %s: %w", name, arch, err)
+	}
+	st := res.Hier.L1D
+	m := Measurement{
+		Workload:    name,
+		Arch:        arch,
+		Cycles:      res.Cycles,
+		SeqInsts:    c.SeqInsts,
+		IPC:         float64(c.SeqInsts) / float64(res.Cycles),
+		L1DAccesses: st.DemandAccesses,
+		L1DMisses:   st.DemandMisses,
+		L1DMissRate: st.DemandMissRate(),
+		Prefetches:  res.Hier.PrefetchIssued,
+		UsefulPref:  st.UsefulPrefetch,
+		Result:      res,
+	}
+	if cp, ok := res.Cores["cp"]; ok {
+		m.QueueWaitCP = cp.QueueWaitCycles
+	}
+	r.cache[key] = m
+	return m, nil
+}
+
+func verifyOutput(w *workloads.Workload, got []string) error {
+	if len(got) != len(w.Expected) {
+		return fmt.Errorf("output %v, want %v", got, w.Expected)
+	}
+	for i := range w.Expected {
+		if got[i] != w.Expected[i] {
+			return fmt.Errorf("output[%d] = %q, want %q", i, got[i], w.Expected[i])
+		}
+	}
+	return nil
+}
+
+// RunAll measures every benchmark on every architecture at the default
+// hierarchy.
+func (r *Runner) RunAll() (map[string]map[machine.Arch]Measurement, error) {
+	out := map[string]map[machine.Arch]Measurement{}
+	for _, name := range workloads.Names() {
+		out[name] = map[machine.Arch]Measurement{}
+		for _, arch := range machine.Arches {
+			m, err := r.Run(name, arch, r.Hier)
+			if err != nil {
+				return nil, err
+			}
+			out[name][arch] = m
+		}
+	}
+	return out, nil
+}
+
+// --- Table 1 ---
+
+// Table1 renders the simulation parameters (the paper's Table 1).
+func Table1() string {
+	cfg := machine.DefaultConfig(machine.HiDISC)
+	var b bytes.Buffer
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	row := func(k, v string) { fmt.Fprintf(tw, "%s\t%s\n", k, v) }
+	fmt.Fprintln(&b, "Table 1: simulation parameters")
+	row("Branch predict mode", "Bimodal")
+	row("Branch table size", "2048")
+	row("Issue/commit width", "8")
+	row("Instruction window", fmt.Sprintf("Superscalar/AP %d, CP %d", cfg.AP.WindowSize, cfg.CP.WindowSize))
+	row("Load/store queue", fmt.Sprintf("%d entries", 32))
+	row("Integer units", "ALU x4, MUL/DIV (superscalar, CP, AP, CMP)")
+	row("FP units", "ALU x4, MUL/DIV (superscalar and CP)")
+	row("Memory ports", "2 per memory-facing processor")
+	row("Data L1 cache", fmt.Sprintf("%d sets, %dB block, %d-way, LRU",
+		cfg.Hier.L1D.Sets, cfg.Hier.L1D.BlockSize, cfg.Hier.L1D.Ways))
+	row("Data L1 latency", fmt.Sprintf("%d cycle", cfg.Hier.L1D.Latency))
+	row("Unified L2 cache", fmt.Sprintf("%d sets, %dB block, %d-way, LRU",
+		cfg.Hier.L2.Sets, cfg.Hier.L2.BlockSize, cfg.Hier.L2.Ways))
+	row("L2 latency", fmt.Sprintf("%d cycles", cfg.Hier.L2.Latency))
+	row("Memory latency", fmt.Sprintf("%d cycles", cfg.Hier.MemLatency))
+	row("Architectural queues", fmt.Sprintf("LDQ/SDQ %d, CQ %d, SCQ %d", cfg.LDQCap, cfg.CQCap, cfg.SCQCap))
+	tw.Flush()
+	return b.String()
+}
+
+// --- Figure 8 / Table 2 ---
+
+// Fig8 holds per-benchmark speedups normalised to the superscalar.
+type Fig8 struct {
+	Rows map[string]map[machine.Arch]float64 // speedup
+	Meas map[string]map[machine.Arch]Measurement
+}
+
+// RunFig8 produces Figure 8's data.
+func RunFig8(r *Runner) (*Fig8, error) {
+	all, err := r.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	f := &Fig8{Rows: map[string]map[machine.Arch]float64{}, Meas: all}
+	for name, per := range all {
+		base := per[machine.Superscalar].Cycles
+		f.Rows[name] = map[machine.Arch]float64{}
+		for arch, m := range per {
+			f.Rows[name][arch] = float64(base) / float64(m.Cycles)
+		}
+	}
+	return f, nil
+}
+
+// String renders Figure 8 as a table of normalised performance.
+func (f *Fig8) String() string {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "Figure 8: speed-up compared to the baseline superscalar")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "benchmark\t")
+	for _, a := range machine.Arches {
+		fmt.Fprintf(tw, "%s\t", a)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range workloads.Names() {
+		fmt.Fprintf(tw, "%s\t", name)
+		for _, a := range machine.Arches {
+			fmt.Fprintf(tw, "%.3f\t", f.Rows[name][a])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// Table2 holds the average speedup of the three enhanced models.
+type Table2 struct {
+	Avg map[machine.Arch]float64
+}
+
+// RunTable2 averages Figure 8's speedups (the paper's Table 2).
+func RunTable2(f *Fig8) *Table2 {
+	t := &Table2{Avg: map[machine.Arch]float64{}}
+	for _, a := range machine.Arches {
+		sum := 0.0
+		for _, name := range workloads.Names() {
+			sum += f.Rows[name][a]
+		}
+		t.Avg[a] = sum / float64(len(workloads.Names()))
+	}
+	return t
+}
+
+// String renders Table 2.
+func (t *Table2) String() string {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "Table 2: average speed-up for the three architecture models")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "configuration\tcharacteristic\tspeed-up\n")
+	fmt.Fprintf(tw, "CP + AP\taccess/execute decoupling\t%+.1f%%\n", (t.Avg[machine.CPAP]-1)*100)
+	fmt.Fprintf(tw, "CP + CMP\tcache prefetching\t%+.1f%%\n", (t.Avg[machine.CPCMP]-1)*100)
+	fmt.Fprintf(tw, "HiDISC\tdecoupling and prefetching\t%+.1f%%\n", (t.Avg[machine.HiDISC]-1)*100)
+	tw.Flush()
+	return b.String()
+}
+
+// --- Figure 9 ---
+
+// Fig9 holds normalised L1D demand-miss counts (config / baseline).
+type Fig9 struct {
+	Rows map[string]map[machine.Arch]float64
+}
+
+// RunFig9 produces Figure 9's data from the same measurements.
+func RunFig9(f *Fig8) *Fig9 {
+	g := &Fig9{Rows: map[string]map[machine.Arch]float64{}}
+	for name, per := range f.Meas {
+		base := per[machine.Superscalar].L1DMisses
+		g.Rows[name] = map[machine.Arch]float64{}
+		for arch, m := range per {
+			if base == 0 {
+				g.Rows[name][arch] = 1
+				continue
+			}
+			g.Rows[name][arch] = float64(m.L1DMisses) / float64(base)
+		}
+	}
+	return g
+}
+
+// String renders Figure 9.
+func (g *Fig9) String() string {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "Figure 9: L1D demand misses normalised to the baseline superscalar")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "benchmark\t")
+	for _, a := range machine.Arches {
+		fmt.Fprintf(tw, "%s\t", a)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range workloads.Names() {
+		fmt.Fprintf(tw, "%s\t", name)
+		for _, a := range machine.Arches {
+			fmt.Fprintf(tw, "%.3f\t", g.Rows[name][a])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// AverageReduction returns the mean miss reduction of HiDISC over the
+// benchmarks that miss at all.
+func (g *Fig9) AverageReduction(arch machine.Arch) float64 {
+	sum, n := 0.0, 0
+	for _, per := range g.Rows {
+		if v, ok := per[arch]; ok {
+			sum += 1 - v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// --- Figure 10 ---
+
+// LatencyPoints is the paper's L2/memory latency sweep.
+var LatencyPoints = []struct{ L2, Mem int }{
+	{4, 40}, {8, 80}, {12, 120}, {16, 160},
+}
+
+// Fig10 holds IPC per latency point per architecture for one workload.
+type Fig10 struct {
+	Workload string
+	IPC      map[machine.Arch][]float64 // indexed by LatencyPoints
+}
+
+// RunFig10 produces Figure 10's data for one workload.
+func RunFig10(r *Runner, name string) (*Fig10, error) {
+	f := &Fig10{Workload: name, IPC: map[machine.Arch][]float64{}}
+	for _, arch := range machine.Arches {
+		for _, lp := range LatencyPoints {
+			m, err := r.Run(name, arch, r.Hier.WithLatencies(lp.L2, lp.Mem))
+			if err != nil {
+				return nil, err
+			}
+			f.IPC[arch] = append(f.IPC[arch], m.IPC)
+		}
+	}
+	return f, nil
+}
+
+// String renders one Figure 10 panel.
+func (f *Fig10) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Figure 10 (%s): IPC vs L2/memory latency\n", f.Workload)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "config\t")
+	for _, lp := range LatencyPoints {
+		fmt.Fprintf(tw, "%d/%d\t", lp.L2, lp.Mem)
+	}
+	fmt.Fprintln(tw, "degradation\t")
+	for _, a := range machine.Arches {
+		fmt.Fprintf(tw, "%s\t", a)
+		ipcs := f.IPC[a]
+		for _, v := range ipcs {
+			fmt.Fprintf(tw, "%.3f\t", v)
+		}
+		fmt.Fprintf(tw, "%.1f%%\t\n", f.Degradation(a)*100)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// Degradation returns the relative IPC loss from the shortest to the
+// longest latency point.
+func (f *Fig10) Degradation(arch machine.Arch) float64 {
+	ipcs := f.IPC[arch]
+	if len(ipcs) == 0 || ipcs[0] == 0 {
+		return 0
+	}
+	return (ipcs[0] - ipcs[len(ipcs)-1]) / ipcs[0]
+}
+
+// SortedArches returns architectures ordered by a metric map (largest
+// first); a helper for reports.
+func SortedArches(m map[machine.Arch]float64) []machine.Arch {
+	out := append([]machine.Arch(nil), machine.Arches...)
+	sort.SliceStable(out, func(i, j int) bool { return m[out[i]] > m[out[j]] })
+	return out
+}
+
+// LODTable renders the loss-of-decoupling analysis of Section 5.3: for
+// the decoupled machines, the fraction of cycles each processor's
+// oldest instruction was stalled on an architectural queue. High CP
+// numbers mean the CP starves for AP data (healthy decoupling has the
+// CP comfortably behind); high AP numbers mean the AP waits on
+// computed values — the loss-of-decoupling events the paper blames for
+// Neighborhood's slowdown.
+func LODTable(f *Fig8) string {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "Loss-of-decoupling analysis (queue-wait cycle fraction)")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\tCP wait (cp+ap)\tAP wait (cp+ap)\tCP wait (hidisc)\tAP wait (hidisc)\t")
+	for _, name := range workloads.Names() {
+		fmt.Fprintf(tw, "%s\t", name)
+		for _, arch := range []machine.Arch{machine.CPAP, machine.HiDISC} {
+			m := f.Meas[name][arch]
+			for _, core := range []string{"cp", "ap"} {
+				s := m.Result.Cores[core]
+				frac := 0.0
+				if s.Cycles > 0 {
+					frac = float64(s.QueueWaitCycles) / float64(s.Cycles)
+				}
+				fmt.Fprintf(tw, "%.3f\t", frac)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// EvalIntALU computes a three-register integer ALU operation.
+func EvalIntALU(op Op, a, b uint32) (uint32, error) {
+	switch op {
+	case ADD:
+		return a + b, nil
+	case SUB:
+		return a - b, nil
+	case MUL:
+		return uint32(int32(a) * int32(b)), nil
+	case DIV:
+		if b == 0 {
+			return 0, fmt.Errorf("isa: integer division by zero")
+		}
+		return uint32(int32(a) / int32(b)), nil
+	case REM:
+		if b == 0 {
+			return 0, fmt.Errorf("isa: integer remainder by zero")
+		}
+		return uint32(int32(a) % int32(b)), nil
+	case AND:
+		return a & b, nil
+	case OR:
+		return a | b, nil
+	case XOR:
+		return a ^ b, nil
+	case NOR:
+		return ^(a | b), nil
+	case SLL:
+		return a << (b & 31), nil
+	case SRL:
+		return a >> (b & 31), nil
+	case SRA:
+		return uint32(int32(a) >> (b & 31)), nil
+	case SLT:
+		if int32(a) < int32(b) {
+			return 1, nil
+		}
+		return 0, nil
+	case SLTU:
+		if a < b {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("isa: EvalIntALU(%v)", op)
+}
+
+// EvalIntALUImm computes an immediate-form integer ALU operation.
+func EvalIntALUImm(op Op, a uint32, imm int32) (uint32, error) {
+	switch op {
+	case ADDI:
+		return a + uint32(imm), nil
+	case ANDI:
+		return a & uint32(imm), nil
+	case ORI:
+		return a | uint32(imm), nil
+	case XORI:
+		return a ^ uint32(imm), nil
+	case SLLI:
+		return a << (uint32(imm) & 31), nil
+	case SRLI:
+		return a >> (uint32(imm) & 31), nil
+	case SRAI:
+		return uint32(int32(a) >> (uint32(imm) & 31)), nil
+	case SLTI:
+		if int32(a) < imm {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("isa: EvalIntALUImm(%v)", op)
+}
+
+// EvalFP computes a floating point arithmetic operation; b is ignored
+// for the two-operand forms.
+func EvalFP(op Op, a, b float64) (float64, error) {
+	switch op {
+	case FADD:
+		return a + b, nil
+	case FSUB:
+		return a - b, nil
+	case FMUL:
+		return a * b, nil
+	case FDIV:
+		return a / b, nil
+	case FMOV:
+		return a, nil
+	case FNEG:
+		return -a, nil
+	case FABS:
+		return math.Abs(a), nil
+	}
+	return 0, fmt.Errorf("isa: EvalFP(%v)", op)
+}
+
+// EvalFPCmp computes a floating point comparison.
+func EvalFPCmp(op Op, a, b float64) (bool, error) {
+	switch op {
+	case FLT:
+		return a < b, nil
+	case FLE:
+		return a <= b, nil
+	case FEQ:
+		return a == b, nil
+	}
+	return false, fmt.Errorf("isa: EvalFPCmp(%v)", op)
+}
+
+// EvalBranch computes a conditional branch outcome on integer values.
+func EvalBranch(op Op, a, b uint32) (bool, error) {
+	switch op {
+	case BEQ:
+		return a == b, nil
+	case BNE:
+		return a != b, nil
+	case BLEZ:
+		return int32(a) <= 0, nil
+	case BGTZ:
+		return int32(a) > 0, nil
+	case BLTZ:
+		return int32(a) < 0, nil
+	case BGEZ:
+		return int32(a) >= 0, nil
+	}
+	return false, fmt.Errorf("isa: EvalBranch(%v)", op)
+}

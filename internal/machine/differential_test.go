@@ -1,0 +1,270 @@
+package machine
+
+// Differential testing of the whole stack: randomly generated but
+// well-formed programs must produce identical architectural results on
+// the functional reference, the functional co-simulation of the
+// separated streams, and all four timing machines (with and without
+// profile-guided CMAS). This is the widest net for stream-separation
+// and microarchitecture bugs: queue pairing, speculation recovery,
+// store/load ordering, CMAS side effects.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/fnsim"
+	"hidisc/internal/isa"
+	"hidisc/internal/mem"
+	"hidisc/internal/profile"
+	"hidisc/internal/slicer"
+)
+
+// progGen emits random structured assembly: straight-line integer and
+// FP arithmetic, loads and stores into a bounded arena, counted loops
+// (possibly nested), and data-dependent diamonds. Programs always
+// terminate and never fault (no divisions, masked addresses).
+type progGen struct {
+	rng   *rand.Rand
+	sb    strings.Builder
+	label int
+	depth int
+}
+
+func (g *progGen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *progGen) newLabel() string {
+	g.label++
+	return fmt.Sprintf("L%d", g.label)
+}
+
+// Register pools. r20-r23 hold loop counters (one per nesting level);
+// r9 holds the arena base; r10-r15 are scratch; f1-f6 FP scratch.
+func (g *progGen) scratch() string   { return fmt.Sprintf("$r%d", 10+g.rng.Intn(6)) }
+func (g *progGen) fpScratch() string { return fmt.Sprintf("$f%d", 1+g.rng.Intn(6)) }
+
+const arenaWords = 512
+
+// addr emits code leaving a valid arena address in $r8.
+func (g *progGen) addr() {
+	g.emit("        andi $r8, %s, %d", g.scratch(), (arenaWords-1)*4)
+	g.emit("        add  $r8, $r9, $r8")
+}
+
+func (g *progGen) stmt() {
+	switch g.rng.Intn(10) {
+	case 0, 1: // integer ALU
+		ops := []string{"add", "sub", "xor", "and", "or", "slt"}
+		g.emit("        %s %s, %s, %s", ops[g.rng.Intn(len(ops))], g.scratch(), g.scratch(), g.scratch())
+	case 2: // immediate
+		g.emit("        addi %s, %s, %d", g.scratch(), g.scratch(), g.rng.Intn(64)-32)
+	case 3: // shift/mul
+		if g.rng.Intn(2) == 0 {
+			g.emit("        slli %s, %s, %d", g.scratch(), g.scratch(), g.rng.Intn(8))
+		} else {
+			g.emit("        mul %s, %s, %s", g.scratch(), g.scratch(), g.scratch())
+		}
+	case 4: // load
+		g.addr()
+		g.emit("        lw   %s, 0($r8)", g.scratch())
+	case 5: // store (value may be compute-stream produced)
+		g.addr()
+		g.emit("        sw   %s, 0($r8)", g.scratch())
+	case 6: // FP chain fed from memory
+		g.addr()
+		f1, f2 := g.fpScratch(), g.fpScratch()
+		g.emit("        lw   $r10, 0($r8)")
+		g.emit("        andi $r10, $r10, 1023")
+		g.emit("        cvt.d.w %s, $r10", f1)
+		g.emit("        mul.d %s, %s, %s", f2, f1, f1)
+		g.emit("        add.d $f10, $f10, %s", f2)
+	case 7: // data-dependent diamond
+		then, join := g.newLabel(), g.newLabel()
+		g.emit("        andi $r10, %s, 1", g.scratch())
+		g.emit("        beq  $r10, $r0, %s", then)
+		g.emit("        addi %s, %s, 3", g.scratch(), g.scratch())
+		g.emit("        j    %s", join)
+		g.emit("%s:", then)
+		g.emit("        addi %s, %s, 5", g.scratch(), g.scratch())
+		g.emit("%s:", join)
+	case 8: // read-modify-write
+		g.addr()
+		g.emit("        lw   $r11, 0($r8)")
+		g.emit("        xor  $r11, $r11, %s", g.scratch())
+		g.emit("        sw   $r11, 0($r8)")
+	case 9: // nested counted loop, or a leaf call
+		switch {
+		case g.depth < 2 && g.rng.Intn(2) == 0:
+			g.loop()
+		case g.depth < 2:
+			// Leaf call: exercises JAL/JR mirroring and the control
+			// queue's JCQ target translation.
+			g.emit("        jal  helper%d", 1+g.rng.Intn(2))
+		default:
+			g.emit("        add  %s, %s, %s", g.scratch(), g.scratch(), g.scratch())
+		}
+	}
+}
+
+func (g *progGen) loop() {
+	counter := fmt.Sprintf("$r%d", 20+g.depth)
+	g.depth++
+	head := g.newLabel()
+	trip := 2 + g.rng.Intn(12)
+	body := 2 + g.rng.Intn(5)
+	g.emit("        li   %s, %d", counter, trip)
+	g.emit("%s:", head)
+	for i := 0; i < body; i++ {
+		g.stmt()
+	}
+	g.emit("        addi %s, %s, -1", counter, counter)
+	g.emit("        bgtz %s, %s", counter, head)
+	g.depth--
+}
+
+func generateProgram(seed int64) string {
+	g := &progGen{rng: rand.New(rand.NewSource(seed))}
+	g.emit("        .data")
+	g.emit("arena:  .space %d", arenaWords*4)
+	g.emit("        .text")
+	g.emit("main:   la   $r9, arena")
+	// Seed the scratch registers deterministically.
+	for i := 10; i < 16; i++ {
+		g.emit("        li   $r%d, %d", i, g.rng.Intn(1<<16))
+	}
+	g.emit("        sub.d $f10, $f10, $f10")
+	n := 2 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		g.loop()
+	}
+	// Observable results: scratch registers, FP accumulator, and the
+	// memory image (checked via checksum).
+	for i := 10; i < 16; i++ {
+		g.emit("        out  $r%d", i)
+	}
+	g.emit("        out.d $f10")
+	g.emit("        halt")
+	// Leaf helpers reachable via jal; they mix pure compute with a
+	// memory touch so both streams have work across the call.
+	g.emit("helper1: mul $r12, $r12, $r13")
+	g.emit("        addi $r12, $r12, 17")
+	g.emit("        jr   $ra")
+	g.emit("helper2: andi $r8, $r14, %d", (arenaWords-1)*4)
+	g.emit("        add  $r8, $r9, $r8")
+	g.emit("        lw   $r13, 0($r8)")
+	g.emit("        xor  $r13, $r13, $r15")
+	g.emit("        jr   $ra")
+	return g.sb.String()
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for seed := int64(1); seed <= int64(trials); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := generateProgram(seed)
+			p, err := asm.Assemble(fmt.Sprintf("fuzz%d", seed), src)
+			if err != nil {
+				t.Fatalf("assemble: %v\n%s", err, src)
+			}
+			ref, err := fnsim.RunProgram(p, 5_000_000)
+			if err != nil {
+				t.Fatalf("reference: %v\n%s", err, src)
+			}
+
+			// Functional co-simulation of the separated streams.
+			plain, err := slicer.Separate(p, slicer.Options{})
+			if err != nil {
+				t.Fatalf("separate: %v", err)
+			}
+			cos, err := slicer.Cosim(plain, 50_000_000)
+			if err != nil {
+				t.Fatalf("cosim: %v\n%s", err, plain.Report())
+			}
+			if cos.MemHash != ref.MemHash {
+				t.Fatal("cosim memory image mismatch")
+			}
+			compareOutput(t, "cosim", cos.Output, ref.Output)
+
+			// Profile-guided bundle for the CMP architectures.
+			prof, err := profile.CacheProfile(p, mem.DefaultHierConfig(), 5_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmas, err := slicer.Separate(p, slicer.Options{Profile: prof, MinMisses: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, arch := range Arches {
+				b := plain
+				if arch == CPCMP || arch == HiDISC {
+					b = cmas
+				}
+				res, err := RunArch(b, arch, mem.DefaultHierConfig())
+				if err != nil {
+					t.Fatalf("%s: %v\n%s", arch, err, src)
+				}
+				if res.MemHash != ref.MemHash {
+					t.Errorf("%s: memory image mismatch", arch)
+				}
+				compareOutput(t, string(arch), res.Output, ref.Output)
+			}
+		})
+	}
+}
+
+func compareOutput(t *testing.T, who string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: output %v, want %v", who, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: output[%d] = %q, want %q", who, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDifferentialBlockingHandshake repeats a subset of the seeds with
+// the paper-literal blocking GETSCQ handshake.
+func TestDifferentialBlockingHandshake(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		src := generateProgram(seed)
+		p := asm.MustAssemble(fmt.Sprintf("fuzzb%d", seed), src)
+		ref, err := fnsim.RunProgram(p, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := profile.CacheProfile(p, mem.DefaultHierConfig(), 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := slicer.Separate(p, slicer.Options{Profile: prof, MinMisses: 4, BlockingHandshake: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(HiDISC)
+		cfg.AP.BlockingSCQ = true
+		m, err := New(b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.MemHash != ref.MemHash {
+			t.Errorf("seed %d: memory mismatch under blocking handshake", seed)
+		}
+	}
+}
+
+var _ = isa.NOP

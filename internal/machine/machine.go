@@ -1,0 +1,299 @@
+// Package machine assembles the four simulated architectures the paper
+// evaluates (Section 5.3) from the cpu, mem and queue building blocks:
+//
+//   - Superscalar: the 8-issue out-of-order baseline (sim-outorder).
+//   - CP+AP: a conventional access/execute decoupled pair connected by
+//     the LDQ, SDQ and control queue.
+//   - CP+CMP: a superscalar running the single annotated stream with a
+//     Cache Management Processor executing triggered CMAS threads
+//     (speculative precomputation / DDMT style).
+//   - HiDISC: all three processors.
+//
+// A Machine owns the shared memory image and cache hierarchy, steps
+// every processor cycle by cycle, and reports the statistics the
+// benchmark harness turns into the paper's tables and figures.
+package machine
+
+import (
+	"fmt"
+
+	"hidisc/internal/cpu"
+	"hidisc/internal/isa"
+	"hidisc/internal/mem"
+	"hidisc/internal/queue"
+	"hidisc/internal/slicer"
+)
+
+// Arch selects one of the four evaluated architectures.
+type Arch string
+
+// The architecture models of Section 5.3.
+const (
+	Superscalar Arch = "superscalar"
+	CPAP        Arch = "cp+ap"
+	CPCMP       Arch = "cp+cmp"
+	HiDISC      Arch = "hidisc"
+)
+
+// Arches lists all four models in the paper's presentation order.
+var Arches = []Arch{Superscalar, CPAP, CPCMP, HiDISC}
+
+// Config parameterises a machine. DefaultConfig reproduces Table 1.
+type Config struct {
+	Arch Arch
+	Hier mem.HierConfig
+
+	Wide cpu.Config // the superscalar / CP+CMP main core
+	CP   cpu.Config // computation processor (decoupled modes)
+	AP   cpu.Config // access processor (decoupled modes)
+	CMP  cpu.CMPConfig
+
+	LDQCap int
+	SDQCap int
+	CQCap  int
+	SCQCap int // slip-control credit depth = CMAS run-ahead bound
+
+	MaxCycles      int64
+	WatchdogCycles int64
+}
+
+// DefaultConfig returns the paper's Table 1 parameters for the given
+// architecture: 8-wide cores, a 64-entry window (16 for the CP),
+// 32-entry load/store queues, bimodal 2048 prediction, 4 integer ALUs,
+// multiply/divide units, 2 cache ports per memory-facing processor,
+// and the default cache hierarchy.
+func DefaultConfig(arch Arch) Config {
+	return Config{
+		Arch: arch,
+		Hier: mem.DefaultHierConfig(),
+		Wide: cpu.Config{
+			Name: "core", WindowSize: 64, HasMem: true,
+		},
+		CP: cpu.Config{
+			Name: "cp", WindowSize: 16, HasMem: false,
+		},
+		AP: cpu.Config{
+			Name: "ap", WindowSize: 64, HasMem: true,
+			// The AP has integer and load/store units only; one FP
+			// mover handles queue pops of FP values.
+			FPALU: 1, FPMulDv: 1,
+		},
+		CMP:    cpu.CMPConfig{},
+		LDQCap: 32,
+		SDQCap: 32,
+		CQCap:  64,
+		SCQCap: 32,
+
+		MaxCycles:      2_000_000_000,
+		WatchdogCycles: 100_000,
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Arch    Arch
+	Cycles  int64
+	Output  []string
+	MemHash uint64
+
+	Cores map[string]cpu.Stats
+	CMP   cpu.CMPStats
+	Hier  mem.HierStats
+
+	LDQ, SDQ, CQ queue.Stats
+}
+
+// Committed returns the total committed instructions across cores.
+func (r Result) Committed() uint64 {
+	var n uint64
+	for _, s := range r.Cores {
+		n += s.Committed
+	}
+	return n
+}
+
+// Machine is one configured simulation instance.
+type Machine struct {
+	cfg    Config
+	bundle *slicer.Bundle
+
+	mem  *mem.Memory
+	hier *mem.Hierarchy
+
+	cores []*cpu.Core
+	cmp   *cpu.CMPEngine
+
+	ldq, sdq, cq *queue.Queue
+	scq          []*queue.Queue
+}
+
+// New builds a machine running the bundle under the configuration.
+func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
+	h, err := mem.NewHierarchy(cfg.Hier)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, bundle: b, hier: h, mem: mem.NewMemory()}
+	m.mem.LoadSegment(isa.DataBase, b.Seq.Data)
+
+	// Slip-control queues: one per CMAS. Architectures without a CMP
+	// create them closed, so GETSCQ instructions in a CMAS-annotated
+	// bundle complete immediately.
+	hasCMP := cfg.Arch == CPCMP || cfg.Arch == HiDISC
+	m.scq = make([]*queue.Queue, len(b.CMAS))
+	progs := make([][]isa.Inst, len(b.CMAS))
+	for i, c := range b.CMAS {
+		m.scq[i] = queue.New(fmt.Sprintf("scq%d", i), cfg.SCQCap)
+		if !hasCMP {
+			m.scq[i].Close()
+		}
+		progs[i] = c.Insts
+	}
+
+	switch cfg.Arch {
+	case Superscalar, CPCMP:
+		wc := cfg.Wide
+		wc.HasMem = true
+		wc.EnableTriggers = cfg.Arch == CPCMP
+		core := cpu.New(wc, b.Seq, m.mem, m.hier, cpu.QueueSet{SCQ: m.scq})
+		m.cores = append(m.cores, core)
+		if cfg.Arch == CPCMP {
+			m.cmp = cpu.NewCMP(cfg.CMP, progs, m.mem, m.hier, m.scq)
+			core.OnTrigger = m.cmp.Fork
+		}
+
+	case CPAP, HiDISC:
+		m.ldq = queue.New("ldq", cfg.LDQCap)
+		m.sdq = queue.New("sdq", cfg.SDQCap)
+		m.cq = queue.New("cq", cfg.CQCap)
+
+		cpc := cfg.CP
+		cpc.HasMem = false
+		cpc.JCQMap = b.JCQTable()
+		cpCore := cpu.New(cpc, b.CS, m.mem, m.hier, cpu.QueueSet{
+			Pop:  map[isa.Reg]*queue.Queue{isa.RegLDQ: m.ldq, isa.RegCQ: m.cq},
+			Push: map[isa.Reg]*queue.Queue{isa.RegSDQ: m.sdq},
+		})
+
+		apc := cfg.AP
+		apc.HasMem = true
+		apc.EnableTriggers = cfg.Arch == HiDISC
+		apCore := cpu.New(apc, b.AS, m.mem, m.hier, cpu.QueueSet{
+			Pop:  map[isa.Reg]*queue.Queue{isa.RegSDQ: m.sdq},
+			Push: map[isa.Reg]*queue.Queue{isa.RegLDQ: m.ldq, isa.RegCQ: m.cq},
+			SCQ:  m.scq,
+		})
+		m.cores = append(m.cores, cpCore, apCore)
+		if cfg.Arch == HiDISC {
+			m.cmp = cpu.NewCMP(cfg.CMP, progs, m.mem, m.hier, m.scq)
+			apCore.OnTrigger = m.cmp.Fork
+		}
+
+	default:
+		return nil, fmt.Errorf("machine: unknown architecture %q", cfg.Arch)
+	}
+	return m, nil
+}
+
+// Run simulates to completion and returns the result.
+func (m *Machine) Run() (Result, error) {
+	var cycle int64
+	lastProgress := int64(0)
+	lastCommitted := uint64(0)
+	shutdownDone := false
+
+	allHalted := func() bool {
+		for _, c := range m.cores {
+			if !c.Halted() {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !allHalted() {
+		if cycle >= m.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("machine %s: exceeded %d cycles", m.cfg.Arch, m.cfg.MaxCycles)
+		}
+		for _, c := range m.cores {
+			if err := c.Cycle(cycle); err != nil {
+				return Result{}, fmt.Errorf("machine %s: %w", m.cfg.Arch, err)
+			}
+		}
+		if m.cmp != nil {
+			if err := m.cmp.Cycle(cycle); err != nil {
+				return Result{}, fmt.Errorf("machine %s: %w", m.cfg.Arch, err)
+			}
+			// When the triggering processor halts the prefetcher has
+			// nothing left to help; kill surviving contexts.
+			if !shutdownDone && m.triggerCoreHalted() {
+				m.cmp.Shutdown()
+				shutdownDone = true
+			}
+		}
+
+		var committed uint64
+		for _, c := range m.cores {
+			committed += c.Stats().Committed
+		}
+		if committed != lastCommitted {
+			lastCommitted = committed
+			lastProgress = cycle
+		} else if cycle-lastProgress > m.cfg.WatchdogCycles {
+			return Result{}, fmt.Errorf("machine %s: no commit for %d cycles at cycle %d (deadlock?): %s",
+				m.cfg.Arch, m.cfg.WatchdogCycles, cycle, m.describeStall())
+		}
+		cycle++
+	}
+
+	res := Result{
+		Arch:    m.cfg.Arch,
+		Cycles:  cycle,
+		MemHash: m.mem.Checksum(),
+		Cores:   map[string]cpu.Stats{},
+		Hier:    m.hier.Stats(),
+	}
+	for _, c := range m.cores {
+		res.Cores[c.Name()] = c.Stats()
+		res.Output = append(res.Output, c.Output()...)
+	}
+	if m.cmp != nil {
+		res.CMP = m.cmp.Stats()
+	}
+	if m.ldq != nil {
+		res.LDQ, res.SDQ, res.CQ = m.ldq.Stats(), m.sdq.Stats(), m.cq.Stats()
+	}
+	return res, nil
+}
+
+// triggerCoreHalted reports whether the processor that forks CMAS
+// threads has halted (the AP in HiDISC, the main core in CP+CMP).
+func (m *Machine) triggerCoreHalted() bool {
+	return m.cores[len(m.cores)-1].Halted()
+}
+
+func (m *Machine) describeStall() string {
+	s := ""
+	for _, c := range m.cores {
+		s += fmt.Sprintf("[%s halted=%v committed=%d | %s] ", c.Name(), c.Halted(), c.Stats().Committed, c.DescribeHead())
+	}
+	if m.ldq != nil {
+		s += fmt.Sprintf("ldq=%s sdq=%s cq=%s", m.ldq, m.sdq, m.cq)
+	}
+	for i, q := range m.scq {
+		s += fmt.Sprintf(" scq%d=%s", i, q)
+	}
+	return s
+}
+
+// RunArch is a convenience: build and run one architecture over a
+// bundle with Table 1 defaults and the given hierarchy override.
+func RunArch(b *slicer.Bundle, arch Arch, hier mem.HierConfig) (Result, error) {
+	cfg := DefaultConfig(arch)
+	cfg.Hier = hier
+	m, err := New(b, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,204 @@
+package mem
+
+import "fmt"
+
+// HierConfig describes the full data-memory hierarchy. The defaults
+// reproduce Table 1 of the paper.
+type HierConfig struct {
+	L1D        CacheConfig
+	L2         CacheConfig
+	MemLatency int // main-memory access latency in CPU cycles
+}
+
+// DefaultHierConfig returns the paper's Table 1 hierarchy: L1D 256
+// sets / 32 B blocks / 4-way LRU / 1 cycle; unified L2 1024 sets / 64 B
+// blocks / 4-way LRU / 12 cycles; memory 120 cycles.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1D:        CacheConfig{Name: "dl1", Sets: 256, Ways: 4, BlockSize: 32, Latency: 1},
+		L2:         CacheConfig{Name: "ul2", Sets: 1024, Ways: 4, BlockSize: 64, Latency: 12},
+		MemLatency: 120,
+	}
+}
+
+// WithLatencies returns a copy with the L2 and memory latencies
+// replaced; used for the Figure 10 latency-tolerance sweep.
+func (c HierConfig) WithLatencies(l2, mem int) HierConfig {
+	c.L2.Latency = l2
+	c.MemLatency = mem
+	return c
+}
+
+// Validate checks the configuration.
+func (c HierConfig) Validate() error {
+	if err := c.L1D.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if c.MemLatency < 1 {
+		return fmt.Errorf("hierarchy: memory latency %d must be >= 1", c.MemLatency)
+	}
+	if c.L2.BlockSize < c.L1D.BlockSize {
+		return fmt.Errorf("hierarchy: L2 block (%d) smaller than L1 block (%d)", c.L2.BlockSize, c.L1D.BlockSize)
+	}
+	return nil
+}
+
+// HierStats aggregates hierarchy-level counters.
+type HierStats struct {
+	L1D             CacheStats
+	L2              CacheStats
+	MemWritebacks   uint64 // dirty L2 evictions (timing ignored)
+	MSHRMergedHits  uint64 // demand accesses merged into an in-flight fill
+	PrefetchIssued  uint64
+	InFlightAtReset int
+}
+
+// Hierarchy is the shared data-memory system: an L1 data cache backed
+// by a unified L2 backed by main memory, with MSHR-style merging of
+// accesses to in-flight blocks.
+//
+// State (tag arrays, LRU) is updated eagerly at access time; an MSHR
+// map records when each in-flight L1 block's fill completes so that
+// later accesses to the block are delayed until the data has actually
+// arrived. This models a non-blocking cache with unlimited MSHRs, the
+// sim-outorder default.
+type Hierarchy struct {
+	cfg  HierConfig
+	L1D  *Cache
+	L2   *Cache
+	mshr map[uint32]int64 // L1 block address -> fill completion cycle
+
+	memWritebacks  uint64
+	mergedHits     uint64
+	prefetchIssued uint64
+	sweep          int
+}
+
+// NewHierarchy builds a hierarchy.
+func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Hierarchy{
+		cfg:  cfg,
+		L1D:  NewCache(cfg.L1D),
+		L2:   NewCache(cfg.L2),
+		mshr: make(map[uint32]int64),
+	}, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// Access simulates one data access issued at cycle now and returns the
+// cycle at which the data is available (loads) or the write is accepted
+// (stores). Prefetch accesses fill the caches and are tracked
+// separately in the statistics; they never raise demand-miss counters.
+func (h *Hierarchy) Access(now int64, addr uint32, write, prefetch bool) int64 {
+	if prefetch {
+		h.prefetchIssued++
+	}
+	l1lat := int64(h.cfg.L1D.Latency)
+	block := h.L1D.BlockAddr(addr)
+	if h.L1D.Access(addr, write, prefetch) {
+		if ready, ok := h.mshr[block]; ok {
+			if now < ready {
+				// Line is still in flight: merge into the pending fill.
+				if !prefetch {
+					h.L1D.MarkDelayedHit()
+					h.mergedHits++
+				}
+				return ready
+			}
+			delete(h.mshr, block)
+		}
+		return now + l1lat
+	}
+
+	// L1 miss: consult L2, fill both levels, record fill time.
+	fill := l1lat + int64(h.cfg.L2.Latency)
+	if !h.L2.Access(addr, false, prefetch) {
+		fill += int64(h.cfg.MemLatency)
+		_, _, wb := h.L2.Fill(addr, false, prefetch)
+		if wb {
+			h.memWritebacks++
+		}
+	}
+	evicted, evValid, wb := h.L1D.Fill(addr, write, prefetch)
+	if evValid {
+		// If the victim was itself in flight its MSHR entry is dead.
+		delete(h.mshr, evicted)
+		if wb {
+			evAddr := evicted << h.l1BlockBits()
+			if !h.L2.WritebackTo(evAddr) {
+				h.memWritebacks++
+			}
+		}
+	}
+	ready := now + fill
+	h.mshr[block] = ready
+	h.maybeSweep(now)
+	return ready
+}
+
+// Present reports whether addr currently hits in L1 with its fill
+// complete at cycle now; used by tests and the prefetch-usefulness
+// accounting.
+func (h *Hierarchy) Present(now int64, addr uint32) bool {
+	if !h.L1D.Lookup(addr) {
+		return false
+	}
+	if ready, ok := h.mshr[h.L1D.BlockAddr(addr)]; ok && now < ready {
+		return false
+	}
+	return true
+}
+
+func (h *Hierarchy) l1BlockBits() uint {
+	bb := uint(0)
+	for 1<<bb != h.cfg.L1D.BlockSize {
+		bb++
+	}
+	return bb
+}
+
+// maybeSweep drops completed MSHR entries occasionally so the map does
+// not grow without bound over long simulations.
+func (h *Hierarchy) maybeSweep(now int64) {
+	h.sweep++
+	if h.sweep < 4096 {
+		return
+	}
+	h.sweep = 0
+	for b, ready := range h.mshr {
+		if ready <= now {
+			delete(h.mshr, b)
+		}
+	}
+}
+
+// Stats returns the aggregated counters.
+func (h *Hierarchy) Stats() HierStats {
+	return HierStats{
+		L1D:             h.L1D.Stats(),
+		L2:              h.L2.Stats(),
+		MemWritebacks:   h.memWritebacks,
+		MSHRMergedHits:  h.mergedHits,
+		PrefetchIssued:  h.prefetchIssued,
+		InFlightAtReset: len(h.mshr),
+	}
+}
+
+// Reset flushes both cache levels, clears in-flight state and zeroes
+// statistics.
+func (h *Hierarchy) Reset() {
+	h.L1D.Flush()
+	h.L1D.ResetStats()
+	h.L2.Flush()
+	h.L2.ResetStats()
+	h.mshr = make(map[uint32]int64)
+	h.memWritebacks, h.mergedHits, h.prefetchIssued = 0, 0, 0
+}

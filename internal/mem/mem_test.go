@@ -1,0 +1,421 @@
+package mem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0x1000_0000, 0xDEADBEEF)
+	if got := m.Read32(0x1000_0000); got != 0xDEADBEEF {
+		t.Errorf("Read32 = %#x", got)
+	}
+	if got := m.Read8(0x1000_0000); got != 0xEF {
+		t.Errorf("little-endian byte 0 = %#x, want 0xEF", got)
+	}
+	m.Write64(0x2000, 0x0123456789ABCDEF)
+	if got := m.Read64(0x2000); got != 0x0123456789ABCDEF {
+		t.Errorf("Read64 = %#x", got)
+	}
+	m.WriteFloat64(0x3000, -2.5)
+	if got := m.ReadFloat64(0x3000); got != -2.5 {
+		t.Errorf("ReadFloat64 = %v", got)
+	}
+	if got := m.Read32(0x9999_0000); got != 0 {
+		t.Errorf("untouched memory = %#x, want 0", got)
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint32(pageSize - 2) // straddles the first page boundary
+	m.Write32(addr, 0x11223344)
+	if got := m.Read32(addr); got != 0x11223344 {
+		t.Errorf("cross-page Read32 = %#x", got)
+	}
+	m.Write64(addr, 0xAABBCCDDEEFF0011)
+	if got := m.Read64(addr); got != 0xAABBCCDDEEFF0011 {
+		t.Errorf("cross-page Read64 = %#x", got)
+	}
+}
+
+func TestMemoryLoadSegmentAndRange(t *testing.T) {
+	m := NewMemory()
+	data := []byte{1, 2, 3, 4, 5}
+	m.LoadSegment(0x1000_0000, data)
+	got := m.ReadRange(0x1000_0000, 5)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("ReadRange[%d] = %d, want %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestChecksumEquivalence(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	// Same logical contents, written in different orders.
+	a.Write32(0x1000, 42)
+	a.Write32(0x8000_0000, 7)
+	b.Write32(0x8000_0000, 7)
+	b.Write32(0x1000, 42)
+	if a.Checksum() != b.Checksum() {
+		t.Error("checksums differ for identical contents")
+	}
+	// Allocated-but-zero pages hash like untouched pages.
+	b.Write32(0x5000_0000, 1)
+	b.Write32(0x5000_0000, 0)
+	if a.Checksum() != b.Checksum() {
+		t.Error("zeroed page changed checksum")
+	}
+	b.Write32(0x1000, 43)
+	if a.Checksum() == b.Checksum() {
+		t.Error("checksums equal for different contents")
+	}
+}
+
+func TestMemoryClone(t *testing.T) {
+	a := NewMemory()
+	a.Write32(0x1000, 1)
+	b := a.Clone()
+	b.Write32(0x1000, 2)
+	if a.Read32(0x1000) != 1 {
+		t.Error("Clone shares pages")
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{Name: "t", Sets: 64, Ways: 2, BlockSize: 32, Latency: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{Name: "t", Sets: 63, Ways: 2, BlockSize: 32, Latency: 1},
+		{Name: "t", Sets: 64, Ways: 0, BlockSize: 32, Latency: 1},
+		{Name: "t", Sets: 64, Ways: 2, BlockSize: 33, Latency: 1},
+		{Name: "t", Sets: 64, Ways: 2, BlockSize: 32, Latency: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if good.SizeBytes() != 64*2*32 {
+		t.Errorf("SizeBytes = %d", good.SizeBytes())
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
+	if c.Access(0x100, false, false) {
+		t.Fatal("cold access hit")
+	}
+	c.Fill(0x100, false, false)
+	if !c.Access(0x100, false, false) {
+		t.Error("access after fill missed")
+	}
+	if !c.Access(0x10F, false, false) {
+		t.Error("same-block access missed")
+	}
+	if c.Access(0x110, false, false) {
+		t.Error("next-block access hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 set x 2 ways, 16-byte blocks: three distinct blocks mapping to
+	// the same set must evict in LRU order.
+	c := NewCache(CacheConfig{Name: "t", Sets: 1, Ways: 2, BlockSize: 16, Latency: 1})
+	c.Fill(0x000, false, false)
+	c.Fill(0x010, false, false)
+	c.Access(0x000, false, false) // touch A so B is LRU
+	ev, valid, _ := c.Fill(0x020, false, false)
+	if !valid || ev != c.BlockAddr(0x010) {
+		t.Errorf("evicted block %#x, want %#x", ev, c.BlockAddr(0x010))
+	}
+	if !c.Access(0x000, false, false) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Access(0x010, false, false) {
+		t.Error("B still present after eviction")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", Sets: 1, Ways: 1, BlockSize: 16, Latency: 1})
+	c.Fill(0x000, true, false) // dirty fill
+	_, _, wb := c.Fill(0x010, false, false)
+	if !wb {
+		t.Error("dirty eviction not reported")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats().Writebacks)
+	}
+	// Clean line evicts without writeback.
+	_, _, wb = c.Fill(0x020, false, false)
+	if wb {
+		t.Error("clean eviction reported writeback")
+	}
+	// A write hit dirties the line.
+	c.Access(0x020, true, false)
+	_, _, wb = c.Fill(0x030, false, false)
+	if !wb {
+		t.Error("write-hit line evicted clean")
+	}
+}
+
+func TestCachePrefetchAccounting(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
+	c.Access(0x100, false, true)
+	c.Fill(0x100, false, true)
+	s := c.Stats()
+	if s.DemandAccesses != 0 || s.DemandMisses != 0 {
+		t.Errorf("prefetch counted as demand: %+v", s)
+	}
+	if s.PrefetchFills != 1 {
+		t.Errorf("PrefetchFills = %d", s.PrefetchFills)
+	}
+	if !c.Access(0x100, false, false) {
+		t.Fatal("demand access after prefetch missed")
+	}
+	if c.Stats().UsefulPrefetch != 1 {
+		t.Errorf("UsefulPrefetch = %d", c.Stats().UsefulPrefetch)
+	}
+	// Second demand touch does not double-count usefulness.
+	c.Access(0x100, false, false)
+	if c.Stats().UsefulPrefetch != 1 {
+		t.Errorf("UsefulPrefetch double-counted: %d", c.Stats().UsefulPrefetch)
+	}
+}
+
+func TestCacheWritebackTo(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 1, BlockSize: 16, Latency: 1})
+	c.Fill(0x200, false, false)
+	if !c.WritebackTo(0x208) {
+		t.Error("WritebackTo missed present line")
+	}
+	_, _, wb := c.Fill(0x200+16*4, false, false) // same set, evicts
+	if !wb {
+		t.Error("WritebackTo did not dirty the line")
+	}
+	if c.WritebackTo(0x900) {
+		t.Error("WritebackTo hit absent line")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
+	c.Fill(0x100, false, false)
+	c.Invalidate(0x104)
+	if c.Lookup(0x100) {
+		t.Error("line present after Invalidate")
+	}
+}
+
+// TestCacheLRUAgainstReference models a single set as an LRU list and
+// cross-checks hit/miss behaviour over a random access stream.
+func TestCacheLRUAgainstReference(t *testing.T) {
+	const ways = 4
+	c := NewCache(CacheConfig{Name: "t", Sets: 1, Ways: ways, BlockSize: 16, Latency: 1})
+	var ref []uint32 // MRU first
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		block := uint32(rng.Intn(12))
+		addr := block * 16
+		hit := c.Access(addr, false, false)
+		refHit := false
+		for j, b := range ref {
+			if b == block {
+				refHit = true
+				ref = append(ref[:j], ref[j+1:]...)
+				break
+			}
+		}
+		if hit != refHit {
+			t.Fatalf("access %d block %d: hit=%v ref=%v", i, block, hit, refHit)
+		}
+		if !hit {
+			c.Fill(addr, false, false)
+			if len(ref) == ways {
+				ref = ref[:ways-1]
+			}
+		}
+		ref = append([]uint32{block}, ref...)
+	}
+}
+
+func defaultHier(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(DefaultHierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := defaultHier(t)
+	// Cold access: L1 miss + L2 miss -> 1 + 12 + 120.
+	done := h.Access(0, 0x1000_0000, false, false)
+	if done != 133 {
+		t.Errorf("cold access latency = %d, want 133", done)
+	}
+	// Re-access after fill: L1 hit -> 1 cycle.
+	done = h.Access(200, 0x1000_0000, false, false)
+	if done != 201 {
+		t.Errorf("L1 hit latency = %d, want 201", done)
+	}
+	// Evict the L1 line by filling the same set, then re-access: the
+	// line is still in L2 -> 1 + 12.
+	cfg := h.Config().L1D
+	for i := 1; i <= cfg.Ways; i++ {
+		h.Access(300, 0x1000_0000+uint32(i*cfg.Sets*cfg.BlockSize), false, false)
+	}
+	done = h.Access(1000, 0x1000_0000, false, false)
+	if done != 1013 {
+		t.Errorf("L2 hit latency = %d, want 1013", done)
+	}
+}
+
+func TestHierarchyMSHRMerge(t *testing.T) {
+	h := defaultHier(t)
+	done1 := h.Access(0, 0x1000_0000, false, false)
+	// Access to the same block while in flight completes with the fill
+	// and counts as a delayed hit, not a second miss.
+	done2 := h.Access(5, 0x1000_0004, false, false)
+	if done2 != done1 {
+		t.Errorf("merged access done=%d, want %d", done2, done1)
+	}
+	s := h.Stats()
+	if s.L1D.DemandMisses != 1 {
+		t.Errorf("demand misses = %d, want 1", s.L1D.DemandMisses)
+	}
+	if s.L1D.DelayedHits != 1 || s.MSHRMergedHits != 1 {
+		t.Errorf("delayed hits = %d / merged = %d, want 1/1", s.L1D.DelayedHits, s.MSHRMergedHits)
+	}
+	// After the fill completes the block hits at normal latency.
+	done3 := h.Access(done1+10, 0x1000_0008, false, false)
+	if done3 != done1+11 {
+		t.Errorf("post-fill hit done=%d, want %d", done3, done1+11)
+	}
+}
+
+func TestHierarchyPrefetchHidesLatency(t *testing.T) {
+	h := defaultHier(t)
+	h.Access(0, 0x1000_0000, false, true) // prefetch
+	// Demand access after the prefetch completes: pure L1 hit.
+	done := h.Access(500, 0x1000_0000, false, false)
+	if done != 501 {
+		t.Errorf("demand after prefetch = %d, want 501", done)
+	}
+	s := h.Stats()
+	if s.L1D.DemandMisses != 0 {
+		t.Errorf("demand misses = %d, want 0", s.L1D.DemandMisses)
+	}
+	if s.L1D.UsefulPrefetch != 1 || s.PrefetchIssued != 1 {
+		t.Errorf("useful=%d issued=%d", s.L1D.UsefulPrefetch, s.PrefetchIssued)
+	}
+}
+
+func TestHierarchyEarlyDemandMergesWithPrefetch(t *testing.T) {
+	h := defaultHier(t)
+	h.Access(0, 0x1000_0000, false, true)
+	// Demand arrives while the prefetch is still in flight: partial hiding.
+	done := h.Access(50, 0x1000_0000, false, false)
+	if done != 133 {
+		t.Errorf("demand during prefetch = %d, want 133", done)
+	}
+	if h.Stats().L1D.DemandMisses != 0 {
+		t.Error("merged demand counted as miss")
+	}
+}
+
+func TestHierarchyWithLatencies(t *testing.T) {
+	cfg := DefaultHierConfig().WithLatencies(4, 40)
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := h.Access(0, 0x1000_0000, false, false)
+	if done != 45 {
+		t.Errorf("cold access with 4/40 = %d, want 45", done)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	bad := DefaultHierConfig()
+	bad.MemLatency = 0
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("zero memory latency accepted")
+	}
+	bad = DefaultHierConfig()
+	bad.L2.BlockSize = 16 // smaller than L1's 32
+	if _, err := NewHierarchy(bad); err == nil {
+		t.Error("L2 block < L1 block accepted")
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := defaultHier(t)
+	h.Access(0, 0x1000_0000, false, false)
+	h.Reset()
+	s := h.Stats()
+	if s.L1D.Accesses != 0 || s.InFlightAtReset != 0 {
+		t.Errorf("stats after reset: %+v", s)
+	}
+	if h.Present(1000, 0x1000_0000) {
+		t.Error("line survived reset")
+	}
+}
+
+func TestHierarchyDirtyEvictionWritebacks(t *testing.T) {
+	h := defaultHier(t)
+	cfg := h.Config().L1D
+	base := uint32(0x1000_0000)
+	// Dirty a line, then evict it by filling its set.
+	h.Access(0, base, true, false)
+	for i := 1; i <= cfg.Ways; i++ {
+		h.Access(1000, base+uint32(i*cfg.Sets*cfg.BlockSize), false, false)
+	}
+	if h.Stats().L1D.Writebacks == 0 {
+		t.Error("no L1 writeback recorded")
+	}
+}
+
+func TestHierarchyMSHRSweepBounded(t *testing.T) {
+	h := defaultHier(t)
+	now := int64(0)
+	for i := 0; i < 10000; i++ {
+		addr := uint32(0x1000_0000 + i*4096)
+		now += 200
+		h.Access(now, addr, false, false)
+	}
+	if n := len(h.mshr); n > 5000 {
+		t.Errorf("MSHR map grew to %d entries; sweep not working", n)
+	}
+}
+
+func TestHierarchyPresent(t *testing.T) {
+	h := defaultHier(t)
+	if h.Present(0, 0x1000_0000) {
+		t.Error("cold line present")
+	}
+	done := h.Access(0, 0x1000_0000, false, false)
+	if h.Present(done-1, 0x1000_0000) {
+		t.Error("in-flight line reported present")
+	}
+	if !h.Present(done, 0x1000_0000) {
+		t.Error("filled line not present")
+	}
+}
+
+func TestFloatBitsStability(t *testing.T) {
+	m := NewMemory()
+	for _, v := range []float64{0, 1, -1, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		m.WriteFloat64(0x100, v)
+		if got := m.ReadFloat64(0x100); got != v {
+			t.Errorf("float round trip: got %v, want %v", got, v)
+		}
+	}
+}

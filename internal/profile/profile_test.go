@@ -1,0 +1,220 @@
+package profile
+
+import (
+	"testing"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/mem"
+)
+
+// smallHier returns a tiny hierarchy (1 KiB L1) so tests can exceed
+// capacity with small footprints.
+func smallHier() mem.HierConfig {
+	return mem.HierConfig{
+		L1D:        mem.CacheConfig{Name: "dl1", Sets: 8, Ways: 2, BlockSize: 64, Latency: 1},
+		L2:         mem.CacheConfig{Name: "ul2", Sets: 64, Ways: 4, BlockSize: 64, Latency: 12},
+		MemLatency: 120,
+	}
+}
+
+func TestStreamingLoadMostlyHits(t *testing.T) {
+	// Sequential walk over 4 KiB: one miss per 64-byte block, 15/16
+	// accesses hit.
+	p := asm.MustAssemble("stream", `
+        .data
+buf:    .space 4096
+        .text
+main:   la   $r2, buf
+        li   $r1, 1024
+loop:   lw   $r3, 0($r2)
+        addi $r2, $r2, 4
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        halt
+`)
+	prof, err := CacheProfile(p, smallHier(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load is instruction index 2.
+	st := prof.PerPC[2]
+	if st.Accesses != 1024 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if st.Misses != 64 {
+		t.Errorf("misses = %d, want 64 (one per block)", st.Misses)
+	}
+	if r := st.MissRatio(); r < 0.05 || r > 0.08 {
+		t.Errorf("miss ratio = %v", r)
+	}
+	// Not delinquent at a 25% threshold.
+	if pcs := prof.Delinquent(0.25, 10); len(pcs) != 0 {
+		t.Errorf("delinquent = %v", pcs)
+	}
+}
+
+func TestStridedLoadIsDelinquent(t *testing.T) {
+	// Stride of 64 bytes over 64 KiB: every access is a new block and
+	// the working set exceeds the 1 KiB L1, so the second pass misses
+	// too.
+	p := asm.MustAssemble("stride", `
+        .data
+buf:    .space 65536
+        .text
+main:   li   $r5, 2          ; two passes
+pass:   la   $r2, buf
+        li   $r1, 1024
+loop:   lw   $r3, 0($r2)
+        addi $r2, $r2, 64
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        addi $r5, $r5, -1
+        bgtz $r5, pass
+        halt
+`)
+	prof, err := CacheProfile(p, smallHier(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prof.PerPC[3] // the lw
+	if st.Accesses != 2048 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if r := st.MissRatio(); r < 0.95 {
+		t.Errorf("miss ratio = %v, want ~1.0", r)
+	}
+	pcs := prof.Delinquent(0.25, 10)
+	if len(pcs) != 1 || pcs[0] != 3 {
+		t.Errorf("delinquent = %v, want [3]", pcs)
+	}
+}
+
+func TestDelinquentOrderingByMissCount(t *testing.T) {
+	prof := &Profile{PerPC: map[int]PCStats{
+		5:  {Accesses: 100, Misses: 90},
+		9:  {Accesses: 100, Misses: 50},
+		12: {Accesses: 100, Misses: 2}, // below min misses
+		20: {Accesses: 100, Misses: 10},
+	}}
+	pcs := prof.Delinquent(0.05, 5)
+	want := []int{5, 9, 20}
+	if len(pcs) != len(want) {
+		t.Fatalf("pcs = %v", pcs)
+	}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Errorf("pcs = %v, want %v", pcs, want)
+		}
+	}
+}
+
+func TestStoresProfiledLikeLoads(t *testing.T) {
+	p := asm.MustAssemble("stores", `
+        .data
+buf:    .space 64
+        .text
+main:   la  $r2, buf
+        sw  $r0, 0($r2)
+        lw  $r3, 0($r2)
+        halt
+`)
+	prof, err := CacheProfile(p, smallHier(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The store takes the write-allocate miss...
+	if st := prof.PerPC[1]; st.Misses != 1 || st.Accesses != 1 {
+		t.Errorf("store stats = %+v", st)
+	}
+	// ...warming the line for the load.
+	if st := prof.PerPC[2]; st.Misses != 0 || st.Accesses != 1 {
+		t.Errorf("load stats = %+v", st)
+	}
+	if prof.ExecutedInsts != 4 {
+		t.Errorf("executed = %d", prof.ExecutedInsts)
+	}
+}
+
+func TestStrideDetection(t *testing.T) {
+	p := asm.MustAssemble("stride", `
+        .data
+buf:    .space 8192
+        .text
+main:   la   $r2, buf
+        li   $r1, 512
+loop:   lw   $r3, 0($r2)
+        addi $r2, $r2, 16
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        halt
+`)
+	prof, err := CacheProfile(p, smallHier(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prof.PerPC[2]
+	if !st.Strided() {
+		t.Error("regular stride not detected")
+	}
+	if st.Stride() != 16 {
+		t.Errorf("stride = %d, want 16", st.Stride())
+	}
+}
+
+func TestRandomPatternNotStrided(t *testing.T) {
+	p := asm.MustAssemble("rand", `
+        .data
+buf:    .space 65536
+        .text
+main:   li   $r5, 777
+        li   $r1, 512
+loop:   li   $r6, 1103515245
+        mul  $r5, $r5, $r6
+        addi $r5, $r5, 12345
+        srli $r7, $r5, 8
+        andi $r7, $r7, 16383
+        la   $r2, buf
+        add  $r2, $r2, $r7
+        lw   $r3, 0($r2)
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        halt
+`)
+	prof, err := CacheProfile(p, smallHier(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prof.PerPC[9]
+	if st.Accesses != 512 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if st.Strided() {
+		t.Error("pseudo-random pattern reported as strided")
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	p := asm.MustAssemble("det", `
+        .data
+buf:    .space 8192
+        .text
+main:   la   $r2, buf
+        li   $r1, 512
+loop:   lw   $r3, 0($r2)
+        addi $r2, $r2, 16
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        halt
+`)
+	a, err := CacheProfile(p, smallHier(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CacheProfile(p, smallHier(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalMisses != b.TotalMisses || a.TotalAccesses != b.TotalAccesses {
+		t.Error("profiling not deterministic")
+	}
+}

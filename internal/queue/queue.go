@@ -1,0 +1,202 @@
+// Package queue implements the architectural FIFO queues that connect
+// the HiDISC processors (LDQ, SDQ, CQ, SCQ).
+//
+// The consumer is an out-of-order core, so the queue separates three
+// events that a software FIFO would merge into one "pop":
+//
+//   - Claim: at dispatch the consuming instruction claims the next
+//     FIFO sequence number, in program order. Claiming never blocks;
+//     it only establishes the pairing between the k-th push and the
+//     k-th consumer.
+//   - Ready/ValueAt: the claimed value behaves like a register
+//     dependency — the instruction becomes ready once the producer has
+//     pushed the matching entry. This is what lets the Access
+//     Processor dispatch a store whose data is still being computed
+//     and keep running ahead (the paper's SAQ/SDQ matching).
+//   - Free: when the consuming instruction commits, the entry's
+//     storage is released. Entries are freed strictly in sequence
+//     order because the consumer commits in order.
+//
+// Squash recovery simply un-claims (Unclaim); no data moves because
+// storage is only released at commit. Producers push at commit and
+// block while the queue is full, which is the hardware backpressure.
+package queue
+
+import "fmt"
+
+// Queue is a bounded FIFO of 64-bit values with sequence-claimed pops.
+// The zero value is not usable; call New.
+type Queue struct {
+	name string
+	buf  []uint64
+	head int64 // entries freed (absolute count)
+	tail int64 // entries pushed (absolute count)
+	next int64 // claims issued (absolute count)
+
+	closed bool
+
+	stats Stats
+}
+
+// Stats counts queue traffic for the simulator's reports.
+type Stats struct {
+	Pushes       uint64
+	Claims       uint64
+	Unclaims     uint64
+	MaxOccupancy int
+}
+
+// New returns an empty queue with the given capacity.
+func New(name string, capacity int) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue %q: capacity %d must be positive", name, capacity))
+	}
+	return &Queue{name: name, buf: make([]uint64, capacity)}
+}
+
+// Name returns the queue's name (for diagnostics).
+func (q *Queue) Name() string { return q.name }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Len returns the number of entries holding storage (pushed, not yet
+// freed) — the hardware occupancy.
+func (q *Queue) Len() int { return int(q.tail - q.head) }
+
+// Avail returns the number of pushed entries not yet claimed.
+func (q *Queue) Avail() int {
+	n := q.tail - q.next
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Full reports whether a Push would fail.
+func (q *Queue) Full() bool { return q.Len() == len(q.buf) }
+
+// Empty reports whether no unclaimed values are available.
+func (q *Queue) Empty() bool { return q.Avail() == 0 }
+
+// Closed reports whether the producer has closed the queue (used by
+// the slip-control queue: a finished CMAS thread closes its SCQ so the
+// Access Processor does not wait forever for credits).
+func (q *Queue) Closed() bool { return q.closed }
+
+// Close marks the queue closed. Pushed entries remain consumable;
+// claims beyond the pushed count become trivially ready with value 0.
+func (q *Queue) Close() { q.closed = true }
+
+// Reopen clears the closed flag (a re-triggered CMAS reopens its SCQ).
+func (q *Queue) Reopen() { q.closed = false }
+
+// Push appends v. It reports false when the queue is full.
+func (q *Queue) Push(v uint64) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf[q.tail%int64(len(q.buf))] = v
+	q.tail++
+	q.stats.Pushes++
+	if n := q.Len(); n > q.stats.MaxOccupancy {
+		q.stats.MaxOccupancy = n
+	}
+	return true
+}
+
+// Claim assigns the next FIFO sequence number to a consumer, in
+// program order. It never blocks.
+func (q *Queue) Claim() int64 {
+	s := q.next
+	q.next++
+	q.stats.Claims++
+	return s
+}
+
+// Unclaim rewinds the k most recent claims (consumer squash).
+func (q *Queue) Unclaim(k int) {
+	if k < 0 || int64(k) > q.next-q.head {
+		panic(fmt.Sprintf("queue %q: Unclaim(%d) with %d outstanding", q.name, k, q.next-q.head))
+	}
+	q.next -= int64(k)
+	q.stats.Unclaims += uint64(k)
+}
+
+// Ready reports whether the value for claim seq has been pushed (or
+// the queue is closed, in which case missing values read as zero).
+func (q *Queue) Ready(seq int64) bool {
+	return seq < q.tail || q.closed
+}
+
+// ValueAt returns the value for claim seq. The caller has checked
+// Ready; claims beyond the pushed count on a closed queue read zero.
+func (q *Queue) ValueAt(seq int64) uint64 {
+	if seq >= q.tail {
+		if q.closed {
+			return 0
+		}
+		panic(fmt.Sprintf("queue %q: ValueAt(%d) beyond tail %d", q.name, seq, q.tail))
+	}
+	if seq < q.head {
+		panic(fmt.Sprintf("queue %q: ValueAt(%d) already freed (head %d)", q.name, seq, q.head))
+	}
+	return q.buf[seq%int64(len(q.buf))]
+}
+
+// Free releases the storage of claim seq; called when the consuming
+// instruction commits. Frees arrive in sequence order because the
+// consumer commits in order; claims that were satisfied by a closed
+// queue (seq beyond tail) own no storage and are ignored.
+func (q *Queue) Free(seq int64) {
+	if seq >= q.tail {
+		if q.closed {
+			return
+		}
+		panic(fmt.Sprintf("queue %q: Free(%d) beyond tail %d", q.name, seq, q.tail))
+	}
+	if seq != q.head {
+		panic(fmt.Sprintf("queue %q: Free(%d) out of order (head %d)", q.name, seq, q.head))
+	}
+	q.head++
+}
+
+// PeekFuture inspects the value the (claims+k)-th pop will return, if
+// it has already been pushed. The consumer's fetch stage uses this to
+// steer down queued control tokens instead of predicting; it is only a
+// hint — the dispatch-time claim remains authoritative.
+func (q *Queue) PeekFuture(k int) (uint64, bool) {
+	s := q.next + int64(k)
+	if s < q.head || s >= q.tail {
+		return 0, false
+	}
+	return q.buf[s%int64(len(q.buf))], true
+}
+
+// PopCommitted performs claim+read+free in one step for in-order
+// consumers (the functional co-simulation). It reports false when no
+// unclaimed value is available.
+func (q *Queue) PopCommitted() (uint64, bool) {
+	if q.Avail() == 0 {
+		return 0, false
+	}
+	s := q.Claim()
+	v := q.ValueAt(s)
+	q.Free(s)
+	return v, true
+}
+
+// Reset empties the queue and clears the closed flag. Statistics are
+// preserved.
+func (q *Queue) Reset() {
+	q.head, q.tail, q.next = 0, 0, 0
+	q.closed = false
+}
+
+// Stats returns a copy of the traffic counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// String summarises the queue state.
+func (q *Queue) String() string {
+	return fmt.Sprintf("%s[len=%d/%d avail=%d closed=%v]", q.name, q.Len(), len(q.buf), q.Avail(), q.closed)
+}

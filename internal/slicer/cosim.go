@@ -1,0 +1,146 @@
+package slicer
+
+import (
+	"errors"
+	"fmt"
+
+	"hidisc/internal/fnsim"
+	"hidisc/internal/isa"
+	"hidisc/internal/queue"
+)
+
+// JCQTable builds the translation from Access Stream coordinates (the
+// values the AP pushes for indirect jumps) to Computation Stream
+// coordinates: AS position a maps to the CS position of the first
+// original instruction located at a, so a return continues through any
+// CS-only instructions (which occupy no AS slot of their own).
+func (b *Bundle) JCQTable() []int {
+	n := len(b.AS.Insts)
+	table := make([]int, n+1)
+	for i := range table {
+		table[i] = -1
+	}
+	// Descending so the first original instruction at each AS position
+	// wins.
+	for i := len(b.ASPos) - 1; i >= 0; i-- {
+		table[b.ASPos[i]] = b.CSPos[i]
+	}
+	// Interior insertion points inherit the next mapped position.
+	last := len(b.CS.Insts) - 1 // fallback: CS HALT
+	for a := n; a >= 0; a-- {
+		if table[a] == -1 {
+			table[a] = last
+		} else {
+			last = table[a]
+		}
+	}
+	return table
+}
+
+// cosimEnv implements fnsim.QueueEnv over bounded FIFOs for the
+// functional co-simulation. Slip-control credits are free: the CMAS is
+// a cache-only optimisation with no functional effect, so GETSCQ and
+// PUTSCQ never block here.
+type cosimEnv struct {
+	qs map[isa.Reg]*queue.Queue
+}
+
+func newCosimEnv(capacity int) *cosimEnv {
+	return &cosimEnv{qs: map[isa.Reg]*queue.Queue{
+		isa.RegLDQ: queue.New("LDQ", capacity),
+		isa.RegSDQ: queue.New("SDQ", capacity),
+		isa.RegCQ:  queue.New("CQ", capacity),
+	}}
+}
+
+func (e *cosimEnv) PopAvail(q isa.Reg) int { return e.qs[q].Avail() }
+
+func (e *cosimEnv) Pop(q isa.Reg) uint64 {
+	v, ok := e.qs[q].PopCommitted()
+	if !ok {
+		panic(fmt.Sprintf("cosim: pop on empty %v", q))
+	}
+	return v
+}
+
+func (e *cosimEnv) PushSpace(q isa.Reg) int { return e.qs[q].Cap() - e.qs[q].Len() }
+
+func (e *cosimEnv) Push(q isa.Reg, v uint64) {
+	if !e.qs[q].Push(v) {
+		panic(fmt.Sprintf("cosim: push on full %v", q))
+	}
+}
+
+func (e *cosimEnv) GetSCQ(int) bool { return true }
+func (e *cosimEnv) PutSCQ(int) bool { return true }
+
+// CosimResult is the observable outcome of a functional co-simulation
+// of the separated streams.
+type CosimResult struct {
+	MemHash uint64
+	Output  []string
+	ASInsts uint64
+	CSInsts uint64
+	Drained bool // all queues empty at completion
+}
+
+// Cosim executes the bundle's Computation and Access streams together
+// on the functional interpreter, alternating whenever one stream
+// blocks on a queue. It is the semantic ground truth for stream
+// separation: the result must equal the sequential program's.
+func Cosim(b *Bundle, maxSteps uint64) (CosimResult, error) {
+	env := newCosimEnv(1024)
+	as := fnsim.New(b.AS)
+	as.Queues = env
+	cs := fnsim.New(b.CS)
+	cs.Queues = env
+	cs.JCQMap = b.JCQTable()
+
+	var steps uint64
+	runUntilBlocked := func(s *fnsim.Sim) (bool, error) {
+		progress := false
+		for !s.Halted() {
+			if steps >= maxSteps {
+				return progress, fmt.Errorf("slicer: cosim of %q exceeded %d steps", b.Name, maxSteps)
+			}
+			err := s.Step()
+			if errors.Is(err, fnsim.ErrBlocked) {
+				return progress, nil
+			}
+			if err != nil {
+				return progress, err
+			}
+			progress = true
+			steps++
+		}
+		return progress, nil
+	}
+
+	for !(as.Halted() && cs.Halted()) {
+		p1, err := runUntilBlocked(as)
+		if err != nil {
+			return CosimResult{}, err
+		}
+		p2, err := runUntilBlocked(cs)
+		if err != nil {
+			return CosimResult{}, err
+		}
+		if !p1 && !p2 {
+			return CosimResult{}, fmt.Errorf(
+				"slicer: cosim of %q deadlocked at AS pc %d / CS pc %d (LDQ=%d SDQ=%d CQ=%d)",
+				b.Name, as.PC(), cs.PC(),
+				env.qs[isa.RegLDQ].Len(), env.qs[isa.RegSDQ].Len(), env.qs[isa.RegCQ].Len())
+		}
+	}
+
+	drained := env.qs[isa.RegLDQ].Len() == 0 && env.qs[isa.RegSDQ].Len() == 0 && env.qs[isa.RegCQ].Len() == 0
+	out := append([]string(nil), cs.Output()...)
+	out = append(out, as.Output()...)
+	return CosimResult{
+		MemHash: as.Mem.Checksum(),
+		Output:  out,
+		ASInsts: as.InstCount(),
+		CSInsts: cs.InstCount(),
+		Drained: drained,
+	}, nil
+}

@@ -1,0 +1,130 @@
+// Package stats renders full simulation reports in the spirit of
+// sim-outorder's statistics dump: raw counters plus the derived rates
+// the paper's analysis uses (IPC, miss rates, prefetch coverage, queue
+// occupancies, and the loss-of-decoupling attribution of Section 5.3).
+package stats
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"text/tabwriter"
+
+	"hidisc/internal/machine"
+)
+
+// Report couples a simulation result with the dynamic instruction
+// count of the sequential reference, which normalises IPC across
+// architectures (committed counts differ between configurations
+// because of inserted communication instructions).
+type Report struct {
+	Result   machine.Result
+	SeqInsts uint64
+}
+
+// IPC returns reference instructions per cycle.
+func (r Report) IPC() float64 {
+	if r.Result.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SeqInsts) / float64(r.Result.Cycles)
+}
+
+// Overhead returns the instruction-count overhead of the configuration:
+// committed instructions (all cores) relative to the sequential count.
+// Decoupled machines execute extra communication pops and mirrors.
+func (r Report) Overhead() float64 {
+	if r.SeqInsts == 0 {
+		return 0
+	}
+	return float64(r.Result.Committed())/float64(r.SeqInsts) - 1
+}
+
+// PrefetchCoverage returns useful prefetch fills per prefetch issued.
+func (r Report) PrefetchCoverage() float64 {
+	if r.Result.Hier.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(r.Result.Hier.L1D.UsefulPrefetch) / float64(r.Result.Hier.PrefetchIssued)
+}
+
+// LOD summarises loss-of-decoupling pressure: the fraction of cycles
+// the named core's oldest instruction was waiting on an architectural
+// queue. The paper attributes Neighborhood's slowdown to exactly this.
+func (r Report) LOD(core string) float64 {
+	s, ok := r.Result.Cores[core]
+	if !ok || s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.QueueWaitCycles) / float64(s.Cycles)
+}
+
+// String renders the full report.
+func (r Report) String() string {
+	var b bytes.Buffer
+	res := r.Result
+	fmt.Fprintf(&b, "=== simulation report: %s ===\n", res.Arch)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	row := func(k string, format string, args ...any) {
+		fmt.Fprintf(tw, "%s\t%s\n", k, fmt.Sprintf(format, args...))
+	}
+	row("cycles", "%d", res.Cycles)
+	row("reference insts", "%d", r.SeqInsts)
+	row("IPC", "%.4f", r.IPC())
+	row("inst overhead", "%+.1f%%", r.Overhead()*100)
+
+	names := make([]string, 0, len(res.Cores))
+	for name := range res.Cores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := res.Cores[name]
+		row("core "+name, "committed=%d loads=%d stores=%d branches=%d",
+			s.Committed, s.CommittedLoads, s.CommittedStores, s.CommittedBranch)
+		row("  speculation", "mispredicts=%d squashed=%d dispatch-redirects=%d",
+			s.Mispredicts, s.Squashed, s.DispatchRedirects)
+		row("  stalls", "queue-wait=%d mem-wait=%d fetch=%d dispatch=%d commit-queue=%d",
+			s.QueueWaitCycles, s.MemWaitCycles, s.FetchStalls, s.DispatchStalls, s.CommitQueueStall)
+		row("  LOD fraction", "%.3f", r.LOD(name))
+	}
+
+	l1 := res.Hier.L1D
+	row("L1D", "accesses=%d misses=%d (%.2f%%) delayed-hits=%d writebacks=%d",
+		l1.DemandAccesses, l1.DemandMisses, 100*l1.DemandMissRate(), l1.DelayedHits, l1.Writebacks)
+	l2 := res.Hier.L2
+	row("L2", "accesses=%d misses=%d (%.2f%%)",
+		l2.DemandAccesses, l2.DemandMisses, 100*l2.DemandMissRate())
+	if res.Hier.PrefetchIssued > 0 {
+		row("prefetch", "issued=%d fills=%d useful=%d coverage=%.1f%%",
+			res.Hier.PrefetchIssued, l1.PrefetchFills, l1.UsefulPrefetch, 100*r.PrefetchCoverage())
+		c := res.CMP
+		row("CMP", "forks=%d (ignored %d) executed=%d completed=%d killed=%d put-stalls=%d",
+			c.Forks, c.ForksIgnored, c.Executed, c.Completed, c.Killed, c.PutStalls)
+		if c.DistanceGrows+c.DistanceShrinks > 0 {
+			row("  dyn distance", "grows=%d shrinks=%d", c.DistanceGrows, c.DistanceShrinks)
+		}
+	}
+	if res.LDQ.Pushes+res.SDQ.Pushes+res.CQ.Pushes > 0 {
+		row("LDQ", "pushes=%d max-occupancy=%d", res.LDQ.Pushes, res.LDQ.MaxOccupancy)
+		row("SDQ", "pushes=%d max-occupancy=%d", res.SDQ.Pushes, res.SDQ.MaxOccupancy)
+		row("CQ", "pushes=%d max-occupancy=%d", res.CQ.Pushes, res.CQ.MaxOccupancy)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// Compare renders a side-by-side summary of several reports (one per
+// architecture) for the same workload.
+func Compare(reports []Report) string {
+	var b bytes.Buffer
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "arch\tcycles\tIPC\toverhead\tL1D-miss%%\tprefetch-cov%%\tLOD(cp)\t\n")
+	for _, r := range reports {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%+.1f%%\t%.2f\t%.1f\t%.3f\t\n",
+			r.Result.Arch, r.Result.Cycles, r.IPC(), r.Overhead()*100,
+			100*r.Result.Hier.L1D.DemandMissRate(), 100*r.PrefetchCoverage(), r.LOD("cp"))
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package workloads
+
+// DataManagement is the kernel of the DIS Data Management benchmark: a
+// hash-indexed record store. The build phase inserts records at bucket
+// heads (chains of pointers); the query phase hashes synthetic keys
+// and walks the matching chain comparing keys and accumulating values.
+// Bucket heads and chain nodes are scattered, giving the irregular
+// access pattern the benchmark was designed to stress.
+func DataManagement(s Scale) *Workload {
+	buckets, records, queries := 4096, 8192, 16000
+	if s == ScaleTest {
+		buckets, records, queries = 256, 512, 800
+	}
+	// Records are 16 bytes: key, value, next, pad.
+	src := fmtSrc(`
+        .data
+bucket: .space %d             ; bucket head pointers
+recs:   .space %d             ; records: {key, value, next, pad}
+        .text
+main:   la   $r2, recs        ; insert records at bucket heads
+        li   $r1, %d
+        li   $r5, 98765       ; key LCG state
+build:  li   $r6, 1103515245
+        mul  $r5, $r5, $r6
+        addi $r5, $r5, 12345
+        srli $r4, $r5, 8
+        andi $r4, $r4, 0xFFFF ; key
+        sw   $r4, 0($r2)      ; rec.key
+        xori $r7, $r4, 0x2A
+        sw   $r7, 4($r2)      ; rec.value
+        ; h = (key * 40503) mod buckets
+        li   $r6, 40503
+        mul  $r7, $r4, $r6
+        andi $r7, $r7, %d
+        slli $r7, $r7, 2
+        la   $r8, bucket
+        add  $r8, $r8, $r7    ; &bucket[h]
+        lw   $r9, 0($r8)      ; old head
+        sw   $r9, 8($r2)      ; rec.next = old head
+        sw   $r2, 0($r8)      ; bucket[h] = rec
+        addi $r2, $r2, 16
+        addi $r1, $r1, -1
+        bgtz $r1, build
+        ; query phase
+        li   $r5, 13579       ; query LCG state
+        li   $r1, %d
+        li   $r16, 0          ; hits
+        li   $r17, 0          ; value accumulator
+        li   $r18, 0          ; probes
+query:  li   $r6, 1103515245
+        mul  $r5, $r5, $r6
+        addi $r5, $r5, 12345
+        srli $r4, $r5, 8
+        andi $r4, $r4, 0xFFFF ; probe key
+        li   $r6, 40503
+        mul  $r7, $r4, $r6
+        andi $r7, $r7, %d
+        slli $r7, $r7, 2
+        la   $r8, bucket
+        add  $r8, $r8, $r7
+        lw   $r9, 0($r8)      ; chain head
+walk:   beq  $r9, $r0, miss
+        lw   $r10, 0($r9)     ; rec.key
+        addi $r18, $r18, 1
+        bne  $r10, $r4, next
+        lw   $r11, 4($r9)     ; rec.value
+        add  $r17, $r17, $r11
+        addi $r16, $r16, 1
+next:   lw   $r9, 8($r9)      ; rec.next
+        j    walk
+miss:   addi $r1, $r1, -1
+        bgtz $r1, query
+        out  $r16
+        out  $r17
+        out  $r18
+        halt
+`, buckets*4, records*16, records, buckets-1, queries, buckets-1)
+
+	// Reference.
+	type rec struct {
+		key, value uint32
+		next       int // record index + 1; 0 = nil
+	}
+	heads := make([]int, buckets)
+	rs := make([]rec, records)
+	u := uint32(98765)
+	for i := 0; i < records; i++ {
+		u = lcg(u)
+		key := (u >> 8) & 0xFFFF
+		h := int((key * 40503) & uint32(buckets-1))
+		rs[i] = rec{key: key, value: key ^ 0x2A, next: heads[h]}
+		heads[h] = i + 1
+	}
+	var hits, acc, probes uint32
+	q := uint32(13579)
+	for n := 0; n < queries; n++ {
+		q = lcg(q)
+		key := (q >> 8) & 0xFFFF
+		h := int((key * 40503) & uint32(buckets-1))
+		for p := heads[h]; p != 0; p = rs[p-1].next {
+			probes++
+			if rs[p-1].key == key {
+				acc += rs[p-1].value
+				hits++
+			}
+		}
+	}
+
+	return &Workload{
+		Name:        "DM",
+		Suite:       "DIS",
+		Description: "hash-indexed record store: chained inserts and key-probe queries",
+		Source:      src,
+		Expected:    []string{itoa(hits), itoa(acc), itoa(probes)},
+		MaxInsts:    uint64(records*20+queries*14) + uint64(probes*8) + 10000,
+	}
+}

@@ -1,0 +1,143 @@
+package workloads
+
+// Pointer is the DIS Pointer Stressmark kernel. Following the
+// stressmark's structure, each iteration mixes the two access kinds
+// the benchmark was designed around: a serial hop through a jump table
+// (index = table[index]) and a window probe at a pseudo-randomly
+// computed field position. The window positions are arithmetically
+// predictable, so the Cache Miss Access Slice runs ahead of them; the
+// chained hop is inherently serial and bounds every configuration
+// alike.
+func Pointer(s Scale) *Workload {
+	tableWords, fieldWords, hops := 4096, 65536, 20000
+	if s == ScaleTest {
+		tableWords, fieldWords, hops = 512, 2048, 800
+	}
+	src := fmtSrc(`
+        .data
+table:  .space %d             ; jump table: permutation indices
+field:  .space %d             ; probe field (zero filled)
+        .text
+main:   la   $r2, table      ; table[i] = (5i+13) mod n
+        li   $r1, %d
+        li   $r8, 0
+build:  slli $r6, $r8, 2
+        add  $r6, $r6, $r8
+        addi $r6, $r6, 13
+        andi $r3, $r6, %d
+        sw   $r3, 0($r2)
+        addi $r8, $r8, 1
+        addi $r2, $r2, 4
+        addi $r1, $r1, -1
+        bgtz $r1, build
+        ; chase + probe loop
+        li   $r8, 0           ; chase index
+        li   $r5, 97531       ; probe LCG
+        li   $r16, 0          ; checksum
+        li   $r1, %d
+loop:   la   $r2, table
+        slli $r4, $r8, 2
+        add  $r4, $r2, $r4
+        lw   $r8, 0($r4)      ; serial hop: idx = table[idx]
+        li   $r6, 1103515245
+        mul  $r5, $r5, $r6
+        addi $r5, $r5, 12345
+        srli $r7, $r5, 8
+        andi $r7, $r7, %d     ; window position
+        slli $r7, $r7, 2
+        la   $r9, field
+        add  $r9, $r9, $r7
+        lw   $r10, 0($r9)     ; window probe (CMAS-predictable)
+        lw   $r11, 128($r9)   ; second probe, next lines
+        add  $r12, $r10, $r11
+        add  $r12, $r12, $r8
+        add  $r16, $r16, $r12
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        out  $r16
+        halt
+`, tableWords*4, fieldWords*4, tableWords, tableWords-1, hops, fieldWords-1)
+
+	// Reference.
+	table := make([]uint32, tableWords)
+	for i := range table {
+		table[i] = uint32((5*i + 13) & (tableWords - 1))
+	}
+	var idx, sum uint32
+	u := uint32(97531)
+	for k := 0; k < hops; k++ {
+		idx = table[idx]
+		u = lcg(u)
+		// The probes read the zero-initialised field; their value is 0
+		// but the accesses (and misses) are real.
+		sum += 0 + 0 + idx
+	}
+
+	return &Workload{
+		Name:        "Pointer",
+		Suite:       "Stressmark",
+		Description: "serial jump-table hops mixed with pseudo-random window probes",
+		Source:      src,
+		Expected:    []string{itoa(sum)},
+		MaxInsts:    uint64(tableWords*12+hops*22) + 1000,
+	}
+}
+
+// Update is the DIS Update Stressmark kernel: read-modify-write at
+// pseudo-random positions of a table that overwhelms the L1 and
+// competes for the L2. The update indices come from a linear
+// congruential sequence, so the Cache Miss Access Slice races
+// arbitrarily far ahead of the Access Processor — this is the paper's
+// best case (+18.5%).
+func Update(s Scale) *Workload {
+	tableWords, updates := 32768, 24000 // 128 KiB table: random accesses thrash the L1
+	if s == ScaleTest {
+		tableWords, updates = 2048, 900
+	}
+	src := fmtSrc(`
+        .data
+table:  .space %d
+        .text
+main:   li   $r5, 424242      ; index LCG
+        li   $r16, 0          ; checksum of loaded values
+        li   $r1, %d
+loop:   li   $r6, 1103515245
+        mul  $r5, $r5, $r6
+        addi $r5, $r5, 12345
+        srli $r7, $r5, 8
+        andi $r7, $r7, %d
+        slli $r7, $r7, 2
+        la   $r9, table
+        add  $r9, $r9, $r7
+        lw   $r10, 0($r9)     ; load
+        add  $r16, $r16, $r10
+        xor  $r11, $r10, $r5  ; modify (computation stream)
+        addi $r11, $r11, 5
+        sw   $r11, 0($r9)     ; write back
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        out  $r16
+        halt
+`, tableWords*4, updates, tableWords-1)
+
+	// Reference.
+	table := make([]uint32, tableWords)
+	var sum uint32
+	u := uint32(424242)
+	for k := 0; k < updates; k++ {
+		u = lcg(u)
+		idx := (u >> 8) & uint32(tableWords-1)
+		v := table[idx]
+		sum += v
+		table[idx] = (v ^ u) + 5
+	}
+
+	return &Workload{
+		Name:        "Update",
+		Suite:       "Stressmark",
+		Description: "read-modify-write at pseudo-random table positions (LCG indices)",
+		Source:      src,
+		Expected:    []string{itoa(sum)},
+		MaxInsts:    uint64(updates*20) + 1000,
+	}
+}

@@ -1,0 +1,109 @@
+// Package workloads implements the paper's benchmark programs: the two
+// Data-Intensive Systems benchmarks the evaluation reports (Data
+// Management and Ray Tracing) and the five DIS Stressmarks (Pointer,
+// Update, Field, Neighborhood, Transitive Closure).
+//
+// The AAEC suites are kernel extractions of data-intensive programs;
+// each workload here is the corresponding kernel written in the
+// toolchain's assembly (the paper compiles C with gcc to PISA — see
+// DESIGN.md for the substitution), with a deterministic synthetic
+// input generated in-program from a fixed linear congruential
+// generator. Every workload carries a pure-Go reference implementation
+// producing the exact OUT lines the kernel must print, which the test
+// suite checks against the functional simulator and every machine
+// configuration.
+package workloads
+
+import (
+	"fmt"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/isa"
+)
+
+// Workload is one benchmark instance.
+type Workload struct {
+	// Name as it appears in the paper's figures (DM, RayTray, Pointer,
+	// Update, Field, NB, TC).
+	Name string
+	// Suite is "DIS" or "Stressmark".
+	Suite string
+	// Description of the kernel behaviour.
+	Description string
+	// Source is the assembly program.
+	Source string
+	// Expected holds the OUT lines the program must produce.
+	Expected []string
+	// MaxInsts bounds functional execution (runaway guard).
+	MaxInsts uint64
+}
+
+// Program assembles the workload.
+func (w *Workload) Program() (*isa.Program, error) {
+	return asm.Assemble(w.Name, w.Source)
+}
+
+// MustProgram assembles the workload, panicking on error; the sources
+// are fixed at build time.
+func (w *Workload) MustProgram() *isa.Program {
+	return asm.MustAssemble(w.Name, w.Source)
+}
+
+// Scale selects workload sizing.
+type Scale int
+
+// Available scales.
+const (
+	// ScaleTest keeps runs small enough for unit tests.
+	ScaleTest Scale = iota
+	// ScalePaper sizes working sets past the L1 (and partly the L2)
+	// like the paper's runs.
+	ScalePaper
+)
+
+// All returns the seven benchmarks of Figure 8 in presentation order.
+func All(s Scale) []*Workload {
+	return []*Workload{
+		DataManagement(s),
+		RayTrace(s),
+		Pointer(s),
+		Update(s),
+		Field(s),
+		Neighborhood(s),
+		TransitiveClosure(s),
+	}
+}
+
+// Extra returns the stressmarks that complete the seven-member DIS
+// suite but do not appear in the paper's figures (which plot five
+// stressmarks plus two DIS benchmark kernels).
+func Extra(s Scale) []*Workload {
+	return []*Workload{Matrix(s), CornerTurn(s)}
+}
+
+// ByName returns the named workload (figure set or extras) at the
+// given scale.
+func ByName(name string, s Scale) (*Workload, error) {
+	for _, w := range append(All(s), Extra(s)...) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names lists the benchmark names in figure order.
+func Names() []string {
+	return []string{"DM", "RayTray", "Pointer", "Update", "Field", "NB", "TC"}
+}
+
+// lcg steps the shared linear congruential generator used by the
+// kernels' input synthesis.
+func lcg(u uint32) uint32 { return u*1103515245 + 12345 }
+
+func itoa(v uint32) string { return fmt.Sprintf("%d", int32(v)) }
+
+// fmtSrc formats an assembly template.
+func fmtSrc(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+func ftoa(v float64) string { return fmt.Sprintf("%g", v) }
