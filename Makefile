@@ -1,0 +1,26 @@
+# Tier-1 gate: `make ci` is what every change must keep green (see
+# ROADMAP.md). Individual targets are provided for quick local loops.
+
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel runner and the multi-core machine are the
+# concurrency-bearing packages; run them under the race detector.
+race:
+	$(GO) test -race ./internal/experiments ./internal/machine
+
+# One pass over every table/figure benchmark (reports simMIPS).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

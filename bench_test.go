@@ -23,8 +23,21 @@ import (
 	"hidisc/internal/profile"
 	"hidisc/internal/queue"
 	"hidisc/internal/slicer"
+	"hidisc/internal/stats"
 	"hidisc/internal/workloads"
 )
+
+// reportThroughput attaches the simulator-speed metrics to a benchmark:
+// simulated cycles and committed instructions per wall-clock second
+// (stats.Throughput). Pass the simulated work actually performed during
+// the benchmark; memoised re-runs contribute nothing, so a benchmark
+// whose measurements were already cached honestly reports ~0.
+func reportThroughput(b *testing.B, cycles, insts int64) {
+	b.Helper()
+	tp := stats.Throughput{SimCycles: cycles, SimInsts: insts, Wall: b.Elapsed()}
+	b.ReportMetric(tp.CyclesPerSec()/1e6, "simMcycles/s")
+	b.ReportMetric(tp.MIPS(), "simMIPS")
+}
 
 func benchScale() workloads.Scale {
 	if os.Getenv("HIDISC_SCALE") == "paper" {
@@ -55,6 +68,7 @@ func BenchmarkTable1Params(b *testing.B) {
 	if len(s) == 0 {
 		b.Fatal("empty table")
 	}
+	reportThroughput(b, 0, 0) // renders a table; no simulation
 }
 
 // BenchmarkFig8Speedup regenerates Figure 8: per-benchmark speedup of
@@ -64,6 +78,7 @@ func BenchmarkFig8Speedup(b *testing.B) {
 	for _, name := range workloads.Names() {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			c0, i0 := sharedRunner.SimTotals()
 			var base experiments.Measurement
 			for i := 0; i < b.N; i++ {
 				base = measure(b, name, machine.Superscalar, hier)
@@ -73,6 +88,8 @@ func BenchmarkFig8Speedup(b *testing.B) {
 				b.ReportMetric(float64(base.Cycles)/float64(m.Cycles), string(arch)+"-speedup")
 			}
 			b.ReportMetric(base.IPC, "baseline-IPC")
+			c1, i1 := sharedRunner.SimTotals()
+			reportThroughput(b, c1-c0, i1-i0)
 		})
 	}
 }
@@ -80,6 +97,7 @@ func BenchmarkFig8Speedup(b *testing.B) {
 // BenchmarkTable2AverageSpeedup regenerates Table 2: the average
 // speedup of the three enhanced models.
 func BenchmarkTable2AverageSpeedup(b *testing.B) {
+	c0, i0 := sharedRunner.SimTotals()
 	var t2 *experiments.Table2
 	for i := 0; i < b.N; i++ {
 		fig8, err := experiments.RunFig8(sharedRunner)
@@ -91,11 +109,14 @@ func BenchmarkTable2AverageSpeedup(b *testing.B) {
 	b.ReportMetric((t2.Avg[machine.CPAP]-1)*100, "cp+ap-pct")
 	b.ReportMetric((t2.Avg[machine.CPCMP]-1)*100, "cp+cmp-pct")
 	b.ReportMetric((t2.Avg[machine.HiDISC]-1)*100, "hidisc-pct")
+	c1, i1 := sharedRunner.SimTotals()
+	reportThroughput(b, c1-c0, i1-i0)
 }
 
 // BenchmarkFig9MissReduction regenerates Figure 9: L1D demand misses
 // normalised to the baseline.
 func BenchmarkFig9MissReduction(b *testing.B) {
+	c0, i0 := sharedRunner.SimTotals()
 	var fig9 *experiments.Fig9
 	for i := 0; i < b.N; i++ {
 		fig8, err := experiments.RunFig8(sharedRunner)
@@ -108,6 +129,8 @@ func BenchmarkFig9MissReduction(b *testing.B) {
 		b.ReportMetric(fig9.Rows[name][machine.HiDISC], name+"-normmiss")
 	}
 	b.ReportMetric(fig9.AverageReduction(machine.HiDISC)*100, "avg-reduction-pct")
+	c1, i1 := sharedRunner.SimTotals()
+	reportThroughput(b, c1-c0, i1-i0)
 }
 
 // BenchmarkFig10LatencyTolerance regenerates Figure 10: IPC under
@@ -116,6 +139,7 @@ func BenchmarkFig10LatencyTolerance(b *testing.B) {
 	for _, name := range []string{"Pointer", "NB"} {
 		name := name
 		b.Run(name, func(b *testing.B) {
+			c0, i0 := sharedRunner.SimTotals()
 			var fig *experiments.Fig10
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -127,6 +151,8 @@ func BenchmarkFig10LatencyTolerance(b *testing.B) {
 			for _, arch := range machine.Arches {
 				b.ReportMetric(fig.Degradation(arch)*100, string(arch)+"-degradation-pct")
 			}
+			c1, i1 := sharedRunner.SimTotals()
+			reportThroughput(b, c1-c0, i1-i0)
 		})
 	}
 }
@@ -135,7 +161,7 @@ func BenchmarkFig10LatencyTolerance(b *testing.B) {
 
 // ablationRun compiles Update (the most prefetch-sensitive workload)
 // and runs HiDISC under a modified configuration.
-func ablationRun(b *testing.B, mutate func(*machine.Config)) int64 {
+func ablationRun(b *testing.B, mutate func(*machine.Config)) experiments.Measurement {
 	b.Helper()
 	r := experiments.NewRunner(benchScale())
 	r.Configure = mutate
@@ -143,7 +169,7 @@ func ablationRun(b *testing.B, mutate func(*machine.Config)) int64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return m.Cycles
+	return m
 }
 
 // BenchmarkAblationSCQDepth sweeps the slip-control queue depth — the
@@ -152,11 +178,15 @@ func BenchmarkAblationSCQDepth(b *testing.B) {
 	for _, depth := range []int{4, 16, 32, 128} {
 		depth := depth
 		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
-			var cycles int64
+			var m experiments.Measurement
+			var cycles, insts int64
 			for i := 0; i < b.N; i++ {
-				cycles = ablationRun(b, func(c *machine.Config) { c.SCQCap = depth })
+				m = ablationRun(b, func(c *machine.Config) { c.SCQCap = depth })
+				cycles += m.Cycles
+				insts += int64(m.Result.Committed())
 			}
-			b.ReportMetric(float64(cycles), "cycles")
+			b.ReportMetric(float64(m.Cycles), "cycles")
+			reportThroughput(b, cycles, insts)
 		})
 	}
 }
@@ -179,6 +209,8 @@ func BenchmarkAblationCPWindow(b *testing.B) {
 				}
 			}
 			b.ReportMetric(m.IPC, "IPC")
+			cycles, insts := r.SimTotals()
+			reportThroughput(b, cycles, insts)
 		})
 	}
 }
@@ -211,7 +243,7 @@ func BenchmarkAblationBlockingHandshake(b *testing.B) {
 			}
 			cfg := machine.DefaultConfig(machine.HiDISC)
 			cfg.AP.BlockingSCQ = blocking
-			var cycles int64
+			var last, cycles, insts int64
 			for i := 0; i < b.N; i++ {
 				m, err := machine.New(bundle, cfg)
 				if err != nil {
@@ -221,9 +253,12 @@ func BenchmarkAblationBlockingHandshake(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				cycles = res.Cycles
+				last = res.Cycles
+				cycles += res.Cycles
+				insts += int64(res.Committed())
 			}
-			b.ReportMetric(float64(cycles), "cycles")
+			b.ReportMetric(float64(last), "cycles")
+			reportThroughput(b, cycles, insts)
 		})
 	}
 }
@@ -255,15 +290,18 @@ func BenchmarkAblationPrefetchDistance(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var cycles int64
+			var last, cycles, insts int64
 			for i := 0; i < b.N; i++ {
 				res, err := machine.RunArch(bundle, machine.HiDISC, mem.DefaultHierConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
-				cycles = res.Cycles
+				last = res.Cycles
+				cycles += res.Cycles
+				insts += int64(res.Committed())
 			}
-			b.ReportMetric(float64(cycles), "cycles")
+			b.ReportMetric(float64(last), "cycles")
+			reportThroughput(b, cycles, insts)
 		})
 	}
 }
@@ -294,6 +332,7 @@ func BenchmarkAssembler(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportThroughput(b, 0, 0) // assembles only; no simulation
 }
 
 // BenchmarkFunctionalSim measures functional interpreter throughput in
@@ -309,6 +348,7 @@ func BenchmarkFunctionalSim(b *testing.B) {
 		insts = res.Insts
 	}
 	b.ReportMetric(float64(insts)*float64(b.N), "insts")
+	reportThroughput(b, 0, int64(insts)*int64(b.N)) // functional: no cycle model
 }
 
 // BenchmarkStreamSeparation measures compiler throughput.
@@ -319,6 +359,7 @@ func BenchmarkStreamSeparation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportThroughput(b, 0, 0) // compiles only; no simulation
 }
 
 // BenchmarkCycleSimulator measures timing-simulator throughput in
@@ -329,15 +370,16 @@ func BenchmarkCycleSimulator(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var cycles int64
+	var cycles, insts int64
 	for i := 0; i < b.N; i++ {
 		res, err := machine.RunArch(bundle, machine.Superscalar, mem.DefaultHierConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles += res.Cycles
+		insts += int64(res.Committed())
 	}
-	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+	reportThroughput(b, cycles, insts)
 }
 
 // BenchmarkQueueOps measures the architectural queue primitives.
@@ -349,6 +391,7 @@ func BenchmarkQueueOps(b *testing.B) {
 		_ = q.ValueAt(s)
 		q.Free(s)
 	}
+	reportThroughput(b, 0, 0) // queue primitive; no simulation
 }
 
 // BenchmarkCacheAccess measures hierarchy lookup throughput.
@@ -360,6 +403,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Access(int64(i), uint32(i*64), false, false)
 	}
+	reportThroughput(b, 0, 0) // cache primitive; no simulation
 }
 
 func profileFor(p *isa.Program, maxInsts uint64) (*profile.Profile, error) {
@@ -388,6 +432,8 @@ func BenchmarkAblationDynamicDistance(b *testing.B) {
 			}
 			b.ReportMetric(m.IPC, "IPC")
 			b.ReportMetric(float64(m.L1DMisses), "misses")
+			cycles, insts := r.SimTotals()
+			reportThroughput(b, cycles, insts)
 		})
 	}
 }
@@ -411,15 +457,18 @@ func BenchmarkAblationControlThinning(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var cycles int64
+			var last, cycles, insts int64
 			for i := 0; i < b.N; i++ {
 				res, err := machine.RunArch(bundle, machine.CPAP, mem.DefaultHierConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
-				cycles = res.Cycles
+				last = res.Cycles
+				cycles += res.Cycles
+				insts += int64(res.Committed())
 			}
-			b.ReportMetric(float64(cycles), "cycles")
+			b.ReportMetric(float64(last), "cycles")
+			reportThroughput(b, cycles, insts)
 		})
 	}
 }

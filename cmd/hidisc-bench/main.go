@@ -5,22 +5,25 @@
 //
 // Usage:
 //
-//	hidisc-bench [-scale test|paper] [-table1] [-fig8] [-table2] [-fig9] [-fig10] [-all]
+//	hidisc-bench [-scale test|paper] [-j N] [-table1] [-fig8] [-table2] [-fig9] [-fig10] [-all]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"hidisc/internal/experiments"
 	"hidisc/internal/machine"
+	"hidisc/internal/stats"
 	"hidisc/internal/workloads"
 )
 
 func main() {
 	scale := flag.String("scale", "paper", "workload scale: test or paper")
+	jobs := flag.Int("j", runtime.NumCPU(), "number of parallel simulation workers")
 	t1 := flag.Bool("table1", false, "print Table 1 (simulation parameters)")
 	f8 := flag.Bool("fig8", false, "run Figure 8 (speedups)")
 	t2 := flag.Bool("table2", false, "run Table 2 (average speedups)")
@@ -40,6 +43,7 @@ func main() {
 	}
 
 	r := experiments.NewRunner(sc)
+	r.Workers = *jobs
 	start := time.Now()
 
 	if *all || *t1 {
@@ -94,7 +98,11 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	cycles, insts := r.SimTotals()
+	tp := stats.Throughput{SimCycles: cycles, SimInsts: insts, Wall: wall}
+	fmt.Fprintf(os.Stderr, "total wall time: %v (-j %d): %s\n",
+		wall.Round(time.Millisecond), *jobs, tp)
 }
 
 func fatal(err error) {

@@ -1,0 +1,160 @@
+package cpu
+
+import (
+	"testing"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/isa"
+	"hidisc/internal/mem"
+	"hidisc/internal/queue"
+)
+
+// The steady-state cycle loop must not allocate: window entries come
+// from the core's pool, operand lists live inside the entry, the
+// fetch/window/LSQ deques and the push-release list reuse their backing
+// arrays, and the rename table is a dense array. These tests pin that
+// down with testing.AllocsPerRun so a regression fails loudly.
+
+// allocLoopKernel keeps a superscalar core busy indefinitely: a
+// load/store loop with a data-dependent branch mix (mispredicts and
+// squashes are part of steady state).
+const allocLoopKernel = `
+        .data
+buf:    .space 16384
+        .text
+main:   li   $r6, 0
+again:  la   $r2, buf
+        li   $r1, 256
+loop:   lw   $r3, 0($r2)
+        add  $r4, $r4, $r3
+        xor  $r5, $r4, $r3
+        sw   $r5, 0($r2)
+        andi $r7, $r4, 3
+        bgtz $r7, skip
+        addi $r6, $r6, 1
+skip:   addi $r2, $r2, 32
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        j    again
+`
+
+func steadyCore(t *testing.T, src string, cfg Config, qs QueueSet) (*Core, int64) {
+	t.Helper()
+	p, err := asm.Assemble("alloc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	m.LoadSegment(isa.DataBase, p.Data)
+	h, err := mem.NewHierarchy(mem.DefaultHierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(cfg, p, m, h, qs)
+	// Warm up: reach steady state so every scratch structure has grown
+	// to its final capacity before measuring.
+	var cycle int64
+	for ; cycle < 20_000; cycle++ {
+		if err := c.Cycle(cycle); err != nil {
+			t.Fatalf("warmup cycle %d: %v", cycle, err)
+		}
+	}
+	return c, cycle
+}
+
+func TestSuperscalarCycleDoesNotAllocate(t *testing.T) {
+	c, cycle := steadyCore(t, allocLoopKernel, Config{Name: "ss", HasMem: true}, QueueSet{})
+	const cyclesPerRun = 5_000
+	avg := testing.AllocsPerRun(20, func() {
+		for i := 0; i < cyclesPerRun; i++ {
+			if err := c.Cycle(cycle); err != nil {
+				t.Fatalf("cycle %d: %v", cycle, err)
+			}
+			cycle++
+		}
+	})
+	if avg != 0 {
+		t.Errorf("superscalar core: %.2f allocs per %d cycles in steady state, want 0", avg, cyclesPerRun)
+	}
+}
+
+// TestDecoupledCycleDoesNotAllocate drives a CP/AP pair — the HiDISC
+// cores — through their architectural queues: the AP streams loads into
+// the LDQ and branch outcomes into the CQ, the CP consumes both and
+// returns store data through the SDQ.
+func TestDecoupledCycleDoesNotAllocate(t *testing.T) {
+	apSrc := `
+        .data
+buf:    .space 16384
+        .text
+main:   la   $r2, buf
+        li   $r1, 256
+loop:   lw   $LDQ, 0($r2)
+        sw   $SDQ, 4($r2)
+        addi $r2, $r2, 32
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        j    main
+`
+	cpSrc := `
+main:   li   $r4, 0
+loop:   add  $r4, $r4, $LDQ
+        xor  $SDQ, $r4, $r4
+        bcq  loop
+        j    main
+`
+	ap, err := asm.Assemble("ap", apSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slicer normally annotates the AP's mirrored branches; tag the
+	// loop branch by hand so its outcome feeds the CP's bcq.
+	for i := range ap.Insts {
+		if ap.Insts[i].Op == isa.BGTZ {
+			ap.Insts[i].Ann |= isa.AnnPushCQ
+		}
+	}
+	cp, err := asm.Assemble("cp", cpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	m.LoadSegment(isa.DataBase, ap.Data)
+	h, err := mem.NewHierarchy(mem.DefaultHierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldq := queue.New("ldq", 32)
+	sdq := queue.New("sdq", 32)
+	cq := queue.New("cq", 64)
+	cpCore := New(Config{Name: "cp", WindowSize: 16}, cp, m, h, QueueSet{
+		Pop:  map[isa.Reg]*queue.Queue{isa.RegLDQ: ldq, isa.RegCQ: cq},
+		Push: map[isa.Reg]*queue.Queue{isa.RegSDQ: sdq},
+	})
+	apCore := New(Config{Name: "ap", HasMem: true}, ap, m, h, QueueSet{
+		Pop:  map[isa.Reg]*queue.Queue{isa.RegSDQ: sdq},
+		Push: map[isa.Reg]*queue.Queue{isa.RegLDQ: ldq, isa.RegCQ: cq},
+	})
+	var cycle int64
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := cpCore.Cycle(cycle); err != nil {
+				t.Fatalf("cp cycle %d: %v", cycle, err)
+			}
+			if err := apCore.Cycle(cycle); err != nil {
+				t.Fatalf("ap cycle %d: %v", cycle, err)
+			}
+			cycle++
+		}
+	}
+	step(20_000) // warm up
+	before := cpCore.Stats().Committed + apCore.Stats().Committed
+	const cyclesPerRun = 5_000
+	avg := testing.AllocsPerRun(20, func() { step(cyclesPerRun) })
+	if avg != 0 {
+		t.Errorf("CP/AP pair: %.2f allocs per %d cycles in steady state, want 0", avg, cyclesPerRun)
+	}
+	if after := cpCore.Stats().Committed + apCore.Stats().Committed; after <= before {
+		t.Fatalf("cores made no progress during measurement (committed %d)", after)
+	}
+}

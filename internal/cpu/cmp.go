@@ -92,8 +92,9 @@ type cmpCtx struct {
 }
 
 func (c *cmpCtx) srcReady(now int64, in isa.Inst) bool {
-	for _, r := range in.Sources() {
-		if r.IsArch() && c.readyAt[r] > now {
+	src, n := in.SourceList()
+	for i := 0; i < n; i++ {
+		if r := src[i]; r.IsArch() && c.readyAt[r] > now {
 			return false
 		}
 	}

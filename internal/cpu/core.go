@@ -121,8 +121,12 @@ type entry struct {
 	pc   int
 	inst isa.Inst
 
-	srcs []srcOperand
-	dest isa.Reg
+	// srcs aliases srcsBuf so that building the operand list never
+	// allocates; entries are always handled by pointer, which keeps the
+	// alias valid.
+	srcs    []srcOperand
+	srcsBuf [isa.MaxSources + 1]srcOperand // +1 for GETSCQ's hidden credit
+	dest    isa.Reg
 
 	result     uint64
 	execErr    error
@@ -140,11 +144,18 @@ type entry struct {
 	isLoad, isStore bool
 	addr            uint32
 	addrReady       bool
-	fwdFrom         *entry // store that forwarded this load's value
 
 	// queue production
 	pushed   bool // queue pushes already released at completion
 	squashed bool
+
+	// Pool bookkeeping (see Core.retireEntry): refs counts younger
+	// in-window consumers still holding this entry as an operand
+	// producer; pinned marks membership in the not-yet-passed segment
+	// of the push-release list; dead marks departure from the window.
+	refs   int32
+	pinned bool
+	dead   bool
 }
 
 type fetched struct {
@@ -181,11 +192,28 @@ type Core struct {
 	pc           int
 	fetchStopped bool
 	fetchCQPeek  int // control-queue tokens consumed by instructions still in the IFQ
-	ifq          []fetched
-	window       []*entry
-	lsq          []*entry
-	rename       map[isa.Reg]*entry
 	nextSeq      int64
+
+	// The in-flight structures are deques consumed at the front every
+	// cycle. Each keeps an explicit head index and compacts in place
+	// once per cycle instead of re-slicing, so the backing arrays reach
+	// a steady size and the cycle loop stops allocating.
+	ifq     []fetched
+	ifqHead int
+	window  []*entry
+	winHead int
+	lsq     []*entry
+	lsqHead int
+
+	// rename maps an architectural register to its youngest in-window
+	// producer: a dense array indexed by register number (int and FP
+	// registers share the 0..63 space).
+	rename [isa.NumIntRegs + isa.NumFPRegs]*entry
+
+	// free pools retired window entries for reuse (see retireEntry);
+	// pushScratch backs pushPlan's result between calls.
+	free        []*entry
+	pushScratch []pushOp
 
 	// pushList holds queue-producing entries in program order; pushes
 	// release as soon as an entry has completed non-speculatively, so
@@ -222,7 +250,6 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory, h *mem.Hierarchy, qs Queu
 		hier:     h,
 		qs:       qs,
 		pc:       prog.Entry,
-		rename:   make(map[isa.Reg]*entry),
 		intALU:   mk(cfg.IntALU),
 		intMulDv: mk(cfg.IntMulDv),
 		fpALU:    mk(cfg.FPALU),
@@ -299,8 +326,29 @@ func (c *Core) Cycle(now int64) error {
 // --- commit ---
 
 func (c *Core) commit(now int64) error {
-	for n := 0; n < c.cfg.CommitWidth && len(c.window) > 0; n++ {
-		e := c.window[0]
+	err := c.commitInsts(now)
+	c.compactWindow()
+	return err
+}
+
+// compactWindow shifts the window and LSQ down over the entries
+// committed this cycle, reusing the backing arrays.
+func (c *Core) compactWindow() {
+	if c.winHead > 0 {
+		n := copy(c.window, c.window[c.winHead:])
+		c.window = c.window[:n]
+		c.winHead = 0
+	}
+	if c.lsqHead > 0 {
+		n := copy(c.lsq, c.lsq[c.lsqHead:])
+		c.lsq = c.lsq[:n]
+		c.lsqHead = 0
+	}
+}
+
+func (c *Core) commitInsts(now int64) error {
+	for n := 0; n < c.cfg.CommitWidth && c.winHead < len(c.window); n++ {
+		e := c.window[c.winHead]
 		if !e.completed {
 			return nil
 		}
@@ -319,15 +367,9 @@ func (c *Core) commit(now int64) error {
 		var pushes []pushOp
 		if !e.pushed {
 			pushes = c.pushPlan(e)
-			need := map[*queue.Queue]int{}
-			for _, p := range pushes {
-				need[p.q]++
-			}
-			for q, k := range need {
-				if q.Cap()-q.Len() < k {
-					c.stats.CommitQueueStall++
-					return nil
-				}
+			if !queuesHaveSpace(pushes) {
+				c.stats.CommitQueueStall++
+				return nil
 			}
 		}
 		// Stores need a cache port to retire into the write buffer.
@@ -345,7 +387,7 @@ func (c *Core) commit(now int64) error {
 		if e.dest.IsArch() && e.dest != isa.R0 {
 			c.writeReg(e.dest, e.result)
 			if c.rename[e.dest] == e {
-				delete(c.rename, e.dest)
+				c.rename[e.dest] = nil
 			}
 		}
 		for _, p := range pushes {
@@ -394,10 +436,11 @@ func (c *Core) commit(now int64) error {
 		}
 		c.stats.Committed++
 		c.trace(now, StageCommit, e, "")
-		c.window = c.window[1:]
+		c.winHead++
 		if e.isLoad || e.isStore {
-			c.lsq = c.lsq[1:]
+			c.lsqHead++
 		}
+		c.retireEntry(e)
 		if c.halted {
 			return nil
 		}
@@ -408,6 +451,88 @@ func (c *Core) commit(now int64) error {
 type pushOp struct {
 	q *queue.Queue
 	v uint64
+}
+
+// --- entry pool ---
+//
+// Window entries are recycled through a free list so the steady-state
+// cycle loop performs no heap allocation. An entry leaves the window at
+// commit or squash but may still be reachable two ways: a younger
+// in-window instruction can hold it as an operand producer (refs), and
+// the push-release list can still have to step over it (pinned). The
+// entry returns to the pool only when all three conditions clear.
+
+func (c *Core) newEntry() *entry {
+	var e *entry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free = c.free[:n-1]
+		*e = entry{}
+	} else {
+		e = new(entry)
+	}
+	e.srcs = e.srcsBuf[:0]
+	return e
+}
+
+// retireEntry marks a window-departed entry dead and recycles it when
+// nothing can reach it any more.
+func (c *Core) retireEntry(e *entry) {
+	e.dead = true
+	if e.refs == 0 && !e.pinned {
+		c.free = append(c.free, e)
+	}
+}
+
+// releaseProducer drops an operand's producer reference (the value has
+// been captured, or the consumer squashed).
+func (c *Core) releaseProducer(s *srcOperand) {
+	p := s.producer
+	s.producer = nil
+	p.refs--
+	if p.refs == 0 && p.dead && !p.pinned {
+		c.free = append(c.free, p)
+	}
+}
+
+// unpinPush releases the push-release list's hold on an entry once the
+// head has moved past it.
+func (c *Core) unpinPush(e *entry) {
+	e.pinned = false
+	if e.refs == 0 && e.dead {
+		c.free = append(c.free, e)
+	}
+}
+
+// queuesHaveSpace reports whether every architectural queue named in
+// pushes can accept all of its pushes at once. The early-release path
+// and the commit fallback both gate on this single predicate, so the
+// two claim-accounting sites cannot drift apart. The scan is quadratic
+// in the push count, which is at most three per instruction.
+func queuesHaveSpace(pushes []pushOp) bool {
+	for i := range pushes {
+		q := pushes[i].q
+		seen := false
+		for j := 0; j < i; j++ {
+			if pushes[j].q == q {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue // q already checked at its first occurrence
+		}
+		need := 1
+		for j := i + 1; j < len(pushes); j++ {
+			if pushes[j].q == q {
+				need++
+			}
+		}
+		if q.Cap()-q.Len() < need {
+			return false
+		}
+	}
+	return true
 }
 
 // releasePushes performs queue pushes for completed entries that are
@@ -431,20 +556,15 @@ func (c *Core) releasePushes() {
 			// commit stage reaches an entry first when the release head
 			// was blocked on queue space in the preceding cycles).
 			c.pushHead++
+			c.unpinPush(e)
 			continue
 		}
 		if !e.completed || e.execErr != nil || e.seq >= oldestUnresolved {
 			break
 		}
 		pushes := c.pushPlan(e)
-		need := map[*queue.Queue]int{}
-		for _, p := range pushes {
-			need[p.q]++
-		}
-		for q, k := range need {
-			if q.Cap()-q.Len() < k {
-				return // retry next cycle; order must be preserved
-			}
+		if !queuesHaveSpace(pushes) {
+			return // retry next cycle; order must be preserved
 		}
 		for _, p := range pushes {
 			if !p.q.Push(p.v) {
@@ -453,16 +573,20 @@ func (c *Core) releasePushes() {
 		}
 		e.pushed = true
 		c.pushHead++
+		c.unpinPush(e)
 	}
 	if c.pushHead > 4096 {
-		c.pushList = append([]*entry(nil), c.pushList[c.pushHead:]...)
+		n := copy(c.pushList, c.pushList[c.pushHead:])
+		c.pushList = c.pushList[:n]
 		c.pushHead = 0
 	}
 }
 
 // pushPlan lists the queue pushes instruction e performs at commit.
+// The result aliases a scratch buffer on the core and is only valid
+// until the next pushPlan call.
 func (c *Core) pushPlan(e *entry) []pushOp {
-	var out []pushOp
+	out := c.pushScratch[:0]
 	add := func(r isa.Reg, v uint64) {
 		q := c.qs.Push[r]
 		if q == nil {
@@ -497,6 +621,7 @@ func (c *Core) pushPlan(e *entry) []pushOp {
 			out = append(out, pushOp{c.qs.SCQ[id], 1})
 		}
 	}
+	c.pushScratch = out[:0]
 	return out
 }
 
@@ -523,6 +648,16 @@ func (c *Core) writeReg(r isa.Reg, raw uint64) {
 
 // --- writeback ---
 
+// flushIFQ empties the instruction fetch queue (redirect or squash).
+func (c *Core) flushIFQ() {
+	c.ifq = c.ifq[:0]
+	c.ifqHead = 0
+	c.fetchCQPeek = 0
+}
+
+// ifqLen returns the number of fetched instructions awaiting dispatch.
+func (c *Core) ifqLen() int { return len(c.ifq) - c.ifqHead }
+
 func (c *Core) writeback(now int64) {
 	for _, e := range c.window {
 		if e.issued && !e.completed && e.completeAt <= now {
@@ -530,12 +665,13 @@ func (c *Core) writeback(now int64) {
 			c.trace(now, StageComplete, e, "")
 			if e.isCtl && e.actualNext != e.predNext {
 				c.stats.Mispredicts++
-				c.trace(now, StageSquash, e, fmt.Sprintf("mispredict: %d not %d", e.actualNext, e.predNext))
+				if c.cfg.Tracer != nil {
+					c.trace(now, StageSquash, e, fmt.Sprintf("mispredict: %d not %d", e.actualNext, e.predNext))
+				}
 				c.squashAfter(e)
 				c.pc = e.actualNext
 				c.fetchStopped = false
-				c.ifq = c.ifq[:0]
-				c.fetchCQPeek = 0
+				c.flushIFQ()
 				return // window changed; stop scanning
 			}
 		}
@@ -553,21 +689,28 @@ func (c *Core) squashAfter(e *entry) {
 		}
 	}
 	// Unclaim in reverse order so per-queue claim counters rewind
-	// exactly.
+	// exactly. Reverse order also releases consumer references before
+	// their (equally squashed, older) producers are retired.
 	for i := len(c.window) - 1; i >= cut; i-- {
 		w := c.window[i]
 		w.squashed = true
 		for j := len(w.srcs) - 1; j >= 0; j-- {
-			if w.srcs[j].qref != nil {
-				w.srcs[j].qref.Unclaim(1)
+			s := &w.srcs[j]
+			if s.qref != nil {
+				s.qref.Unclaim(1)
+			}
+			if s.producer != nil {
+				c.releaseProducer(s)
 			}
 		}
 		c.stats.Squashed++
+		c.retireEntry(w)
+		c.window[i] = nil
 	}
 	c.window = c.window[:cut]
 	// Rebuild LSQ and rename table from survivors.
 	c.lsq = c.lsq[:0]
-	c.rename = make(map[isa.Reg]*entry)
+	c.rename = [isa.NumIntRegs + isa.NumFPRegs]*entry{}
 	for _, w := range c.window {
 		if w.isLoad || w.isStore {
 			c.lsq = append(c.lsq, w)
@@ -621,7 +764,6 @@ func (c *Core) issue(now int64) error {
 				continue
 			}
 			if fwd != nil {
-				e.fwdFrom = fwd
 				if err := c.loadForward(e, fwd); err != nil {
 					e.execErr = err
 				}
@@ -673,6 +815,7 @@ func (c *Core) refreshOperands(e *entry) {
 			if s.producer.completed {
 				s.val = s.producer.result
 				s.ready = true
+				c.releaseProducer(s)
 			}
 			continue
 		}
@@ -881,40 +1024,52 @@ func (c *Core) execute(now int64, e *entry) {
 // --- dispatch ---
 
 func (c *Core) dispatch(now int64) {
-	for n := 0; n < c.cfg.IssueWidth && len(c.ifq) > 0; n++ {
+	c.dispatchInsts(now)
+	// Compact the fetch queue over the dispatched prefix so fetch (which
+	// runs next) appends into the reused backing array.
+	if c.ifqHead > 0 {
+		n := copy(c.ifq, c.ifq[c.ifqHead:])
+		c.ifq = c.ifq[:n]
+		c.ifqHead = 0
+	}
+}
+
+func (c *Core) dispatchInsts(now int64) {
+	for n := 0; n < c.cfg.IssueWidth && c.ifqLen() > 0; n++ {
 		if len(c.window) >= c.cfg.WindowSize {
 			c.stats.DispatchStalls++
 			return
 		}
-		f := c.ifq[0]
+		f := c.ifq[c.ifqHead]
 		in := f.inst
 		isMem := in.Op.IsMem()
 		if isMem && len(c.lsq) >= c.cfg.LSQSize {
 			c.stats.DispatchStalls++
 			return
 		}
-		c.ifq = c.ifq[1:]
+		c.ifqHead++
 		if (in.Op == isa.BCQ || in.Op == isa.JCQ) && c.fetchCQPeek > 0 {
 			c.fetchCQPeek--
 		}
 
-		e := &entry{
-			seq:      c.nextSeq,
-			pc:       f.pc,
-			inst:     in,
-			dest:     in.Dest(),
-			predNext: f.predNext,
-			isCtl:    in.Op.IsControl(),
-			isLoad:   in.Op.IsLoad() || in.Op == isa.PREF,
-			isStore:  in.Op.IsStore(),
-		}
+		e := c.newEntry()
+		e.seq = c.nextSeq
+		e.pc = f.pc
+		e.inst = in
+		e.dest = in.Dest()
+		e.predNext = f.predNext
+		e.isCtl = in.Op.IsControl()
+		e.isLoad = in.Op.IsLoad() || in.Op == isa.PREF
+		e.isStore = in.Op.IsStore()
 		c.nextSeq++
 		e.actualNext = f.pc + 1 // non-control default: never mispredicts
 		if isMem && !c.cfg.HasMem {
 			e.execErr = fmt.Errorf("memory operation %v on a core without memory access", in.Op)
 		}
 
-		for _, r := range in.Sources() {
+		srcList, nsrc := in.SourceList()
+		for si := 0; si < nsrc; si++ {
+			r := srcList[si]
 			s := srcOperand{reg: r}
 			switch {
 			case r.IsQueue():
@@ -929,12 +1084,13 @@ func (c *Core) dispatch(now int64) {
 			case r == isa.R0:
 				s.ready = true
 			default:
-				if prod, ok := c.rename[r]; ok {
+				if prod := c.rename[r]; prod != nil {
 					if prod.completed {
 						s.val = prod.result
 						s.ready = true
 					} else {
 						s.producer = prod
+						prod.refs++
 					}
 				} else {
 					s.val = c.readReg(r)
@@ -969,6 +1125,7 @@ func (c *Core) dispatch(now int64) {
 		}
 		if e.dest.IsQueue() || in.Op == isa.PUTSCQ ||
 			in.Ann.Has(isa.AnnTapLDQ) || in.Ann.Has(isa.AnnTapSDQ) || in.Ann.Has(isa.AnnPushCQ) {
+			e.pinned = true
 			c.pushList = append(c.pushList, e)
 		}
 
@@ -992,9 +1149,10 @@ func (c *Core) dispatch(now int64) {
 			e.completeAt = now
 			if e.execErr == nil && e.actualNext != e.predNext {
 				c.stats.DispatchRedirects++
-				c.trace(now, StageRedirect, e, fmt.Sprintf("token steers to %d", e.actualNext))
-				c.ifq = c.ifq[:0]
-				c.fetchCQPeek = 0
+				if c.cfg.Tracer != nil {
+					c.trace(now, StageRedirect, e, fmt.Sprintf("token steers to %d", e.actualNext))
+				}
+				c.flushIFQ()
 				c.pc = e.actualNext
 				c.fetchStopped = false
 				e.predNext = e.actualNext // already steered; nothing to squash
@@ -1051,7 +1209,7 @@ func (c *Core) fetch(now int64) {
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.ifq) >= c.cfg.IFQSize {
+		if c.ifqLen() >= c.cfg.IFQSize {
 			c.stats.FetchStalls++
 			return
 		}
@@ -1139,7 +1297,7 @@ func (c *Core) fetch(now int64) {
 // diagnostics.
 func (c *Core) DescribeHead() string {
 	if len(c.window) == 0 {
-		return fmt.Sprintf("%s: window empty, pc=%d fetchStopped=%v ifq=%d", c.cfg.Name, c.pc, c.fetchStopped, len(c.ifq))
+		return fmt.Sprintf("%s: window empty, pc=%d fetchStopped=%v ifq=%d", c.cfg.Name, c.pc, c.fetchStopped, c.ifqLen())
 	}
 	e := c.window[0]
 	s := fmt.Sprintf("%s head: pc=%d %q issued=%v completed=%v completeAt=%d addrReady=%v",

@@ -14,6 +14,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"hidisc/internal/fnsim"
@@ -50,14 +52,37 @@ type Measurement struct {
 
 // Runner compiles workloads once and executes measurements, verifying
 // every simulation against the reference output.
+//
+// A Runner is safe for concurrent use: compilation is single-flight
+// per workload, the measurement cache is mutex-guarded, and each
+// simulation builds its own machine.Machine (the simulator packages
+// hold no package-level mutable state — see DESIGN.md §4). The
+// Configure hook may be called from several goroutines at once and
+// must only mutate the *machine.Config it is handed.
 type Runner struct {
-	Scale    workloads.Scale
-	Hier     mem.HierConfig
-	compiled map[string]*Compiled
-	cache    map[string]Measurement
+	Scale workloads.Scale
+	Hier  mem.HierConfig
+	// Workers bounds the fan-out of RunJobs/RunAll/RunFig10; <= 0
+	// means GOMAXPROCS.
+	Workers int
 	// Configure, when non-nil, post-processes the machine configuration
 	// before each run (used by ablation benches).
 	Configure func(*machine.Config)
+
+	mu       sync.Mutex
+	compiled map[string]*compileEntry
+	cache    map[string]Measurement
+
+	simCycles atomic.Int64 // total simulated cycles actually executed
+	simInsts  atomic.Int64 // total committed instructions actually executed
+}
+
+// compileEntry single-flights a workload compilation: the first caller
+// does the work, concurrent callers wait on the Once.
+type compileEntry struct {
+	once sync.Once
+	c    *Compiled
+	err  error
 }
 
 // NewRunner returns a runner at the given scale with the Table 1
@@ -66,16 +91,33 @@ func NewRunner(scale workloads.Scale) *Runner {
 	return &Runner{
 		Scale:    scale,
 		Hier:     mem.DefaultHierConfig(),
-		compiled: map[string]*Compiled{},
+		compiled: map[string]*compileEntry{},
 		cache:    map[string]Measurement{},
 	}
 }
 
+// SimTotals returns the cumulative simulated cycles and committed
+// instructions this runner has executed (cache hits excluded), for
+// throughput reporting.
+func (r *Runner) SimTotals() (cycles, insts int64) {
+	return r.simCycles.Load(), r.simInsts.Load()
+}
+
 // Compile builds (and memoises) both bundles for the named workload.
+// Concurrent calls for the same workload compile it exactly once.
 func (r *Runner) Compile(name string) (*Compiled, error) {
-	if c, ok := r.compiled[name]; ok {
-		return c, nil
+	r.mu.Lock()
+	e, ok := r.compiled[name]
+	if !ok {
+		e = &compileEntry{}
+		r.compiled[name] = e
 	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.c, e.err = r.compile(name) })
+	return e.c, e.err
+}
+
+func (r *Runner) compile(name string) (*Compiled, error) {
 	w, err := workloads.ByName(name, r.Scale)
 	if err != nil {
 		return nil, err
@@ -100,9 +142,7 @@ func (r *Runner) Compile(name string) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: separate with profile: %w", name, err)
 	}
-	c := &Compiled{Workload: w, SeqInsts: ref.Insts, Plain: plain, CMAS: cmas}
-	r.compiled[name] = c
-	return c, nil
+	return &Compiled{Workload: w, SeqInsts: ref.Insts, Plain: plain, CMAS: cmas}, nil
 }
 
 // bundleFor selects the paper-faithful bundle per architecture.
@@ -117,7 +157,10 @@ func (c *Compiled) bundleFor(arch machine.Arch) *slicer.Bundle {
 // hierarchy, verifying program output against the reference.
 func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measurement, error) {
 	key := fmt.Sprintf("%s|%s|%d|%d", name, arch, hier.L2.Latency, hier.MemLatency)
-	if m, ok := r.cache[key]; ok {
+	r.mu.Lock()
+	m, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
 		return m, nil
 	}
 	c, err := r.Compile(name)
@@ -140,8 +183,10 @@ func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measu
 	if err := verifyOutput(c.Workload, res.Output); err != nil {
 		return Measurement{}, fmt.Errorf("%s on %s: %w", name, arch, err)
 	}
+	r.simCycles.Add(res.Cycles)
+	r.simInsts.Add(int64(res.Committed()))
 	st := res.Hier.L1D
-	m := Measurement{
+	m = Measurement{
 		Workload:    name,
 		Arch:        arch,
 		Cycles:      res.Cycles,
@@ -157,7 +202,9 @@ func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measu
 	if cp, ok := res.Cores["cp"]; ok {
 		m.QueueWaitCP = cp.QueueWaitCycles
 	}
+	r.mu.Lock()
 	r.cache[key] = m
+	r.mu.Unlock()
 	return m, nil
 }
 
@@ -174,18 +221,25 @@ func verifyOutput(w *workloads.Workload, got []string) error {
 }
 
 // RunAll measures every benchmark on every architecture at the default
-// hierarchy.
+// hierarchy, fanning the independent simulations across r.Workers
+// goroutines.
 func (r *Runner) RunAll() (map[string]map[machine.Arch]Measurement, error) {
-	out := map[string]map[machine.Arch]Measurement{}
+	jobs := make([]Job, 0, len(workloads.Names())*len(machine.Arches))
 	for _, name := range workloads.Names() {
-		out[name] = map[machine.Arch]Measurement{}
 		for _, arch := range machine.Arches {
-			m, err := r.Run(name, arch, r.Hier)
-			if err != nil {
-				return nil, err
-			}
-			out[name][arch] = m
+			jobs = append(jobs, Job{Workload: name, Arch: arch, Hier: r.Hier})
 		}
+	}
+	ms, err := r.RunJobs(r.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[machine.Arch]Measurement{}
+	for i, j := range jobs {
+		if out[j.Workload] == nil {
+			out[j.Workload] = map[machine.Arch]Measurement{}
+		}
+		out[j.Workload][j.Arch] = ms[i]
 	}
 	return out, nil
 }
@@ -370,17 +424,22 @@ type Fig10 struct {
 	IPC      map[machine.Arch][]float64 // indexed by LatencyPoints
 }
 
-// RunFig10 produces Figure 10's data for one workload.
+// RunFig10 produces Figure 10's data for one workload, running the
+// latency sweep's independent points in parallel.
 func RunFig10(r *Runner, name string) (*Fig10, error) {
-	f := &Fig10{Workload: name, IPC: map[machine.Arch][]float64{}}
+	jobs := make([]Job, 0, len(machine.Arches)*len(LatencyPoints))
 	for _, arch := range machine.Arches {
 		for _, lp := range LatencyPoints {
-			m, err := r.Run(name, arch, r.Hier.WithLatencies(lp.L2, lp.Mem))
-			if err != nil {
-				return nil, err
-			}
-			f.IPC[arch] = append(f.IPC[arch], m.IPC)
+			jobs = append(jobs, Job{Workload: name, Arch: arch, Hier: r.Hier.WithLatencies(lp.L2, lp.Mem)})
 		}
+	}
+	ms, err := r.RunJobs(r.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fig10{Workload: name, IPC: map[machine.Arch][]float64{}}
+	for i, j := range jobs {
+		f.IPC[j.Arch] = append(f.IPC[j.Arch], ms[i].IPC)
 	}
 	return f, nil
 }

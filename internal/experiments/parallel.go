@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/mem"
+)
+
+// Job names one independent simulation: a workload on an architecture
+// with a memory hierarchy.
+type Job struct {
+	Workload string
+	Arch     machine.Arch
+	Hier     mem.HierConfig
+}
+
+// RunJobs executes the jobs across a pool of worker goroutines and
+// returns their measurements in job order. Each simulation is fully
+// independent (its own machine.Machine, memory image, and hierarchy),
+// so results are bit-identical to running the jobs sequentially —
+// only the wall-clock order of execution differs.
+//
+// workers <= 0 means GOMAXPROCS. On error the first failure in job
+// order is returned, matching what a sequential loop would report.
+func (r *Runner) RunJobs(workers int, jobs []Job) ([]Measurement, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Measurement, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			m, err := r.Run(j.Workload, j.Arch, j.Hier)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = m
+		}
+		return results, nil
+	}
+	// Warm the compile cache on one goroutine first: distinct workloads
+	// single-flight anyway, but compiling up front keeps workers from
+	// idling behind a shared Once when many jobs share one workload.
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if !seen[j.Workload] {
+			seen[j.Workload] = true
+			if _, err := r.Compile(j.Workload); err != nil {
+				return nil, err
+			}
+		}
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				results[i], errs[i] = r.Run(j.Workload, j.Arch, j.Hier)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

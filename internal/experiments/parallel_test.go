@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/workloads"
+)
+
+// TestParallelRunnerDeterministic is the contract behind the -j flag:
+// fanning simulations across goroutines must produce bit-identical
+// Results to the sequential path — cycles, output checksums, cache
+// counters, queue stats, everything. Run under -race this also audits
+// that no package-level mutable state is shared between machines.
+func TestParallelRunnerDeterministic(t *testing.T) {
+	var jobs []Job
+	seq := NewRunner(workloads.ScaleTest)
+	for _, name := range []string{"Pointer", "NB"} {
+		for _, arch := range machine.Arches {
+			jobs = append(jobs, Job{Workload: name, Arch: arch, Hier: seq.Hier})
+		}
+	}
+	want := make([]Measurement, len(jobs))
+	for i, j := range jobs {
+		m, err := seq.Run(j.Workload, j.Arch, j.Hier)
+		if err != nil {
+			t.Fatalf("sequential %s on %s: %v", j.Workload, j.Arch, err)
+		}
+		want[i] = m
+	}
+
+	par := NewRunner(workloads.ScaleTest)
+	got, err := par.RunJobs(8, jobs)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("got %d measurements, want %d", len(got), len(jobs))
+	}
+	for i, j := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s on %s: parallel measurement differs from sequential\n got: %+v\nwant: %+v",
+				j.Workload, j.Arch, got[i], want[i])
+		}
+		if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+			t.Errorf("%s on %s: Result differs (cycles %d vs %d, memhash %x vs %x)",
+				j.Workload, j.Arch, got[i].Result.Cycles, want[i].Result.Cycles,
+				got[i].Result.MemHash, want[i].Result.MemHash)
+		}
+	}
+}
+
+// TestRunJobsSequentialFallback pins the workers<=1 path to the same
+// results as the pool.
+func TestRunJobsSequentialFallback(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	jobs := []Job{
+		{Workload: "Field", Arch: machine.Superscalar, Hier: r.Hier},
+		{Workload: "Field", Arch: machine.HiDISC, Hier: r.Hier},
+	}
+	one, err := r.RunJobs(1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := NewRunner(workloads.ScaleTest).RunJobs(4, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, many) {
+		t.Error("workers=1 and workers=4 disagree")
+	}
+}
+
+// TestRunJobsFirstErrorInJobOrder: a bad job must surface the same
+// error a sequential loop would hit first.
+func TestRunJobsFirstErrorInJobOrder(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	jobs := []Job{
+		{Workload: "Field", Arch: machine.Superscalar, Hier: r.Hier},
+		{Workload: "nonsense", Arch: machine.Superscalar, Hier: r.Hier},
+	}
+	if _, err := r.RunJobs(4, jobs); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+}
+
+// TestRunAllMatchesSequentialRuns: the fanned-out RunAll must agree
+// with individually issued Run calls.
+func TestRunAllMatchesSequentialRuns(t *testing.T) {
+	par := NewRunner(workloads.ScaleTest)
+	par.Workers = 4
+	all, err := par.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewRunner(workloads.ScaleTest)
+	for _, name := range []string{"DM", "TC"} {
+		for _, arch := range machine.Arches {
+			m, err := seq.Run(name, arch, seq.Hier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(all[name][arch], m) {
+				t.Errorf("RunAll %s on %s differs from sequential Run", name, arch)
+			}
+		}
+	}
+}

@@ -163,20 +163,40 @@ func Decode(w Word) (Inst, error) {
 // instruction (the Rt operand).
 func (in Inst) StoreData() Reg { return in.Rt }
 
-// Sources returns the registers (or queues) the instruction reads, in
-// operand order. Queue sources are dequeued in exactly this order.
-func (in Inst) Sources() []Reg {
-	var src []Reg
+// MaxSources is the largest number of source operands any instruction
+// reads (SourceList's array size).
+const MaxSources = 3
+
+// SourceList returns the registers (or queues) the instruction reads,
+// in operand order, without allocating: the first n entries of the
+// returned array are valid. Queue sources are dequeued in exactly this
+// order. The simulators' per-cycle hot paths use this form.
+func (in Inst) SourceList() (src [MaxSources]Reg, n int) {
 	if in.Op.ReadsRs() && in.Rs != RegNone {
-		src = append(src, in.Rs)
+		src[n] = in.Rs
+		n++
 	}
 	if in.Op.ReadsRt() && in.Rt != RegNone {
-		src = append(src, in.Rt)
+		src[n] = in.Rt
+		n++
 	}
 	if in.Op == BCQ || in.Op == JCQ {
-		src = append(src, RegCQ)
+		src[n] = RegCQ
+		n++
 	}
-	return src
+	return src, n
+}
+
+// Sources returns the registers (or queues) the instruction reads, in
+// operand order. Queue sources are dequeued in exactly this order.
+// Analysis passes use this convenient form; the cycle simulators use
+// the allocation-free SourceList.
+func (in Inst) Sources() []Reg {
+	src, n := in.SourceList()
+	if n == 0 {
+		return nil
+	}
+	return src[:n:n]
 }
 
 // Dest returns the written register, or RegNone. JAL implicitly writes RA.

@@ -3,6 +3,7 @@ package stats
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"hidisc/internal/asm"
 	"hidisc/internal/fnsim"
@@ -97,4 +98,23 @@ func TestZeroValueSafety(t *testing.T) {
 		t.Error("zero-value report produced nonzero metrics")
 	}
 	_ = r.String() // must not panic
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{SimCycles: 2_000_000, SimInsts: 1_000_000, Wall: 2 * time.Second}
+	if got := tp.CyclesPerSec(); got != 1e6 {
+		t.Errorf("CyclesPerSec = %v, want 1e6", got)
+	}
+	if got := tp.KIPS(); got != 500 {
+		t.Errorf("KIPS = %v, want 500", got)
+	}
+	if got := tp.MIPS(); got != 0.5 {
+		t.Errorf("MIPS = %v, want 0.5", got)
+	}
+	if (Throughput{SimCycles: 1, SimInsts: 1}).CyclesPerSec() != 0 {
+		t.Error("zero wall must not divide by zero")
+	}
+	if s := tp.String(); s == "" {
+		t.Error("empty String")
+	}
 }

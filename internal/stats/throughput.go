@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Throughput reports simulator speed: simulated work per second of
+// wall-clock time. This is the number the performance work optimises —
+// the figures themselves are invariant, only how fast they regenerate.
+type Throughput struct {
+	SimCycles int64         // simulated machine cycles executed
+	SimInsts  int64         // instructions committed across all cores
+	Wall      time.Duration // wall-clock time spent simulating
+}
+
+// CyclesPerSec returns simulated cycles per wall-clock second.
+func (t Throughput) CyclesPerSec() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.SimCycles) / t.Wall.Seconds()
+}
+
+// KIPS returns thousands of simulated instructions committed per
+// wall-clock second (the classic simulator-speed unit).
+func (t Throughput) KIPS() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.SimInsts) / t.Wall.Seconds() / 1e3
+}
+
+// MIPS returns millions of simulated instructions per second.
+func (t Throughput) MIPS() float64 { return t.KIPS() / 1e3 }
+
+// String renders the throughput compactly.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.2f Mcycles/s, %.2f simulated MIPS (%d cycles, %d insts in %v)",
+		t.CyclesPerSec()/1e6, t.MIPS(), t.SimCycles, t.SimInsts, t.Wall.Round(time.Millisecond))
+}
