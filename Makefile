@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race fuzz-smoke bench
 
-ci: vet build test race
+ci: vet build test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,16 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel runner and the multi-core machine are the
-# concurrency-bearing packages; run them under the race detector.
+# The parallel runner, the multi-core machine, and the queue/core
+# building blocks they drive concurrently; run them under the race
+# detector.
 race:
-	$(GO) test -race ./internal/experiments ./internal/machine
+	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu
+
+# A short native-fuzz pass over the assembler: arbitrary source must
+# never panic. Deeper runs: go test -fuzz FuzzAssemble ./internal/asm
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzAssemble -fuzztime 3s ./internal/asm
 
 # One pass over every table/figure benchmark (reports simMIPS).
 bench:

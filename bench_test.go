@@ -230,7 +230,7 @@ func BenchmarkAblationBlockingHandshake(b *testing.B) {
 			name = "blocking-getscq"
 		}
 		b.Run(name, func(b *testing.B) {
-			p := w.MustProgram()
+			p := mustProgram(b, w)
 			prof, err := profileFor(p, w.MaxInsts)
 			if err != nil {
 				b.Fatal(err)
@@ -277,7 +277,7 @@ func BenchmarkAblationPrefetchDistance(b *testing.B) {
 			name = "dist0"
 		}
 		b.Run(name, func(b *testing.B) {
-			p := w.MustProgram()
+			p := mustProgram(b, w)
 			prof, err := profileFor(p, w.MaxInsts)
 			if err != nil {
 				b.Fatal(err)
@@ -338,7 +338,7 @@ func BenchmarkAssembler(b *testing.B) {
 // BenchmarkFunctionalSim measures functional interpreter throughput in
 // instructions per second.
 func BenchmarkFunctionalSim(b *testing.B) {
-	p := asm.MustAssemble("micro", microKernel)
+	p := mustAssemble(b, "micro", microKernel)
 	var insts uint64
 	for i := 0; i < b.N; i++ {
 		res, err := fnsim.RunProgram(p, 1_000_000)
@@ -353,7 +353,7 @@ func BenchmarkFunctionalSim(b *testing.B) {
 
 // BenchmarkStreamSeparation measures compiler throughput.
 func BenchmarkStreamSeparation(b *testing.B) {
-	p := asm.MustAssemble("micro", microKernel)
+	p := mustAssemble(b, "micro", microKernel)
 	for i := 0; i < b.N; i++ {
 		if _, err := slicer.Separate(p, slicer.Options{}); err != nil {
 			b.Fatal(err)
@@ -365,7 +365,7 @@ func BenchmarkStreamSeparation(b *testing.B) {
 // BenchmarkCycleSimulator measures timing-simulator throughput in
 // simulated cycles per wall second.
 func BenchmarkCycleSimulator(b *testing.B) {
-	p := asm.MustAssemble("micro", microKernel)
+	p := mustAssemble(b, "micro", microKernel)
 	bundle, err := slicer.Separate(p, slicer.Options{})
 	if err != nil {
 		b.Fatal(err)
@@ -452,7 +452,7 @@ func BenchmarkAblationControlThinning(b *testing.B) {
 			name = "mirror-all"
 		}
 		b.Run(name, func(b *testing.B) {
-			p := w.MustProgram()
+			p := mustProgram(b, w)
 			bundle, err := slicer.Separate(p, slicer.Options{KeepAllControl: keepAll})
 			if err != nil {
 				b.Fatal(err)
@@ -471,4 +471,24 @@ func BenchmarkAblationControlThinning(b *testing.B) {
 			reportThroughput(b, cycles, insts)
 		})
 	}
+}
+
+// mustAssemble assembles fixed test source, failing the test on error.
+func mustAssemble(tb testing.TB, name, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", name, err)
+	}
+	return p
+}
+
+// mustProgram assembles a workload, failing the benchmark on error.
+func mustProgram(tb testing.TB, w *workloads.Workload) *isa.Program {
+	tb.Helper()
+	p, err := w.Program()
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", w.Name, err)
+	}
+	return p
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 
 	"hidisc/internal/experiments"
 	"hidisc/internal/machine"
+	"hidisc/internal/simfault"
 	"hidisc/internal/stats"
 	"hidisc/internal/workloads"
 )
@@ -32,7 +34,11 @@ func main() {
 	lod := flag.Bool("lod", false, "run the loss-of-decoupling analysis table")
 	extras := flag.Bool("extras", false, "also run the Matrix and CornerTurn stressmarks")
 	all := flag.Bool("all", false, "run everything")
+	timeout := flag.Duration("timeout", 0, "abort wedged simulations after this long (0 = no limit)")
+	dumpDir := flag.String("dump-on-fault", "", "write fault snapshots as JSON into this directory")
 	flag.Parse()
+
+	faultDumpDir = *dumpDir
 
 	sc := workloads.ScalePaper
 	if *scale == "test" {
@@ -44,6 +50,11 @@ func main() {
 
 	r := experiments.NewRunner(sc)
 	r.Workers = *jobs
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		r.Ctx = ctx
+	}
 	start := time.Now()
 
 	if *all || *t1 {
@@ -105,7 +116,20 @@ func main() {
 		wall.Round(time.Millisecond), *jobs, tp)
 }
 
+// faultDumpDir, when set by -dump-on-fault, receives JSON snapshots of
+// every typed fault carried by the error that killed the run.
+var faultDumpDir string
+
 func fatal(err error) {
+	if faultDumpDir != "" {
+		paths, werr := simfault.WriteSnapshots(faultDumpDir, err)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "hidisc-bench: writing fault snapshots:", werr)
+		}
+		for _, p := range paths {
+			fmt.Fprintln(os.Stderr, "hidisc-bench: fault snapshot written to", p)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "hidisc-bench:", err)
 	os.Exit(1)
 }

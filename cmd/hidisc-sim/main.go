@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"hidisc/internal/machine"
 	"hidisc/internal/mem"
 	"hidisc/internal/profile"
+	"hidisc/internal/simfault"
 	"hidisc/internal/slicer"
 	"hidisc/internal/stats"
 	"hidisc/internal/workloads"
@@ -39,7 +41,17 @@ func main() {
 	maxInsts := flag.Uint64("max-insts", 1_000_000_000, "functional execution budget")
 	traceCycles := flag.Int64("trace", 0, "print a pipeline trace for the first N cycles")
 	compare := flag.Bool("compare", false, "run all four architectures and print a comparison table")
+	timeout := flag.Duration("timeout", 0, "abort a wedged simulation after this long (0 = no limit)")
+	dumpDir := flag.String("dump-on-fault", "", "write fault snapshots as JSON into this directory")
 	flag.Parse()
+
+	faultDumpDir = *dumpDir
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var p *isa.Program
 	var err error
@@ -94,7 +106,7 @@ func main() {
 	if *compare {
 		var reports []stats.Report
 		for _, arch := range machine.Arches {
-			res, rerr := machine.RunArch(b, arch, hier)
+			res, rerr := machine.RunArchContext(ctx, b, arch, hier)
 			if rerr != nil {
 				fatal(rerr)
 			}
@@ -118,7 +130,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := mach.Run()
+	res, err := mach.RunContext(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -144,7 +156,20 @@ func loadProgram(path string) (*isa.Program, error) {
 	return asm.Assemble(name, string(data))
 }
 
+// faultDumpDir, when set by -dump-on-fault, receives JSON snapshots of
+// every typed fault carried by the error that killed the run.
+var faultDumpDir string
+
 func fatal(err error) {
+	if faultDumpDir != "" {
+		paths, werr := simfault.WriteSnapshots(faultDumpDir, err)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "hidisc-sim: writing fault snapshots:", werr)
+		}
+		for _, p := range paths {
+			fmt.Fprintln(os.Stderr, "hidisc-sim: fault snapshot written to", p)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "hidisc-sim:", err)
 	os.Exit(1)
 }

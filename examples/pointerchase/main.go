@@ -27,7 +27,10 @@ func main() {
 		}
 		fmt.Printf("== %s: %s\n", w.Name, w.Description)
 
-		prog := w.MustProgram()
+		prog, err := w.Program()
+		if err != nil {
+			log.Fatal(err)
+		}
 		ref, err := fnsim.RunProgram(prog, w.MaxInsts)
 		if err != nil {
 			log.Fatal(err)

@@ -82,16 +82,6 @@ func Assemble(name, source string) (*isa.Program, error) {
 	return a.pass2()
 }
 
-// MustAssemble is Assemble that panics on error; for tests and the
-// built-in workload kernels, whose sources are fixed at build time.
-func MustAssemble(name, source string) *isa.Program {
-	p, err := Assemble(name, source)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 func stripComment(l string) string {
 	for i := 0; i < len(l); i++ {
 		c := l[i]

@@ -320,13 +320,10 @@ main:   add   $r9, $r25, $r8
 	}
 }
 
-func TestMustAssemblePanicsOnError(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustAssemble did not panic")
-		}
-	}()
-	MustAssemble("t", "main: frobnicate")
+func TestAssembleErrorsOnUnknownMnemonic(t *testing.T) {
+	if _, err := Assemble("t", "main: frobnicate"); err == nil {
+		t.Error("Assemble accepted an unknown mnemonic")
+	}
 }
 
 func TestSplitArgsRespectsParensAndStrings(t *testing.T) {

@@ -1,0 +1,35 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble pins the assembler's containment contract: arbitrary
+// source must produce a program or an error, never a panic. Run the
+// smoke pass with `make fuzz-smoke`, or dig deeper with
+// `go test -fuzz FuzzAssemble -fuzztime 60s ./internal/asm`.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"main: halt",
+		"main: add $r1, $r2, $r3\nhalt",
+		"main: lw $r1, 0($r2)\n sw $r1, 4($r2)\n halt",
+		"main: add $r1, $LDQ, $r0\n halt",
+		".data\nx: .word 1, 2, 3\n.text\nmain: la $r1, x\n halt",
+		"loop: addi $r1, $r1, -1\n bgtz $r1, loop\n out $r1\n halt",
+		"main: trigger 0, 9\n getscq 0\n putscq 0\n halt",
+		"main: li $f1, 1.5\n add.d $f2, $f1, $f1\n halt",
+		".data\ns: .space 64\n.text\nmain: jal sub\n halt\nsub: jr $ra",
+		"main: .word",
+		"main: lw $r1, 0x10000000($r2",
+		": :\n\t,,,\n\"",
+		".data\nx: .word 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err == nil && p == nil {
+			t.Error("Assemble returned neither program nor error")
+		}
+	})
+}

@@ -264,7 +264,7 @@ next:   addi $r1, $r1, -1
         out  $r3
         halt
 `
-	p := asm.MustAssemble("t", src)
+	p := mustAssemble(t, "t", src)
 	g, err := Build(p)
 	if err != nil {
 		t.Fatal(err)
@@ -376,4 +376,14 @@ inner:  addi $r2, $r2, -1
 	if ipdom[contBlock] != haltBlock {
 		t.Errorf("ipdom(cont) = %d, want %d", ipdom[contBlock], haltBlock)
 	}
+}
+
+// mustAssemble assembles fixed test source, failing the test on error.
+func mustAssemble(tb testing.TB, name, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", name, err)
+	}
+	return p
 }

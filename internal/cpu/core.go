@@ -14,6 +14,7 @@ import (
 	"hidisc/internal/isa"
 	"hidisc/internal/mem"
 	"hidisc/internal/queue"
+	"hidisc/internal/simfault"
 )
 
 // Config parameterises one out-of-order core.
@@ -52,6 +53,12 @@ type Config struct {
 
 	// Tracer, when non-nil, receives pipeline events (see trace.go).
 	Tracer Tracer
+
+	// ForceMispredict, when non-nil, is asked at each conditional-
+	// branch fetch whether to invert the prediction; wired by the
+	// fault injector's mispredict storms. Nil costs one pointer check
+	// per fetched branch (pinned by the AllocsPerRun tests).
+	ForceMispredict func(now int64) bool
 
 	PredictorKind string // "bimodal" (default), "gshare", or "taken"
 	PredictorSize int    // predictor table entries (default 2048)
@@ -231,6 +238,12 @@ type Core struct {
 	halted bool
 	output []string
 	stats  Stats
+
+	// recentPCs rings the last committed program counters for fault
+	// forensics (oldest overwritten first); recentLen counts total
+	// commits recorded.
+	recentPCs [recentPCDepth]int32
+	recentLen uint64
 
 	// OnTrigger, when set, is invoked at dispatch of a trigger-
 	// annotated instruction with the CMAS id and the committed
@@ -435,6 +448,8 @@ func (c *Core) commitInsts(now int64) error {
 			c.stats.CommittedStores++
 		}
 		c.stats.Committed++
+		c.recentPCs[c.recentLen%recentPCDepth] = int32(e.pc)
+		c.recentLen++
 		c.trace(now, StageCommit, e, "")
 		c.winHead++
 		if e.isLoad || e.isStore {
@@ -1254,7 +1269,7 @@ func (c *Core) fetch(now int64) {
 			}
 			if !steered {
 				if in.Op == isa.BCQ {
-					if c.pred.Predict(c.pc) {
+					if c.predictTaken(now) {
 						next = in.Target()
 						taken = true
 					}
@@ -1280,7 +1295,7 @@ func (c *Core) fetch(now int64) {
 				c.ras.Push(c.pc + 1)
 			}
 		case in.Op.IsCondBranch():
-			if c.pred.Predict(c.pc) {
+			if c.predictTaken(now) {
 				next = in.Target()
 				taken = true
 			}
@@ -1291,6 +1306,93 @@ func (c *Core) fetch(now int64) {
 			return // fetch break after a predicted-taken branch
 		}
 	}
+}
+
+// predictTaken consults the branch predictor for the instruction at
+// the current fetch PC, inverting the answer when a fault-injection
+// mispredict storm is active.
+func (c *Core) predictTaken(now int64) bool {
+	t := c.pred.Predict(c.pc)
+	if c.cfg.ForceMispredict != nil && c.cfg.ForceMispredict(now) {
+		t = !t
+	}
+	return t
+}
+
+// StallMemPorts holds every cache port busy until the given cycle;
+// the fault injector uses it to starve a core's memory pipeline.
+func (c *Core) StallMemPorts(until int64) {
+	for i := range c.memPorts.busyUntil {
+		if c.memPorts.busyUntil[i] < until {
+			c.memPorts.busyUntil[i] = until
+		}
+	}
+}
+
+// recentPCDepth is the committed-PC ring buffer depth kept per core
+// for fault snapshots.
+const recentPCDepth = 32
+
+// FaultState captures the core's pipeline state for a fault snapshot.
+// It is called between cycles (never from inside Cycle), so the deque
+// head indices are zero and occupancies are the architectural ones.
+func (c *Core) FaultState() simfault.CoreState {
+	cs := simfault.CoreState{
+		Name:         c.cfg.Name,
+		Halted:       c.halted,
+		PC:           c.pc,
+		Committed:    c.stats.Committed,
+		Squashed:     c.stats.Squashed,
+		WindowOcc:    len(c.window) - c.winHead,
+		WindowCap:    c.cfg.WindowSize,
+		LSQOcc:       len(c.lsq) - c.lsqHead,
+		LSQCap:       c.cfg.LSQSize,
+		IFQOcc:       c.ifqLen(),
+		IFQCap:       c.cfg.IFQSize,
+		FetchStopped: c.fetchStopped,
+	}
+	n := c.recentLen
+	if n > recentPCDepth {
+		n = recentPCDepth
+	}
+	for i := uint64(0); i < n; i++ {
+		cs.RecentPCs = append(cs.RecentPCs, int(c.recentPCs[(c.recentLen-n+i)%recentPCDepth]))
+	}
+	if c.winHead < len(c.window) {
+		e := c.window[c.winHead]
+		h := &simfault.HeadState{
+			PC:         e.pc,
+			Inst:       e.inst.String(),
+			Seq:        e.seq,
+			Issued:     e.issued,
+			Completed:  e.completed,
+			CompleteAt: e.completeAt,
+			IsLoad:     e.isLoad,
+			IsStore:    e.isStore,
+			Addr:       e.addr,
+			AddrReady:  e.addrReady,
+		}
+		for i := range e.srcs {
+			s := &e.srcs[i]
+			src := simfault.SourceState{
+				Reg:        s.reg.String(),
+				Ready:      s.ready,
+				ProducerPC: -1,
+			}
+			if s.qref != nil {
+				src.Queue = s.qref.Name()
+				src.Seq = s.qseq
+				src.QueueReady = s.qref.Ready(s.qseq)
+			}
+			if s.producer != nil {
+				src.ProducerPC = s.producer.pc
+				src.ProducerDone = s.producer.completed
+			}
+			h.Sources = append(h.Sources, src)
+		}
+		cs.Head = h
+	}
+	return cs
 }
 
 // DescribeHead reports the oldest window entry's state for deadlock

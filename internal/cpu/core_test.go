@@ -58,7 +58,7 @@ loop:   mul  $r4, $r1, $r3
         out  $r2
         halt
 `
-	p := asm.MustAssemble("t", src)
+	p := mustAssemble(t, "t", src)
 	want, err := fnsim.RunProgram(p, 100000)
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ skip:   addi $r1, $r1, -1
         out  $r2
         halt
 `
-	p := asm.MustAssemble("t", src)
+	p := mustAssemble(t, "t", src)
 	want, _ := fnsim.RunProgram(p, 100000)
 	c, _ := runCore(t, src, Config{Name: "ss"})
 	if c.Output()[0] != want.Output[0] {
@@ -139,7 +139,7 @@ main:   li   $r1, 0xAA
         out  $r3
         halt
 `
-	p := asm.MustAssemble("t", src)
+	p := mustAssemble(t, "t", src)
 	want, _ := fnsim.RunProgram(p, 1000)
 	c, _ := runCore(t, src, Config{Name: "ss"})
 	if c.Output()[0] != want.Output[0] {
@@ -220,7 +220,7 @@ main:   li  $r1, 5
         div $r2, $r1, $r0
         halt
 `
-	p := asm.MustAssemble("t", src)
+	p := mustAssemble(t, "t", src)
 	m := mem.NewMemory()
 	h, _ := mem.NewHierarchy(mem.DefaultHierConfig())
 	c := New(Config{Name: "ss", HasMem: true}, p, m, h, QueueSet{})
@@ -236,7 +236,7 @@ main:   li  $r1, 5
 }
 
 func TestMemOpOnMemlessCoreFails(t *testing.T) {
-	p := asm.MustAssemble("t", "main: lw $r1, 0($r2)\nhalt")
+	p := mustAssemble(t, "t", "main: lw $r1, 0($r2)\nhalt")
 	m := mem.NewMemory()
 	h, _ := mem.NewHierarchy(mem.DefaultHierConfig())
 	c := New(Config{Name: "cp", HasMem: false}, p, m, h, QueueSet{})
@@ -256,7 +256,7 @@ func TestMemOpOnMemlessCoreFails(t *testing.T) {
 func TestProducerConsumerPair(t *testing.T) {
 	// AP pushes 100 loaded values; CP sums them. Verifies claim-based
 	// queue consumption end to end at the core level.
-	asP := asm.MustAssemble("as", `
+	asP := mustAssemble(t, "as", `
         .data
 buf:    .space 400
         .text
@@ -276,7 +276,7 @@ send:   lw   $LDQ, 0($r2)
         bgtz $r1, send
         halt
 `)
-	csP := asm.MustAssemble("cs", `
+	csP := mustAssemble(t, "cs", `
 main:   li   $r1, 100
         li   $r2, 0
 recv:   add  $r3, $LDQ, $r0
@@ -537,7 +537,7 @@ func TestCMPDynamicDistanceIdleWhenFilling(t *testing.T) {
 }
 
 func TestTracerReceivesPipelineEvents(t *testing.T) {
-	p := asm.MustAssemble("t", `
+	p := mustAssemble(t, "t", `
 main:   li   $r1, 3
 loop:   addi $r1, $r1, -1
         bgtz $r1, loop
@@ -606,7 +606,7 @@ skip:   addi $r1, $r1, -1
         out  $r2
         halt
 `
-	p := asm.MustAssemble("t", src)
+	p := mustAssemble(t, "t", src)
 	want, _ := fnsim.RunProgram(p, 100000)
 	for _, kind := range []string{"bimodal", "gshare", "taken"} {
 		c, _ := runCore(t, src, Config{Name: kind, PredictorKind: kind})
@@ -632,8 +632,18 @@ func TestUnknownPredictorPanics(t *testing.T) {
 			t.Error("unknown predictor kind accepted")
 		}
 	}()
-	p := asm.MustAssemble("t", "main: halt")
+	p := mustAssemble(t, "t", "main: halt")
 	m := mem.NewMemory()
 	h, _ := mem.NewHierarchy(mem.DefaultHierConfig())
 	New(Config{Name: "x", PredictorKind: "oracle"}, p, m, h, QueueSet{})
+}
+
+// mustAssemble assembles fixed test source, failing the test on error.
+func mustAssemble(tb testing.TB, name, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", name, err)
+	}
+	return p
 }

@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -68,6 +69,10 @@ type Runner struct {
 	// Configure, when non-nil, post-processes the machine configuration
 	// before each run (used by ablation benches).
 	Configure func(*machine.Config)
+	// Ctx, when non-nil, bounds every simulation this runner starts
+	// (the figure helpers have no context parameter of their own); a
+	// cancelled run surfaces as *simfault.TimeoutFault.
+	Ctx context.Context
 
 	mu       sync.Mutex
 	compiled map[string]*compileEntry
@@ -153,9 +158,23 @@ func (c *Compiled) bundleFor(arch machine.Arch) *slicer.Bundle {
 	return c.Plain
 }
 
+// ctx returns the runner's ambient context.
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
 // Run measures one workload on one architecture with the given
 // hierarchy, verifying program output against the reference.
 func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measurement, error) {
+	return r.RunContext(r.ctx(), name, arch, hier)
+}
+
+// RunContext is Run under an explicit context; cancellation surfaces
+// as *simfault.TimeoutFault. Successful measurements are memoised.
+func (r *Runner) RunContext(ctx context.Context, name string, arch machine.Arch, hier mem.HierConfig) (Measurement, error) {
 	key := fmt.Sprintf("%s|%s|%d|%d", name, arch, hier.L2.Latency, hier.MemLatency)
 	r.mu.Lock()
 	m, ok := r.cache[key]
@@ -163,20 +182,46 @@ func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measu
 	if ok {
 		return m, nil
 	}
+	m, err := r.measure(ctx, Job{Workload: name, Arch: arch, Hier: hier})
+	if err != nil {
+		return Measurement{}, err
+	}
+	r.mu.Lock()
+	r.cache[key] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// runJob executes one job. Jobs carrying a per-job Configure hook are
+// perturbed (fault injection, ablations) and bypass the measurement
+// cache entirely so they can never pollute healthy results.
+func (r *Runner) runJob(ctx context.Context, j Job) (Measurement, error) {
+	if j.Configure == nil {
+		return r.RunContext(ctx, j.Workload, j.Arch, j.Hier)
+	}
+	return r.measure(ctx, j)
+}
+
+// measure compiles, simulates and verifies one job, uncached.
+func (r *Runner) measure(ctx context.Context, j Job) (Measurement, error) {
+	name, arch := j.Workload, j.Arch
 	c, err := r.Compile(name)
 	if err != nil {
 		return Measurement{}, err
 	}
 	cfg := machine.DefaultConfig(arch)
-	cfg.Hier = hier
+	cfg.Hier = j.Hier
 	if r.Configure != nil {
 		r.Configure(&cfg)
+	}
+	if j.Configure != nil {
+		j.Configure(&cfg)
 	}
 	mach, err := machine.New(c.bundleFor(arch), cfg)
 	if err != nil {
 		return Measurement{}, err
 	}
-	res, err := mach.Run()
+	res, err := mach.RunContext(ctx)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("%s on %s: %w", name, arch, err)
 	}
@@ -186,7 +231,7 @@ func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measu
 	r.simCycles.Add(res.Cycles)
 	r.simInsts.Add(int64(res.Committed()))
 	st := res.Hier.L1D
-	m = Measurement{
+	m := Measurement{
 		Workload:    name,
 		Arch:        arch,
 		Cycles:      res.Cycles,
@@ -202,9 +247,6 @@ func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measu
 	if cp, ok := res.Cores["cp"]; ok {
 		m.QueueWaitCP = cp.QueueWaitCycles
 	}
-	r.mu.Lock()
-	r.cache[key] = m
-	r.mu.Unlock()
 	return m, nil
 }
 

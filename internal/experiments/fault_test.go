@@ -1,0 +1,192 @@
+package experiments
+
+// The batch-robustness acceptance test: a parallel sweep in which some
+// jobs are rigged to deadlock or panic must finish every healthy job
+// with results bit-identical to a sequential run, and attribute each
+// fault to the job that raised it. Runs under -race in CI.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/simfault"
+	"hidisc/internal/workloads"
+)
+
+func TestFaultyJobsAreContainedAndAttributed(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+
+	// The full benchmark matrix (7 workloads x 4 architectures = 28
+	// healthy jobs) ...
+	var jobs []Job
+	for _, name := range workloads.Names() {
+		for _, arch := range machine.Arches {
+			jobs = append(jobs, Job{Workload: name, Arch: arch, Hier: r.Hier})
+		}
+	}
+	if len(jobs) < 20 {
+		t.Fatalf("only %d jobs; the acceptance batch needs >= 20", len(jobs))
+	}
+	healthy := len(jobs)
+
+	// ... plus one job rigged to deadlock (cache ports stalled forever)
+	// and one rigged to panic mid-loop. Each gets its own Injector —
+	// they must not share PRNG state across goroutines.
+	deadlockIdx := len(jobs)
+	jobs = append(jobs, Job{
+		Workload: "Pointer", Arch: machine.CPAP, Hier: r.Hier,
+		Configure: func(cfg *machine.Config) {
+			cfg.WatchdogCycles = 2000
+			cfg.Inject = simfault.NewInjector(1, simfault.Action{
+				Kind: simfault.ActStallCachePort, Core: "ap", At: 100,
+			})
+		},
+	})
+	panicIdx := len(jobs)
+	jobs = append(jobs, Job{
+		Workload: "Update", Arch: machine.Superscalar, Hier: r.Hier,
+		Configure: func(cfg *machine.Config) {
+			cfg.Inject = simfault.NewInjector(2, simfault.Action{
+				Kind: simfault.ActPanic, At: 50,
+			})
+		},
+	})
+
+	ms, err := r.RunJobsCollect(8, jobs)
+	if err == nil {
+		t.Fatal("RunJobsCollect reported no error for a batch with rigged jobs")
+	}
+
+	// Both faults present, typed, each attributed to its job.
+	var dl *simfault.DeadlockFault
+	if !errors.As(err, &dl) {
+		t.Errorf("aggregate lost the DeadlockFault: %v", err)
+	} else if dl.Snapshot == nil || len(dl.Snapshot.Cores) == 0 {
+		t.Error("DeadlockFault snapshot is empty")
+	}
+	var inv *simfault.InvariantFault
+	if !errors.As(err, &inv) {
+		t.Errorf("aggregate lost the InvariantFault: %v", err)
+	} else if inv.Snapshot == nil || inv.Snapshot.Cycle != 50 {
+		t.Errorf("InvariantFault snapshot = %+v, want cycle 50", inv.Snapshot)
+	}
+	var jerrs []*JobError
+	var walk func(error)
+	walk = func(e error) {
+		if je, ok := e.(*JobError); ok {
+			jerrs = append(jerrs, je)
+			return
+		}
+		if u, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, c := range u.Unwrap() {
+				walk(c)
+			}
+		}
+	}
+	walk(err)
+	if len(jerrs) != 2 {
+		t.Fatalf("aggregate holds %d JobErrors, want 2: %v", len(jerrs), err)
+	}
+	gotIdx := map[int]simfault.Kind{}
+	for _, je := range jerrs {
+		k, ok := simfault.KindOf(je)
+		if !ok {
+			t.Errorf("job %d fault is untyped: %v", je.Index, je.Err)
+		}
+		gotIdx[je.Index] = k
+	}
+	if gotIdx[deadlockIdx] != simfault.KindDeadlock || gotIdx[panicIdx] != simfault.KindInvariant {
+		t.Errorf("fault attribution = %v, want {%d: deadlock, %d: invariant}", gotIdx, deadlockIdx, panicIdx)
+	}
+
+	// Every healthy job's measurement is bit-identical to a sequential
+	// run on a fresh runner, rigged neighbours notwithstanding.
+	seq := NewRunner(workloads.ScaleTest)
+	for i := 0; i < healthy; i++ {
+		want, serr := seq.Run(jobs[i].Workload, jobs[i].Arch, jobs[i].Hier)
+		if serr != nil {
+			t.Fatalf("sequential %s on %s: %v", jobs[i].Workload, jobs[i].Arch, serr)
+		}
+		if !reflect.DeepEqual(ms[i], want) {
+			t.Errorf("job %d (%s on %s) differs from its sequential run", i, jobs[i].Workload, jobs[i].Arch)
+		}
+	}
+	// Failed jobs leave zero measurements.
+	if ms[deadlockIdx].Cycles != 0 || ms[panicIdx].Cycles != 0 {
+		t.Error("rigged jobs left non-zero measurements")
+	}
+
+	// And the faults can be persisted for offline forensics.
+	paths, werr := simfault.WriteSnapshots(t.TempDir(), err)
+	if werr != nil || len(paths) != 2 {
+		t.Errorf("WriteSnapshots = %v, %v; want 2 files", paths, werr)
+	}
+}
+
+func TestRunJobsFirstErrorIsJobAttributed(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	jobs := []Job{
+		{Workload: "Pointer", Arch: machine.Superscalar, Hier: r.Hier},
+		{Workload: "no-such-workload", Arch: machine.Superscalar, Hier: r.Hier},
+		{Workload: "Update", Arch: machine.Superscalar, Hier: r.Hier},
+	}
+	_, err := r.RunJobs(2, jobs)
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("got %T (%v), want *JobError", err, err)
+	}
+	if je.Index != 1 || je.Job.Workload != "no-such-workload" {
+		t.Errorf("first error attributed to job %d (%s), want 1", je.Index, je.Job.Workload)
+	}
+}
+
+func TestRunnerContextCancelsBatch(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.RunJobsContext(ctx, 2, []Job{
+		{Workload: "Pointer", Arch: machine.Superscalar, Hier: r.Hier},
+	})
+	var to *simfault.TimeoutFault
+	if !errors.As(err, &to) {
+		t.Fatalf("got %T (%v), want *simfault.TimeoutFault", err, err)
+	}
+	// A fresh context must succeed: cancellation is per-call, not
+	// sticky runner state.
+	if _, err := r.RunJobsContext(context.Background(), 2, []Job{
+		{Workload: "Pointer", Arch: machine.Superscalar, Hier: r.Hier},
+	}); err != nil {
+		t.Fatalf("post-cancel run failed: %v", err)
+	}
+}
+
+func TestConfigureJobsBypassMeasurementCache(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	clean, err := r.Run("Pointer", machine.CPAP, r.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perturbed job over the same (workload, arch, hier) key must
+	// neither serve nor overwrite the cached clean measurement.
+	perturbed := Job{
+		Workload: "Pointer", Arch: machine.CPAP, Hier: r.Hier,
+		Configure: func(cfg *machine.Config) { cfg.CP.WindowSize = 4 },
+	}
+	ms, err := r.RunJobs(1, []Job{perturbed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Cycles == clean.Cycles {
+		t.Error("perturbed job returned the cached clean measurement")
+	}
+	again, err := r.Run("Pointer", machine.CPAP, r.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, clean) {
+		t.Error("perturbed job polluted the measurement cache")
+	}
+}

@@ -1,11 +1,16 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"hidisc/internal/machine"
 	"hidisc/internal/mem"
+	"hidisc/internal/simfault"
 )
 
 // Job names one independent simulation: a workload on an architecture
@@ -14,17 +19,51 @@ type Job struct {
 	Workload string
 	Arch     machine.Arch
 	Hier     mem.HierConfig
+
+	// Configure, when non-nil, post-processes this job's machine
+	// configuration (after the Runner-level hook). Jobs with a Configure
+	// hook bypass the measurement cache — they are presumed perturbed
+	// (fault injection, ablations) and must not pollute results shared
+	// with unperturbed jobs.
+	Configure func(*machine.Config)
 }
 
-// RunJobs executes the jobs across a pool of worker goroutines and
-// returns their measurements in job order. Each simulation is fully
-// independent (its own machine.Machine, memory image, and hierarchy),
-// so results are bit-identical to running the jobs sequentially —
-// only the wall-clock order of execution differs.
-//
-// workers <= 0 means GOMAXPROCS. On error the first failure in job
-// order is returned, matching what a sequential loop would report.
-func (r *Runner) RunJobs(workers int, jobs []Job) ([]Measurement, error) {
+// JobError attributes a failure to one job of a batch.
+type JobError struct {
+	Index int // position in the submitted job slice
+	Job   Job
+	Err   error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("job %d (%s on %s): %v", e.Index, e.Job.Workload, e.Job.Arch, e.Err)
+}
+
+// Unwrap exposes the underlying fault to errors.As / errors.Is.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// safeRun executes one job inside a panic-containment boundary: a
+// panic escaping compilation, verification, or measurement becomes an
+// *simfault.InvariantFault instead of killing the worker goroutine
+// (machine-level panics are already recovered inside RunContext with a
+// full snapshot; this boundary catches everything around it).
+func (r *Runner) safeRun(ctx context.Context, j Job) (m Measurement, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			m = Measurement{}
+			err = &simfault.InvariantFault{
+				Origin: fmt.Sprintf("experiments %s on %s", j.Workload, j.Arch),
+				Reason: fmt.Sprint(rec),
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	return r.runJob(ctx, j)
+}
+
+// runJobs executes every job (healthy or not) across a worker pool and
+// returns the per-job measurements and errors, both in job order.
+func (r *Runner) runJobs(ctx context.Context, workers int, jobs []Job) ([]Measurement, []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -35,24 +74,20 @@ func (r *Runner) RunJobs(workers int, jobs []Job) ([]Measurement, error) {
 	errs := make([]error, len(jobs))
 	if workers <= 1 {
 		for i, j := range jobs {
-			m, err := r.Run(j.Workload, j.Arch, j.Hier)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = m
+			results[i], errs[i] = r.safeRun(ctx, j)
 		}
-		return results, nil
+		return results, errs
 	}
 	// Warm the compile cache on one goroutine first: distinct workloads
 	// single-flight anyway, but compiling up front keeps workers from
 	// idling behind a shared Once when many jobs share one workload.
+	// Failures are ignored here — the memoised error resurfaces on each
+	// affected job so the attribution stays per-job.
 	seen := map[string]bool{}
 	for _, j := range jobs {
 		if !seen[j.Workload] {
 			seen[j.Workload] = true
-			if _, err := r.Compile(j.Workload); err != nil {
-				return nil, err
-			}
+			_, _ = r.Compile(j.Workload)
 		}
 	}
 	idx := make(chan int)
@@ -62,8 +97,7 @@ func (r *Runner) RunJobs(workers int, jobs []Job) ([]Measurement, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				j := jobs[i]
-				results[i], errs[i] = r.Run(j.Workload, j.Arch, j.Hier)
+				results[i], errs[i] = r.safeRun(ctx, jobs[i])
 			}
 		}()
 	}
@@ -72,10 +106,48 @@ func (r *Runner) RunJobs(workers int, jobs []Job) ([]Measurement, error) {
 	}
 	close(idx)
 	wg.Wait()
-	for _, err := range errs {
+	return results, errs
+}
+
+// RunJobs executes the jobs across a pool of worker goroutines and
+// returns their measurements in job order. Each simulation is fully
+// independent (its own machine.Machine, memory image, and hierarchy),
+// so results are bit-identical to running the jobs sequentially —
+// only the wall-clock order of execution differs.
+//
+// workers <= 0 means GOMAXPROCS. Every job runs to completion even
+// when some fail; on error the first failure in job order is returned
+// as a *JobError, matching what a sequential loop would report. Use
+// RunJobsCollect to receive every failure.
+func (r *Runner) RunJobs(workers int, jobs []Job) ([]Measurement, error) {
+	return r.RunJobsContext(r.ctx(), workers, jobs)
+}
+
+// RunJobsContext is RunJobs under an explicit context; cancelling ctx
+// aborts in-flight simulations with *simfault.TimeoutFault.
+func (r *Runner) RunJobsContext(ctx context.Context, workers int, jobs []Job) ([]Measurement, error) {
+	ms, errs := r.runJobs(ctx, workers, jobs)
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, &JobError{Index: i, Job: jobs[i], Err: err}
 		}
 	}
-	return results, nil
+	return ms, nil
+}
+
+// RunJobsCollect executes every job and aggregates all failures with
+// errors.Join, each wrapped in a *JobError naming the job it belongs
+// to. Healthy jobs' measurements are valid (and bit-identical to a
+// sequential run) even when other jobs in the batch deadlock or panic;
+// failed jobs leave a zero Measurement at their index. Walk the
+// aggregate with errors.As or simfault.WriteSnapshots.
+func (r *Runner) RunJobsCollect(workers int, jobs []Job) ([]Measurement, error) {
+	ms, errs := r.runJobs(r.ctx(), workers, jobs)
+	var jerrs []error
+	for i, err := range errs {
+		if err != nil {
+			jerrs = append(jerrs, &JobError{Index: i, Job: jobs[i], Err: err})
+		}
+	}
+	return ms, errors.Join(jerrs...)
 }

@@ -220,7 +220,7 @@ main:   li   $r0, 42
 }
 
 func TestRunawayDetection(t *testing.T) {
-	p := asm.MustAssemble("t", "main: j main")
+	p := mustAssemble(t, "t", "main: j main")
 	s := New(p)
 	if err := s.Run(1000); err == nil || !strings.Contains(err.Error(), "runaway") {
 		t.Errorf("err = %v", err)
@@ -228,7 +228,7 @@ func TestRunawayDetection(t *testing.T) {
 }
 
 func TestDivisionByZero(t *testing.T) {
-	p := asm.MustAssemble("t", "main: li $r1, 1\n div $r2, $r1, $r0\n halt")
+	p := mustAssemble(t, "t", "main: li $r1, 1\n div $r2, $r1, $r0\n halt")
 	s := New(p)
 	if err := s.Run(100); err == nil || !strings.Contains(err.Error(), "division by zero") {
 		t.Errorf("err = %v", err)
@@ -244,7 +244,7 @@ func TestQueueOpsRejected(t *testing.T) {
 		"main: add $r1, $LDQ, $r0",
 		"main: l.d $LDQ, 0($r2)",
 	} {
-		p := asm.MustAssemble("t", src+"\nhalt")
+		p := mustAssemble(t, "t", src+"\nhalt")
 		s := New(p)
 		if err := s.Run(10); err == nil {
 			t.Errorf("source %q: queue op accepted in sequential execution", src)
@@ -253,7 +253,7 @@ func TestQueueOpsRejected(t *testing.T) {
 }
 
 func TestObserverSeesMemoryEvents(t *testing.T) {
-	p := asm.MustAssemble("t", `
+	p := mustAssemble(t, "t", `
         .data
 x:      .word 7
         .text
@@ -305,7 +305,7 @@ main:   sw   $r0, -4($sp)
 }
 
 func TestRunProgramResult(t *testing.T) {
-	p := asm.MustAssemble("t", `
+	p := mustAssemble(t, "t", `
         .data
 x:      .space 4
         .text
@@ -369,7 +369,7 @@ func (f *fakeEnv) GetSCQ(int) bool { f.scq--; return f.scq >= 0 }
 func (f *fakeEnv) PutSCQ(int) bool { return true }
 
 func TestQueueEnvPopIntoRegister(t *testing.T) {
-	p := asm.MustAssemble("t", `
+	p := mustAssemble(t, "t", `
 main:   add $r1, $LDQ, $r0
         out $r1
         halt
@@ -385,7 +385,7 @@ main:   add $r1, $LDQ, $r0
 }
 
 func TestQueueEnvBlockedOnEmptyPop(t *testing.T) {
-	p := asm.MustAssemble("t", "main: add $r1, $LDQ, $r0\nhalt")
+	p := mustAssemble(t, "t", "main: add $r1, $LDQ, $r0\nhalt")
 	s := New(p)
 	s.Queues = &fakeEnv{q: map[isa.Reg][]uint64{}, space: 8}
 	err := s.Step()
@@ -398,7 +398,7 @@ func TestQueueEnvBlockedOnEmptyPop(t *testing.T) {
 }
 
 func TestQueueEnvBlockedOnFullPush(t *testing.T) {
-	p := asm.MustAssemble("t", "main: lw $LDQ, 0($r2)\nhalt")
+	p := mustAssemble(t, "t", "main: lw $LDQ, 0($r2)\nhalt")
 	s := New(p)
 	s.Queues = &fakeEnv{q: map[isa.Reg][]uint64{}, space: 0}
 	if err := s.Step(); !errors.Is(err, ErrBlocked) {
@@ -407,7 +407,7 @@ func TestQueueEnvBlockedOnFullPush(t *testing.T) {
 }
 
 func TestQueueEnvFPRoundTrip(t *testing.T) {
-	p := asm.MustAssemble("t", `
+	p := mustAssemble(t, "t", `
 main:   mov.d $f1, $LDQ
         add.d $f2, $f1, $f1
         mov.d $SDQ, $f2
@@ -495,4 +495,14 @@ func TestJCQTokenOutOfRange(t *testing.T) {
 	if err := s.Step(); err == nil || errors.Is(err, ErrBlocked) {
 		t.Errorf("err = %v, want range error", err)
 	}
+}
+
+// mustAssemble assembles fixed test source, failing the test on error.
+func mustAssemble(tb testing.TB, name, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", name, err)
+	}
+	return p
 }

@@ -238,7 +238,7 @@ func compareOutput(t *testing.T, who string, got, want []string) {
 func TestDifferentialBlockingHandshake(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		src := generateProgram(seed)
-		p := asm.MustAssemble(fmt.Sprintf("fuzzb%d", seed), src)
+		p := mustAssemble(t, fmt.Sprintf("fuzzb%d", seed), src)
 		ref, err := fnsim.RunProgram(p, 5_000_000)
 		if err != nil {
 			t.Fatal(err)

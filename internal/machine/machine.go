@@ -15,12 +15,15 @@
 package machine
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"hidisc/internal/cpu"
 	"hidisc/internal/isa"
 	"hidisc/internal/mem"
 	"hidisc/internal/queue"
+	"hidisc/internal/simfault"
 	"hidisc/internal/slicer"
 )
 
@@ -55,6 +58,12 @@ type Config struct {
 
 	MaxCycles      int64
 	WatchdogCycles int64
+
+	// Inject is an optional deterministic fault injector. When nil (the
+	// default) the cycle loop pays exactly one pointer check per cycle.
+	// An Injector must not be shared between concurrently running
+	// machines (its storm PRNG mutates).
+	Inject *simfault.Injector
 }
 
 // DefaultConfig returns the paper's Table 1 parameters for the given
@@ -125,6 +134,8 @@ type Machine struct {
 
 	ldq, sdq, cq *queue.Queue
 	scq          []*queue.Queue
+
+	queues map[string]*queue.Queue // by name, for fault injection
 }
 
 // New builds a machine running the bundle under the configuration.
@@ -135,6 +146,17 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg, bundle: b, hier: h, mem: mem.NewMemory()}
 	m.mem.LoadSegment(isa.DataBase, b.Seq.Data)
+	m.queues = map[string]*queue.Queue{}
+
+	// wireStorm attaches the injector's mispredict-storm hook to a core
+	// configuration when a storm targets that core; untargeted cores keep
+	// a nil hook and pay one pointer check per fetched branch.
+	wireStorm := func(cc *cpu.Config) {
+		if inj := cfg.Inject; inj != nil && inj.HasStorm(cc.Name) {
+			name := cc.Name
+			cc.ForceMispredict = func(now int64) bool { return inj.StormActive(name, now) }
+		}
+	}
 
 	// Slip-control queues: one per CMAS. Architectures without a CMP
 	// create them closed, so GETSCQ instructions in a CMAS-annotated
@@ -144,6 +166,7 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 	progs := make([][]isa.Inst, len(b.CMAS))
 	for i, c := range b.CMAS {
 		m.scq[i] = queue.New(fmt.Sprintf("scq%d", i), cfg.SCQCap)
+		m.queues[m.scq[i].Name()] = m.scq[i]
 		if !hasCMP {
 			m.scq[i].Close()
 		}
@@ -155,6 +178,7 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 		wc := cfg.Wide
 		wc.HasMem = true
 		wc.EnableTriggers = cfg.Arch == CPCMP
+		wireStorm(&wc)
 		core := cpu.New(wc, b.Seq, m.mem, m.hier, cpu.QueueSet{SCQ: m.scq})
 		m.cores = append(m.cores, core)
 		if cfg.Arch == CPCMP {
@@ -166,10 +190,12 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 		m.ldq = queue.New("ldq", cfg.LDQCap)
 		m.sdq = queue.New("sdq", cfg.SDQCap)
 		m.cq = queue.New("cq", cfg.CQCap)
+		m.queues["ldq"], m.queues["sdq"], m.queues["cq"] = m.ldq, m.sdq, m.cq
 
 		cpc := cfg.CP
 		cpc.HasMem = false
 		cpc.JCQMap = b.JCQTable()
+		wireStorm(&cpc)
 		cpCore := cpu.New(cpc, b.CS, m.mem, m.hier, cpu.QueueSet{
 			Pop:  map[isa.Reg]*queue.Queue{isa.RegLDQ: m.ldq, isa.RegCQ: m.cq},
 			Push: map[isa.Reg]*queue.Queue{isa.RegSDQ: m.sdq},
@@ -178,6 +204,7 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 		apc := cfg.AP
 		apc.HasMem = true
 		apc.EnableTriggers = cfg.Arch == HiDISC
+		wireStorm(&apc)
 		apCore := cpu.New(apc, b.AS, m.mem, m.hier, cpu.QueueSet{
 			Pop:  map[isa.Reg]*queue.Queue{isa.RegSDQ: m.sdq},
 			Push: map[isa.Reg]*queue.Queue{isa.RegLDQ: m.ldq, isa.RegCQ: m.cq},
@@ -197,7 +224,31 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 
 // Run simulates to completion and returns the result.
 func (m *Machine) Run() (Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext simulates to completion. It is a fault-containment
+// boundary: a panic anywhere in the cycle loop is recovered into an
+// *simfault.InvariantFault, the watchdog returns a structured
+// *simfault.DeadlockFault, exceeding MaxCycles returns a
+// *simfault.CycleLimitFault, and cancelling ctx returns a
+// *simfault.TimeoutFault — each carrying a JSON-serializable snapshot
+// of the machine at fault time. The context is polled every 4096
+// cycles so cancellation costs nothing measurable in steady state.
+func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
 	var cycle int64
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			err = &simfault.InvariantFault{
+				Origin:   m.origin(),
+				Reason:   fmt.Sprint(r),
+				Stack:    string(debug.Stack()),
+				Snapshot: m.snapshot(simfault.KindInvariant, cycle),
+			}
+		}
+	}()
+
 	lastProgress := int64(0)
 	lastCommitted := uint64(0)
 	shutdownDone := false
@@ -212,17 +263,32 @@ func (m *Machine) Run() (Result, error) {
 	}
 
 	for !allHalted() {
+		if cycle&4095 == 0 && ctx.Err() != nil {
+			return Result{}, &simfault.TimeoutFault{
+				Origin:   m.origin(),
+				Cycle:    cycle,
+				Cause:    ctx.Err().Error(),
+				Snapshot: m.snapshot(simfault.KindTimeout, cycle),
+			}
+		}
 		if cycle >= m.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("machine %s: exceeded %d cycles", m.cfg.Arch, m.cfg.MaxCycles)
+			return Result{}, &simfault.CycleLimitFault{
+				Origin:   m.origin(),
+				Limit:    m.cfg.MaxCycles,
+				Snapshot: m.snapshot(simfault.KindCycleLimit, cycle),
+			}
+		}
+		if m.cfg.Inject != nil {
+			m.injectTick(cycle)
 		}
 		for _, c := range m.cores {
 			if err := c.Cycle(cycle); err != nil {
-				return Result{}, fmt.Errorf("machine %s: %w", m.cfg.Arch, err)
+				return Result{}, fmt.Errorf("%s: %w", m.origin(), err)
 			}
 		}
 		if m.cmp != nil {
 			if err := m.cmp.Cycle(cycle); err != nil {
-				return Result{}, fmt.Errorf("machine %s: %w", m.cfg.Arch, err)
+				return Result{}, fmt.Errorf("%s: %w", m.origin(), err)
 			}
 			// When the triggering processor halts the prefetcher has
 			// nothing left to help; kill surviving contexts.
@@ -240,13 +306,18 @@ func (m *Machine) Run() (Result, error) {
 			lastCommitted = committed
 			lastProgress = cycle
 		} else if cycle-lastProgress > m.cfg.WatchdogCycles {
-			return Result{}, fmt.Errorf("machine %s: no commit for %d cycles at cycle %d (deadlock?): %s",
-				m.cfg.Arch, m.cfg.WatchdogCycles, cycle, m.describeStall())
+			return Result{}, &simfault.DeadlockFault{
+				Origin:      m.origin(),
+				Cycle:       cycle,
+				StallCycles: cycle - lastProgress,
+				Queues:      m.queueStates(),
+				Snapshot:    m.snapshot(simfault.KindDeadlock, cycle),
+			}
 		}
 		cycle++
 	}
 
-	res := Result{
+	res = Result{
 		Arch:    m.cfg.Arch,
 		Cycles:  cycle,
 		MemHash: m.mem.Checksum(),
@@ -272,28 +343,103 @@ func (m *Machine) triggerCoreHalted() bool {
 	return m.cores[len(m.cores)-1].Halted()
 }
 
-func (m *Machine) describeStall() string {
-	s := ""
-	for _, c := range m.cores {
-		s += fmt.Sprintf("[%s halted=%v committed=%d | %s] ", c.Name(), c.Halted(), c.Stats().Committed, c.DescribeHead())
-	}
+func (m *Machine) origin() string { return fmt.Sprintf("machine %s", m.cfg.Arch) }
+
+// queueStates captures every architectural queue for fault forensics.
+func (m *Machine) queueStates() []simfault.QueueState {
+	var qs []simfault.QueueState
 	if m.ldq != nil {
-		s += fmt.Sprintf("ldq=%s sdq=%s cq=%s", m.ldq, m.sdq, m.cq)
+		qs = append(qs, m.ldq.State(), m.sdq.State(), m.cq.State())
 	}
-	for i, q := range m.scq {
-		s += fmt.Sprintf(" scq%d=%s", i, q)
+	for _, q := range m.scq {
+		qs = append(qs, q.State())
 	}
-	return s
+	return qs
+}
+
+// snapshot captures the machine state at fault time. It is called from
+// paths where the machine may already be corrupt (recovered panics), so
+// it guards itself: a panic while snapshotting yields whatever partial
+// snapshot was built instead of killing the containment boundary.
+func (m *Machine) snapshot(kind simfault.Kind, cycle int64) (snap *simfault.Snapshot) {
+	snap = &simfault.Snapshot{Kind: kind, Arch: string(m.cfg.Arch), Cycle: cycle}
+	defer func() { _ = recover() }()
+	for _, c := range m.cores {
+		snap.Cores = append(snap.Cores, c.FaultState())
+	}
+	snap.Queues = m.queueStates()
+	hs := m.hier.FaultState(cycle)
+	snap.Hier = &hs
+	if m.cmp != nil {
+		snap.CMPActiveContexts = m.cmp.ActiveContexts()
+	}
+	return snap
+}
+
+// injectTick applies the injector's scheduled perturbations for this
+// cycle. Point actions (close-queue, drop-credit, panic) fire exactly
+// at their At cycle; windowed actions (stall-cache-port) apply every
+// cycle the window covers.
+func (m *Machine) injectTick(cycle int64) {
+	for i := range m.cfg.Inject.Actions {
+		a := &m.cfg.Inject.Actions[i]
+		switch a.Kind {
+		case simfault.ActCloseQueue:
+			if cycle == a.At {
+				if q := m.queues[a.Queue]; q != nil {
+					q.Close()
+				}
+			}
+		case simfault.ActDropCredit:
+			if cycle == a.At {
+				if q := m.queues[a.Queue]; q != nil {
+					n := a.Count
+					if n <= 0 {
+						n = 1
+					}
+					for j := 0; j < n; j++ {
+						if _, ok := q.PopCommitted(); !ok {
+							break
+						}
+					}
+				}
+			}
+		case simfault.ActStallCachePort:
+			if a.Active(cycle) {
+				if c := m.coreByName(a.Core); c != nil {
+					c.StallMemPorts(cycle + 1)
+				}
+			}
+		case simfault.ActPanic:
+			if cycle == a.At {
+				panic(fmt.Sprintf("simfault: injected panic at cycle %d", cycle))
+			}
+		}
+	}
+}
+
+func (m *Machine) coreByName(name string) *cpu.Core {
+	for _, c := range m.cores {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
 }
 
 // RunArch is a convenience: build and run one architecture over a
 // bundle with Table 1 defaults and the given hierarchy override.
 func RunArch(b *slicer.Bundle, arch Arch, hier mem.HierConfig) (Result, error) {
+	return RunArchContext(context.Background(), b, arch, hier)
+}
+
+// RunArchContext is RunArch under an explicit context.
+func RunArchContext(ctx context.Context, b *slicer.Bundle, arch Arch, hier mem.HierConfig) (Result, error) {
 	cfg := DefaultConfig(arch)
 	cfg.Hier = hier
 	m, err := New(b, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }

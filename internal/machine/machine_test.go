@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"hidisc/internal/asm"
@@ -8,6 +10,7 @@ import (
 	"hidisc/internal/isa"
 	"hidisc/internal/mem"
 	"hidisc/internal/profile"
+	"hidisc/internal/simfault"
 	"hidisc/internal/slicer"
 )
 
@@ -171,7 +174,7 @@ func TestAllArchitecturesMatchReference(t *testing.T) {
 	for name := range kernels {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			p := asm.MustAssemble(name, kernels[name])
+			p := mustAssemble(t, name, kernels[name])
 			want, err := fnsim.RunProgram(p, 100_000_000)
 			if err != nil {
 				t.Fatal(err)
@@ -290,7 +293,7 @@ func TestSuperscalarStatsSane(t *testing.T) {
 		t.Errorf("stats: %+v", s)
 	}
 	// Committed must match the functional dynamic instruction count.
-	p := asm.MustAssemble("branchy", kernels["branchy"])
+	p := mustAssemble(t, "branchy", kernels["branchy"])
 	want, err := fnsim.RunProgram(p, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -350,11 +353,11 @@ func TestCPHasNoMemoryTraffic(t *testing.T) {
 func TestWatchdogTripsOnStarvedQueue(t *testing.T) {
 	// A hand-built bundle whose CS pops a value the AS never pushes
 	// must trip the watchdog rather than hang.
-	cs := asm.MustAssemble("cs", `
+	cs := mustAssemble(t, "cs", `
 main:   add $r1, $LDQ, $r0
         halt
 `)
-	as := asm.MustAssemble("as", `
+	as := mustAssemble(t, "as", `
 main:   halt
 `)
 	b := &slicer.Bundle{
@@ -369,14 +372,48 @@ main:   halt
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(); err == nil {
-		t.Error("starved queue did not trip the watchdog")
+	_, err = m.Run()
+	if err == nil {
+		t.Fatal("starved queue did not trip the watchdog")
+	}
+	var dl *simfault.DeadlockFault
+	if !errors.As(err, &dl) {
+		t.Fatalf("watchdog returned %T (%v), want *simfault.DeadlockFault", err, err)
+	}
+	if q, ok := dl.Queue("ldq"); !ok || !q.Empty() || q.Pushes != 0 {
+		t.Errorf("ldq state at deadlock = %+v, %v; want present, empty, unpushed", q, ok)
+	}
+	if dl.Snapshot == nil {
+		t.Fatal("DeadlockFault carries no snapshot")
+	}
+	// The forensics must name the blocked consumer: the CP's head is the
+	// LDQ pop, stuck on a queue operand whose value was never pushed.
+	var cp *simfault.CoreState
+	for i := range dl.Snapshot.Cores {
+		if dl.Snapshot.Cores[i].Name == "cp" {
+			cp = &dl.Snapshot.Cores[i]
+		}
+	}
+	if cp == nil || cp.Head == nil {
+		t.Fatalf("snapshot has no CP head: %+v", dl.Snapshot.Cores)
+	}
+	if !strings.Contains(cp.Head.Inst, "$LDQ") {
+		t.Errorf("CP head inst = %q, want the $LDQ pop", cp.Head.Inst)
+	}
+	blocked := false
+	for _, s := range cp.Head.Sources {
+		if s.Queue == "ldq" && !s.QueueReady {
+			blocked = true
+		}
+	}
+	if !blocked {
+		t.Errorf("CP head sources %+v do not show the unsatisfied ldq claim", cp.Head.Sources)
 	}
 }
 
 func TestIPCWithinPhysicalBounds(t *testing.T) {
 	b := compileKernel(t, "convolution", false)
-	p := asm.MustAssemble("convolution", kernels["convolution"])
+	p := mustAssemble(t, "convolution", kernels["convolution"])
 	ref, err := fnsim.RunProgram(p, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -422,7 +459,7 @@ L4:     addi $r13, $r15, 5
         out.d $f10
         halt
 `
-	p := asm.MustAssemble("regress", src)
+	p := mustAssemble(t, "regress", src)
 	ref, err := fnsim.RunProgram(p, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -455,7 +492,7 @@ func TestDynamicDistanceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := asm.MustAssemble("randprobe", kernels["randprobe"])
+	p := mustAssemble(t, "randprobe", kernels["randprobe"])
 	ref, err := fnsim.RunProgram(p, 100_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -463,4 +500,14 @@ func TestDynamicDistanceEndToEnd(t *testing.T) {
 	if res.MemHash != ref.MemHash {
 		t.Error("dynamic distance changed architectural results")
 	}
+}
+
+// mustAssemble assembles fixed test source, failing the test on error.
+func mustAssemble(tb testing.TB, name, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", name, err)
+	}
+	return p
 }

@@ -71,10 +71,11 @@ type Cache struct {
 	stats     CacheStats
 }
 
-// NewCache builds a cache from its configuration.
-func NewCache(cfg CacheConfig) *Cache {
+// NewCache builds a cache from its configuration, rejecting invalid
+// geometry with an error.
+func NewCache(cfg CacheConfig) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	bb := uint(0)
 	for 1<<bb != cfg.BlockSize {
@@ -85,7 +86,7 @@ func NewCache(cfg CacheConfig) *Cache {
 		blockBits: bb,
 		setMask:   uint32(cfg.Sets - 1),
 		lines:     make([]cacheLine, cfg.Sets*cfg.Ways),
-	}
+	}, nil
 }
 
 // Config returns the cache configuration.

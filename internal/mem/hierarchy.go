@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"hidisc/internal/simfault"
+)
 
 // HierConfig describes the full data-memory hierarchy. The defaults
 // reproduce Table 1 of the paper.
@@ -82,10 +86,18 @@ func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	l1, err := NewCache(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
 	return &Hierarchy{
 		cfg:  cfg,
-		L1D:  NewCache(cfg.L1D),
-		L2:   NewCache(cfg.L2),
+		L1D:  l1,
+		L2:   l2,
 		mshr: make(map[uint32]int64),
 	}, nil
 }
@@ -189,6 +201,27 @@ func (h *Hierarchy) Stats() HierStats {
 		MSHRMergedHits:  h.mergedHits,
 		PrefetchIssued:  h.prefetchIssued,
 		InFlightAtReset: len(h.mshr),
+	}
+}
+
+// FaultState summarises the hierarchy for a fault snapshot: MSHR
+// entries whose fill has not completed by cycle now, plus the demand
+// traffic at both levels.
+func (h *Hierarchy) FaultState(now int64) simfault.HierState {
+	inFlight := 0
+	for _, ready := range h.mshr {
+		if ready > now {
+			inFlight++
+		}
+	}
+	l1, l2 := h.L1D.Stats(), h.L2.Stats()
+	return simfault.HierState{
+		MSHRInFlight:      inFlight,
+		L1DDemandAccesses: l1.DemandAccesses,
+		L1DDemandMisses:   l1.DemandMisses,
+		L2DemandAccesses:  l2.DemandAccesses,
+		L2DemandMisses:    l2.DemandMisses,
+		PrefetchIssued:    h.prefetchIssued,
 	}
 }
 

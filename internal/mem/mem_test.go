@@ -6,6 +6,29 @@ import (
 	"testing"
 )
 
+func mustCache(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	return c
+}
+
+func TestNewCacheRejectsBadGeometry(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "x", Sets: 3, Ways: 1, BlockSize: 32, Latency: 1},
+		{Name: "x", Sets: 4, Ways: 0, BlockSize: 32, Latency: 1},
+		{Name: "x", Sets: 4, Ways: 1, BlockSize: 24, Latency: 1},
+		{Name: "x", Sets: 4, Ways: 1, BlockSize: 32, Latency: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("NewCache(%+v) accepted invalid geometry", cfg)
+		}
+	}
+}
+
 func TestMemoryReadWriteRoundTrip(t *testing.T) {
 	m := NewMemory()
 	m.Write32(0x1000_0000, 0xDEADBEEF)
@@ -107,7 +130,7 @@ func TestCacheConfigValidate(t *testing.T) {
 }
 
 func TestCacheHitAfterFill(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
+	c := mustCache(t, CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
 	if c.Access(0x100, false, false) {
 		t.Fatal("cold access hit")
 	}
@@ -126,7 +149,7 @@ func TestCacheHitAfterFill(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	// 1 set x 2 ways, 16-byte blocks: three distinct blocks mapping to
 	// the same set must evict in LRU order.
-	c := NewCache(CacheConfig{Name: "t", Sets: 1, Ways: 2, BlockSize: 16, Latency: 1})
+	c := mustCache(t, CacheConfig{Name: "t", Sets: 1, Ways: 2, BlockSize: 16, Latency: 1})
 	c.Fill(0x000, false, false)
 	c.Fill(0x010, false, false)
 	c.Access(0x000, false, false) // touch A so B is LRU
@@ -143,7 +166,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheDirtyWriteback(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "t", Sets: 1, Ways: 1, BlockSize: 16, Latency: 1})
+	c := mustCache(t, CacheConfig{Name: "t", Sets: 1, Ways: 1, BlockSize: 16, Latency: 1})
 	c.Fill(0x000, true, false) // dirty fill
 	_, _, wb := c.Fill(0x010, false, false)
 	if !wb {
@@ -166,7 +189,7 @@ func TestCacheDirtyWriteback(t *testing.T) {
 }
 
 func TestCachePrefetchAccounting(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
+	c := mustCache(t, CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
 	c.Access(0x100, false, true)
 	c.Fill(0x100, false, true)
 	s := c.Stats()
@@ -190,7 +213,7 @@ func TestCachePrefetchAccounting(t *testing.T) {
 }
 
 func TestCacheWritebackTo(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 1, BlockSize: 16, Latency: 1})
+	c := mustCache(t, CacheConfig{Name: "t", Sets: 4, Ways: 1, BlockSize: 16, Latency: 1})
 	c.Fill(0x200, false, false)
 	if !c.WritebackTo(0x208) {
 		t.Error("WritebackTo missed present line")
@@ -205,7 +228,7 @@ func TestCacheWritebackTo(t *testing.T) {
 }
 
 func TestCacheInvalidate(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
+	c := mustCache(t, CacheConfig{Name: "t", Sets: 4, Ways: 2, BlockSize: 16, Latency: 1})
 	c.Fill(0x100, false, false)
 	c.Invalidate(0x104)
 	if c.Lookup(0x100) {
@@ -217,7 +240,7 @@ func TestCacheInvalidate(t *testing.T) {
 // cross-checks hit/miss behaviour over a random access stream.
 func TestCacheLRUAgainstReference(t *testing.T) {
 	const ways = 4
-	c := NewCache(CacheConfig{Name: "t", Sets: 1, Ways: ways, BlockSize: 16, Latency: 1})
+	c := mustCache(t, CacheConfig{Name: "t", Sets: 1, Ways: ways, BlockSize: 16, Latency: 1})
 	var ref []uint32 // MRU first
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 5000; i++ {

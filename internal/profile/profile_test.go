@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hidisc/internal/asm"
+	"hidisc/internal/isa"
 	"hidisc/internal/mem"
 )
 
@@ -20,7 +21,7 @@ func smallHier() mem.HierConfig {
 func TestStreamingLoadMostlyHits(t *testing.T) {
 	// Sequential walk over 4 KiB: one miss per 64-byte block, 15/16
 	// accesses hit.
-	p := asm.MustAssemble("stream", `
+	p := mustAssemble(t, "stream", `
         .data
 buf:    .space 4096
         .text
@@ -57,7 +58,7 @@ func TestStridedLoadIsDelinquent(t *testing.T) {
 	// Stride of 64 bytes over 64 KiB: every access is a new block and
 	// the working set exceeds the 1 KiB L1, so the second pass misses
 	// too.
-	p := asm.MustAssemble("stride", `
+	p := mustAssemble(t, "stride", `
         .data
 buf:    .space 65536
         .text
@@ -109,7 +110,7 @@ func TestDelinquentOrderingByMissCount(t *testing.T) {
 }
 
 func TestStoresProfiledLikeLoads(t *testing.T) {
-	p := asm.MustAssemble("stores", `
+	p := mustAssemble(t, "stores", `
         .data
 buf:    .space 64
         .text
@@ -136,7 +137,7 @@ main:   la  $r2, buf
 }
 
 func TestStrideDetection(t *testing.T) {
-	p := asm.MustAssemble("stride", `
+	p := mustAssemble(t, "stride", `
         .data
 buf:    .space 8192
         .text
@@ -162,7 +163,7 @@ loop:   lw   $r3, 0($r2)
 }
 
 func TestRandomPatternNotStrided(t *testing.T) {
-	p := asm.MustAssemble("rand", `
+	p := mustAssemble(t, "rand", `
         .data
 buf:    .space 65536
         .text
@@ -194,7 +195,7 @@ loop:   li   $r6, 1103515245
 }
 
 func TestProfileDeterministic(t *testing.T) {
-	p := asm.MustAssemble("det", `
+	p := mustAssemble(t, "det", `
         .data
 buf:    .space 8192
         .text
@@ -217,4 +218,14 @@ loop:   lw   $r3, 0($r2)
 	if a.TotalMisses != b.TotalMisses || a.TotalAccesses != b.TotalAccesses {
 		t.Error("profiling not deterministic")
 	}
+}
+
+// mustAssemble assembles fixed test source, failing the test on error.
+func mustAssemble(tb testing.TB, name, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", name, err)
+	}
+	return p
 }

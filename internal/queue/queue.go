@@ -22,7 +22,11 @@
 // block while the queue is full, which is the hardware backpressure.
 package queue
 
-import "fmt"
+import (
+	"fmt"
+
+	"hidisc/internal/simfault"
+)
 
 // Queue is a bounded FIFO of 64-bit values with sequence-claimed pops.
 // The zero value is not usable; call New.
@@ -195,6 +199,21 @@ func (q *Queue) Reset() {
 
 // Stats returns a copy of the traffic counters.
 func (q *Queue) Stats() Stats { return q.stats }
+
+// State captures the queue's occupancy and traffic for a fault
+// snapshot.
+func (q *Queue) State() simfault.QueueState {
+	return simfault.QueueState{
+		Name:     q.name,
+		Len:      q.Len(),
+		Cap:      len(q.buf),
+		Avail:    q.Avail(),
+		Closed:   q.closed,
+		Pushes:   q.stats.Pushes,
+		Claims:   q.stats.Claims,
+		Unclaims: q.stats.Unclaims,
+	}
+}
 
 // String summarises the queue state.
 func (q *Queue) String() string {

@@ -1,0 +1,111 @@
+package simfault
+
+// The fault injector perturbs a running machine deterministically so
+// robustness tests can prove the watchdog fires, snapshots cohere, and
+// a batch harness survives a wedged or panicking job. It is off by
+// default: a machine with no injector pays exactly one nil-check per
+// cycle, and the cores pay one nil function-pointer check per fetched
+// conditional branch (pinned by the cpu package's AllocsPerRun tests).
+//
+// An Injector must not be shared between concurrently running
+// machines: the mispredict-storm PRNG mutates injector state. Give
+// each injected job its own Injector (they are cheap).
+
+// ActionKind names one injectable perturbation.
+type ActionKind string
+
+// The injectable faults.
+const (
+	// ActCloseQueue closes the named architectural queue at cycle At.
+	// Consumers then read zeros for claims beyond the pushed count —
+	// modelling a producer that silently dies.
+	ActCloseQueue ActionKind = "close-queue"
+	// ActDropCredit steals Count pushed-but-unclaimed entries from the
+	// named queue at cycle At, desynchronising the FIFO pairing the
+	// way a lost hardware credit would.
+	ActDropCredit ActionKind = "drop-credit"
+	// ActMispredictStorm inverts the named core's conditional-branch
+	// predictions with the given Probability during [At, Until).
+	ActMispredictStorm ActionKind = "mispredict-storm"
+	// ActStallCachePort holds every cache port of the named core busy
+	// during [At, Until), starving its loads and store commits.
+	ActStallCachePort ActionKind = "stall-cache-port"
+	// ActPanic raises a deliberate panic inside the machine's cycle
+	// loop at cycle At, to drill the containment path.
+	ActPanic ActionKind = "panic"
+)
+
+// Action is one scheduled perturbation. Cycle windows are [At, Until);
+// Until <= At means the window never closes.
+type Action struct {
+	Kind        ActionKind `json:"kind"`
+	Queue       string     `json:"queue,omitempty"` // target queue (close-queue, drop-credit)
+	Core        string     `json:"core,omitempty"`  // target core (mispredict-storm, stall-cache-port)
+	At          int64      `json:"at"`
+	Until       int64      `json:"until,omitempty"`
+	Count       int        `json:"count,omitempty"`       // drop-credit entries (default 1)
+	Probability float64    `json:"probability,omitempty"` // storm inversion chance (default 1)
+}
+
+// Active reports whether a windowed action covers cycle now.
+func (a *Action) Active(now int64) bool {
+	return now >= a.At && (a.Until <= a.At || now < a.Until)
+}
+
+// Injector is a deterministic, seedable fault injector. The zero value
+// with no actions injects nothing.
+type Injector struct {
+	Seed    int64    `json:"seed,omitempty"`
+	Actions []Action `json:"actions,omitempty"`
+
+	rng uint64 // xorshift64 state, lazily seeded from Seed
+}
+
+// NewInjector returns an injector running the given actions with the
+// given PRNG seed (the seed only matters for probabilistic storms).
+func NewInjector(seed int64, actions ...Action) *Injector {
+	return &Injector{Seed: seed, Actions: actions}
+}
+
+// rand returns the next deterministic pseudo-random value in [0, 1).
+func (inj *Injector) rand() float64 {
+	if inj.rng == 0 {
+		inj.rng = uint64(inj.Seed)*2862933555777941757 + 3037000493
+	}
+	x := inj.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	inj.rng = x
+	return float64(x>>11) / (1 << 53)
+}
+
+// HasStorm reports whether any mispredict storm targets the named core
+// (so machines only wire the fetch hook when one exists).
+func (inj *Injector) HasStorm(core string) bool {
+	for i := range inj.Actions {
+		a := &inj.Actions[i]
+		if a.Kind == ActMispredictStorm && a.Core == core {
+			return true
+		}
+	}
+	return false
+}
+
+// StormActive reports whether the named core's conditional-branch
+// prediction fetched at cycle now should be inverted. One PRNG draw is
+// consumed per call inside an active probabilistic window, so the
+// decision sequence is deterministic for a given seed and schedule.
+func (inj *Injector) StormActive(core string, now int64) bool {
+	for i := range inj.Actions {
+		a := &inj.Actions[i]
+		if a.Kind != ActMispredictStorm || a.Core != core || !a.Active(now) {
+			continue
+		}
+		if a.Probability <= 0 || a.Probability >= 1 {
+			return true
+		}
+		return inj.rand() < a.Probability
+	}
+	return false
+}

@@ -1,0 +1,339 @@
+// Package simfault defines the simulator's fault taxonomy: typed,
+// inspectable errors for the failure modes a decoupled machine can
+// reach by construction (bounded queues plus slip control make a
+// mis-sliced bundle wedge a CP/AP pair), together with a
+// JSON-serializable Snapshot of the machine state at fault time.
+//
+// The design follows MGSim's observation that a multi-core simulator
+// earns trust through structured deadlock detection and post-mortem
+// state dumps: every failure is an error value a harness can branch
+// on (errors.As), attribute to one job in a batch, and persist for
+// offline forensics — never a bare panic or an opaque string.
+//
+// The package is a leaf: it imports only the standard library, so the
+// queue, cpu, mem, machine, slicer and experiments layers can all
+// produce and consume its types without import cycles.
+package simfault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Kind names a fault class.
+type Kind string
+
+// The fault taxonomy.
+const (
+	// KindInvariant marks a violated internal invariant (a recovered
+	// panic): the simulation state is undefined beyond the snapshot.
+	KindInvariant Kind = "invariant"
+	// KindDeadlock marks a watchdog-detected lack of forward progress:
+	// no core committed an instruction for the watchdog interval.
+	KindDeadlock Kind = "deadlock"
+	// KindCycleLimit marks a simulation that exceeded its cycle (or
+	// functional step) budget without halting.
+	KindCycleLimit Kind = "cycle-limit"
+	// KindTimeout marks a simulation cancelled from outside (context
+	// deadline or cancellation).
+	KindTimeout Kind = "timeout"
+)
+
+// Snapshot is the machine state captured at fault time. Every field is
+// plain data so the snapshot round-trips through encoding/json.
+type Snapshot struct {
+	Kind  Kind   `json:"kind"`
+	Arch  string `json:"arch,omitempty"`
+	Cycle int64  `json:"cycle"`
+
+	Cores  []CoreState  `json:"cores,omitempty"`
+	Queues []QueueState `json:"queues,omitempty"`
+	Hier   *HierState   `json:"hier,omitempty"`
+
+	// CMPActiveContexts counts live CMAS threads on the Cache
+	// Management Processor, when the architecture has one.
+	CMPActiveContexts int `json:"cmpActiveContexts,omitempty"`
+}
+
+// CoreState summarises one processor's pipeline at fault time.
+type CoreState struct {
+	Name         string `json:"name"`
+	Halted       bool   `json:"halted"`
+	PC           int    `json:"pc"`
+	Committed    uint64 `json:"committed"`
+	Squashed     uint64 `json:"squashed,omitempty"`
+	WindowOcc    int    `json:"windowOcc"`
+	WindowCap    int    `json:"windowCap"`
+	LSQOcc       int    `json:"lsqOcc"`
+	LSQCap       int    `json:"lsqCap"`
+	IFQOcc       int    `json:"ifqOcc"`
+	IFQCap       int    `json:"ifqCap"`
+	FetchStopped bool   `json:"fetchStopped,omitempty"`
+
+	// RecentPCs is the ring buffer of the last committed program
+	// counters, oldest first — the instruction trail into the fault.
+	RecentPCs []int `json:"recentPCs,omitempty"`
+
+	// Head describes the oldest in-flight instruction (the one a
+	// deadlocked core is stuck behind), when the window is non-empty.
+	Head *HeadState `json:"head,omitempty"`
+}
+
+// HeadState is the oldest window entry of a core.
+type HeadState struct {
+	PC         int           `json:"pc"`
+	Inst       string        `json:"inst"`
+	Seq        int64         `json:"seq"`
+	Issued     bool          `json:"issued"`
+	Completed  bool          `json:"completed"`
+	CompleteAt int64         `json:"completeAt,omitempty"`
+	IsLoad     bool          `json:"isLoad,omitempty"`
+	IsStore    bool          `json:"isStore,omitempty"`
+	Addr       uint32        `json:"addr,omitempty"`
+	AddrReady  bool          `json:"addrReady,omitempty"`
+	Sources    []SourceState `json:"sources,omitempty"`
+}
+
+// SourceState is one operand of the head instruction.
+type SourceState struct {
+	Reg   string `json:"reg"`
+	Ready bool   `json:"ready"`
+
+	// Queue is the architectural queue the operand is claimed against,
+	// when the operand is a queue pop; QueueReady reports whether the
+	// claimed value has been pushed. A blocked head with a non-ready
+	// queue source names the queue the deadlock is waiting on.
+	Queue      string `json:"queue,omitempty"`
+	Seq        int64  `json:"seq,omitempty"`
+	QueueReady bool   `json:"queueReady,omitempty"`
+
+	// ProducerPC is the in-flight producer's program counter, -1 when
+	// the operand has no in-window producer.
+	ProducerPC   int  `json:"producerPC"`
+	ProducerDone bool `json:"producerDone,omitempty"`
+}
+
+// QueueState is one architectural queue's occupancy and traffic.
+type QueueState struct {
+	Name     string `json:"name"`
+	Len      int    `json:"len"`
+	Cap      int    `json:"cap"`
+	Avail    int    `json:"avail"`
+	Closed   bool   `json:"closed,omitempty"`
+	Pushes   uint64 `json:"pushes"`
+	Claims   uint64 `json:"claims"`
+	Unclaims uint64 `json:"unclaims,omitempty"`
+}
+
+// Full reports whether the queue can accept no more pushes.
+func (q QueueState) Full() bool { return q.Len == q.Cap }
+
+// Empty reports whether no unclaimed values are available.
+func (q QueueState) Empty() bool { return q.Avail == 0 }
+
+// String summarises the queue state (the old describeStall format).
+func (q QueueState) String() string {
+	return fmt.Sprintf("%s[len=%d/%d avail=%d closed=%v]", q.Name, q.Len, q.Cap, q.Avail, q.Closed)
+}
+
+// HierState summarises the memory hierarchy and MSHR state.
+type HierState struct {
+	MSHRInFlight      int    `json:"mshrInFlight"`
+	L1DDemandAccesses uint64 `json:"l1dDemandAccesses"`
+	L1DDemandMisses   uint64 `json:"l1dDemandMisses"`
+	L2DemandAccesses  uint64 `json:"l2DemandAccesses"`
+	L2DemandMisses    uint64 `json:"l2DemandMisses"`
+	PrefetchIssued    uint64 `json:"prefetchIssued,omitempty"`
+}
+
+// --- fault types ---
+
+// InvariantFault is a violated internal invariant: a panic recovered at
+// a containment boundary (Machine.RunContext, the experiment runner's
+// workers) or an impossible queue operation detected by the functional
+// co-simulation. The simulation that raised it is unusable; the
+// snapshot and stack are the forensics.
+type InvariantFault struct {
+	Origin   string    `json:"origin"`          // subsystem, e.g. "machine cp+ap"
+	Reason   string    `json:"reason"`          // the violated invariant / panic value
+	Stack    string    `json:"stack,omitempty"` // recovered goroutine stack, when available
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+func (f *InvariantFault) Error() string {
+	return fmt.Sprintf("%s: invariant violated: %s", f.Origin, f.Reason)
+}
+
+// FaultSnapshot implements Snapshotter.
+func (f *InvariantFault) FaultSnapshot() *Snapshot { return f.Snapshot }
+
+// DeadlockFault is a watchdog-detected loss of forward progress. The
+// queue occupancies are structured fields so tests and tools can assert
+// on the blocked queue instead of string-matching a stall description.
+type DeadlockFault struct {
+	Origin      string       `json:"origin"`
+	Cycle       int64        `json:"cycle"`
+	StallCycles int64        `json:"stallCycles,omitempty"` // commit-free interval that tripped the watchdog
+	Queues      []QueueState `json:"queues,omitempty"`
+	Snapshot    *Snapshot    `json:"snapshot,omitempty"`
+}
+
+// Queue returns the named queue's state at fault time.
+func (f *DeadlockFault) Queue(name string) (QueueState, bool) {
+	for _, q := range f.Queues {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return QueueState{}, false
+}
+
+func (f *DeadlockFault) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: deadlock at cycle %d", f.Origin, f.Cycle)
+	if f.StallCycles > 0 {
+		fmt.Fprintf(&b, " (no commit for %d cycles)", f.StallCycles)
+	}
+	if f.Snapshot != nil {
+		for _, c := range f.Snapshot.Cores {
+			fmt.Fprintf(&b, "; %s halted=%v committed=%d", c.Name, c.Halted, c.Committed)
+			if c.Head != nil {
+				fmt.Fprintf(&b, " head=pc%d %q", c.Head.PC, c.Head.Inst)
+				for _, s := range c.Head.Sources {
+					if !s.Ready && s.Queue != "" {
+						fmt.Fprintf(&b, " waiting on %s", s.Queue)
+					}
+				}
+			}
+		}
+	}
+	for _, q := range f.Queues {
+		fmt.Fprintf(&b, "; %s", q)
+	}
+	return b.String()
+}
+
+// FaultSnapshot implements Snapshotter.
+func (f *DeadlockFault) FaultSnapshot() *Snapshot { return f.Snapshot }
+
+// CycleLimitFault is a simulation that exceeded its cycle or functional
+// step budget without halting.
+type CycleLimitFault struct {
+	Origin   string    `json:"origin"`
+	Limit    int64     `json:"limit"`
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+func (f *CycleLimitFault) Error() string {
+	return fmt.Sprintf("%s: exceeded %d cycles without halting", f.Origin, f.Limit)
+}
+
+// FaultSnapshot implements Snapshotter.
+func (f *CycleLimitFault) FaultSnapshot() *Snapshot { return f.Snapshot }
+
+// TimeoutFault is a simulation cancelled from outside (context deadline
+// exceeded or explicit cancellation), with the state it was cut off in.
+type TimeoutFault struct {
+	Origin   string    `json:"origin"`
+	Cycle    int64     `json:"cycle"`
+	Cause    string    `json:"cause"` // the context error
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+func (f *TimeoutFault) Error() string {
+	return fmt.Sprintf("%s: cancelled at cycle %d: %s", f.Origin, f.Cycle, f.Cause)
+}
+
+// FaultSnapshot implements Snapshotter.
+func (f *TimeoutFault) FaultSnapshot() *Snapshot { return f.Snapshot }
+
+// --- inspection helpers ---
+
+// Snapshotter is implemented by every fault carrying a Snapshot.
+type Snapshotter interface {
+	error
+	FaultSnapshot() *Snapshot
+}
+
+// SnapshotOf extracts the snapshot from the first fault in err's tree
+// that carries one; nil when err holds no snapshot.
+func SnapshotOf(err error) *Snapshot {
+	var s Snapshotter
+	if errors.As(err, &s) {
+		return s.FaultSnapshot()
+	}
+	return nil
+}
+
+// KindOf classifies the first typed fault in err's tree.
+func KindOf(err error) (Kind, bool) {
+	var (
+		inv *InvariantFault
+		dl  *DeadlockFault
+		cl  *CycleLimitFault
+		to  *TimeoutFault
+	)
+	switch {
+	case errors.As(err, &inv):
+		return KindInvariant, true
+	case errors.As(err, &dl):
+		return KindDeadlock, true
+	case errors.As(err, &cl):
+		return KindCycleLimit, true
+	case errors.As(err, &to):
+		return KindTimeout, true
+	}
+	return "", false
+}
+
+// WriteSnapshots walks err's tree (including errors.Join aggregates),
+// writes every snapshot it finds as indented JSON into dir, and returns
+// the file paths. The directory is created if missing. Files are named
+// fault-<n>-<kind>-cycle<cycle>.json so multiple faults from one batch
+// do not collide.
+func WriteSnapshots(dir string, err error) ([]string, error) {
+	snaps := collectSnapshots(err, nil)
+	if len(snaps) == 0 {
+		return nil, nil
+	}
+	if mkErr := os.MkdirAll(dir, 0o755); mkErr != nil {
+		return nil, mkErr
+	}
+	var paths []string
+	for i, s := range snaps {
+		data, mErr := json.MarshalIndent(s, "", "  ")
+		if mErr != nil {
+			return paths, mErr
+		}
+		path := filepath.Join(dir, fmt.Sprintf("fault-%d-%s-cycle%d.json", i, s.Kind, s.Cycle))
+		if wErr := os.WriteFile(path, data, 0o644); wErr != nil {
+			return paths, wErr
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// collectSnapshots gathers snapshots from an error tree in depth-first
+// order, following both single-cause Unwrap and multi-error Unwrap.
+func collectSnapshots(err error, acc []*Snapshot) []*Snapshot {
+	if err == nil {
+		return acc
+	}
+	if s, ok := err.(Snapshotter); ok && s.FaultSnapshot() != nil {
+		return append(acc, s.FaultSnapshot())
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() []error }:
+		for _, e := range u.Unwrap() {
+			acc = collectSnapshots(e, acc)
+		}
+	case interface{ Unwrap() error }:
+		acc = collectSnapshots(u.Unwrap(), acc)
+	}
+	return acc
+}

@@ -1,0 +1,195 @@
+package simfault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot(kind Kind) *Snapshot {
+	return &Snapshot{
+		Kind:  kind,
+		Arch:  "cp+ap",
+		Cycle: 12345,
+		Cores: []CoreState{{
+			Name: "cp", PC: 7, Committed: 42,
+			WindowOcc: 3, WindowCap: 16, LSQOcc: 0, LSQCap: 32,
+			IFQOcc: 2, IFQCap: 16,
+			RecentPCs: []int{3, 4, 5, 6},
+			Head: &HeadState{
+				PC: 7, Inst: "add $r1, $LDQ, $r0", Seq: 9, IsLoad: false,
+				Sources: []SourceState{{
+					Reg: "$LDQ", Ready: false, Queue: "ldq", Seq: 4,
+					QueueReady: false, ProducerPC: -1,
+				}},
+			},
+		}},
+		Queues: []QueueState{
+			{Name: "ldq", Len: 0, Cap: 32, Avail: 0, Pushes: 4, Claims: 5},
+			{Name: "sdq", Len: 32, Cap: 32, Avail: 32, Pushes: 40, Claims: 8},
+		},
+		Hier:              &HierState{MSHRInFlight: 2, L1DDemandAccesses: 100, L1DDemandMisses: 9},
+		CMPActiveContexts: 1,
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	want := sampleSnapshot(KindDeadlock)
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", &got, want)
+	}
+}
+
+func TestFaultsImplementSnapshotter(t *testing.T) {
+	snap := sampleSnapshot(KindInvariant)
+	faults := []Snapshotter{
+		&InvariantFault{Origin: "o", Reason: "r", Snapshot: snap},
+		&DeadlockFault{Origin: "o", Cycle: 1, Snapshot: snap},
+		&CycleLimitFault{Origin: "o", Limit: 10, Snapshot: snap},
+		&TimeoutFault{Origin: "o", Cycle: 5, Cause: "deadline", Snapshot: snap},
+	}
+	for _, f := range faults {
+		if f.FaultSnapshot() != snap {
+			t.Errorf("%T: FaultSnapshot lost the snapshot", f)
+		}
+		if f.Error() == "" {
+			t.Errorf("%T: empty Error()", f)
+		}
+	}
+}
+
+func TestKindOfAndSnapshotOfThroughWrapping(t *testing.T) {
+	inner := &DeadlockFault{Origin: "machine cp+ap", Cycle: 9, Snapshot: sampleSnapshot(KindDeadlock)}
+	wrapped := fmt.Errorf("job 3: %w", inner)
+	if k, ok := KindOf(wrapped); !ok || k != KindDeadlock {
+		t.Errorf("KindOf = %q, %v", k, ok)
+	}
+	if s := SnapshotOf(wrapped); s != inner.Snapshot {
+		t.Error("SnapshotOf did not find the wrapped snapshot")
+	}
+	if k, ok := KindOf(errors.New("plain")); ok {
+		t.Errorf("KindOf(plain) = %q, true", k)
+	}
+	if s := SnapshotOf(errors.New("plain")); s != nil {
+		t.Error("SnapshotOf(plain) != nil")
+	}
+}
+
+func TestDeadlockFaultQueueLookupAndError(t *testing.T) {
+	f := &DeadlockFault{
+		Origin:      "machine cp+ap",
+		Cycle:       5000,
+		StallCycles: 2001,
+		Queues: []QueueState{
+			{Name: "ldq", Len: 0, Cap: 32},
+			{Name: "sdq", Len: 32, Cap: 32, Avail: 32},
+		},
+		Snapshot: sampleSnapshot(KindDeadlock),
+	}
+	q, ok := f.Queue("ldq")
+	if !ok || !q.Empty() {
+		t.Errorf("Queue(ldq) = %+v, %v", q, ok)
+	}
+	if q, ok := f.Queue("sdq"); !ok || !q.Full() {
+		t.Errorf("Queue(sdq) = %+v, %v", q, ok)
+	}
+	if _, ok := f.Queue("nope"); ok {
+		t.Error("Queue(nope) found")
+	}
+	msg := f.Error()
+	for _, want := range []string{"deadlock at cycle 5000", "no commit for 2001", "waiting on ldq"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestWriteSnapshotsWalksJoinedErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "faults")
+	err := errors.Join(
+		fmt.Errorf("job 0: %w", &DeadlockFault{Origin: "a", Cycle: 10, Snapshot: sampleSnapshot(KindDeadlock)}),
+		errors.New("job 1: plain failure"),
+		fmt.Errorf("job 2: %w", &InvariantFault{Origin: "b", Reason: "r", Snapshot: sampleSnapshot(KindInvariant)}),
+	)
+	paths, werr := WriteSnapshots(dir, err)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("wrote %d snapshots, want 2: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		var s Snapshot
+		if jerr := json.Unmarshal(data, &s); jerr != nil {
+			t.Errorf("%s: not valid snapshot JSON: %v", p, jerr)
+		}
+		if s.Cycle == 0 || s.Kind == "" {
+			t.Errorf("%s: snapshot lost fields: %+v", p, s)
+		}
+	}
+	// No snapshots in the tree: no directory side effects, no paths.
+	none, werr := WriteSnapshots(filepath.Join(t.TempDir(), "empty"), errors.New("plain"))
+	if werr != nil || len(none) != 0 {
+		t.Errorf("WriteSnapshots(plain) = %v, %v", none, werr)
+	}
+}
+
+func TestInjectorStormDeterminism(t *testing.T) {
+	actions := []Action{{Kind: ActMispredictStorm, Core: "cp", At: 10, Until: 1000, Probability: 0.5}}
+	draw := func(seed int64) []bool {
+		inj := NewInjector(seed, actions...)
+		var out []bool
+		for now := int64(0); now < 1200; now += 7 {
+			out = append(out, inj.StormActive("cp", now))
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different storm sequences")
+	}
+	c := draw(43)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical storm sequences (suspicious)")
+	}
+	inj := NewInjector(1, actions...)
+	if inj.StormActive("cp", 5) {
+		t.Error("storm active before its window")
+	}
+	if inj.StormActive("ap", 50) {
+		t.Error("storm active on untargeted core")
+	}
+	if !inj.HasStorm("cp") || inj.HasStorm("ap") {
+		t.Error("HasStorm misreported targets")
+	}
+}
+
+func TestActionWindow(t *testing.T) {
+	windowed := Action{Kind: ActStallCachePort, Core: "ap", At: 10, Until: 20}
+	for now, want := range map[int64]bool{9: false, 10: true, 19: true, 20: false} {
+		if got := windowed.Active(now); got != want {
+			t.Errorf("windowed.Active(%d) = %v, want %v", now, got, want)
+		}
+	}
+	openEnded := Action{Kind: ActStallCachePort, Core: "ap", At: 10}
+	if openEnded.Active(9) || !openEnded.Active(10) || !openEnded.Active(1_000_000) {
+		t.Error("open-ended window misbehaved")
+	}
+}

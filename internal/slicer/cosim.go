@@ -7,6 +7,7 @@ import (
 	"hidisc/internal/fnsim"
 	"hidisc/internal/isa"
 	"hidisc/internal/queue"
+	"hidisc/internal/simfault"
 )
 
 // JCQTable builds the translation from Access Stream coordinates (the
@@ -41,8 +42,15 @@ func (b *Bundle) JCQTable() []int {
 // functional co-simulation. Slip-control credits are free: the CMAS is
 // a cache-only optimisation with no functional effect, so GETSCQ and
 // PUTSCQ never block here.
+//
+// The interpreter checks PopAvail/PushSpace before calling Pop/Push,
+// so a failing queue operation is a violated invariant, not a blocked
+// stream. It is recorded in fault (and checked by Cosim after every
+// step) rather than raised as a panic, so a mis-sliced bundle surfaces
+// as a typed error the slicer tests can branch on.
 type cosimEnv struct {
-	qs map[isa.Reg]*queue.Queue
+	qs    map[isa.Reg]*queue.Queue
+	fault error
 }
 
 func newCosimEnv(capacity int) *cosimEnv {
@@ -58,7 +66,13 @@ func (e *cosimEnv) PopAvail(q isa.Reg) int { return e.qs[q].Avail() }
 func (e *cosimEnv) Pop(q isa.Reg) uint64 {
 	v, ok := e.qs[q].PopCommitted()
 	if !ok {
-		panic(fmt.Sprintf("cosim: pop on empty %v", q))
+		if e.fault == nil {
+			e.fault = &simfault.InvariantFault{
+				Origin: "slicer cosim",
+				Reason: fmt.Sprintf("pop on empty %v", q),
+			}
+		}
+		return 0
 	}
 	return v
 }
@@ -66,13 +80,40 @@ func (e *cosimEnv) Pop(q isa.Reg) uint64 {
 func (e *cosimEnv) PushSpace(q isa.Reg) int { return e.qs[q].Cap() - e.qs[q].Len() }
 
 func (e *cosimEnv) Push(q isa.Reg, v uint64) {
-	if !e.qs[q].Push(v) {
-		panic(fmt.Sprintf("cosim: push on full %v", q))
+	if !e.qs[q].Push(v) && e.fault == nil {
+		e.fault = &simfault.InvariantFault{
+			Origin: "slicer cosim",
+			Reason: fmt.Sprintf("push on full %v", q),
+		}
 	}
 }
 
 func (e *cosimEnv) GetSCQ(int) bool { return true }
 func (e *cosimEnv) PutSCQ(int) bool { return true }
+
+// queueStates captures the three architectural queues for a fault.
+func (e *cosimEnv) queueStates() []simfault.QueueState {
+	return []simfault.QueueState{
+		e.qs[isa.RegLDQ].State(),
+		e.qs[isa.RegSDQ].State(),
+		e.qs[isa.RegCQ].State(),
+	}
+}
+
+// snapshot summarises both functional streams as pseudo-cores so slicer
+// deadlocks carry the same forensics shape as machine deadlocks.
+func (e *cosimEnv) snapshot(kind simfault.Kind, as, cs *fnsim.Sim, steps uint64) *simfault.Snapshot {
+	return &simfault.Snapshot{
+		Kind:  kind,
+		Arch:  "cosim",
+		Cycle: int64(steps),
+		Cores: []simfault.CoreState{
+			{Name: "as", Halted: as.Halted(), PC: as.PC(), Committed: as.InstCount()},
+			{Name: "cs", Halted: cs.Halted(), PC: cs.PC(), Committed: cs.InstCount()},
+		},
+		Queues: e.queueStates(),
+	}
+}
 
 // CosimResult is the observable outcome of a functional co-simulation
 // of the separated streams.
@@ -88,6 +129,11 @@ type CosimResult struct {
 // on the functional interpreter, alternating whenever one stream
 // blocks on a queue. It is the semantic ground truth for stream
 // separation: the result must equal the sequential program's.
+//
+// Failure modes are typed: a wedged stream pair returns a
+// *simfault.DeadlockFault whose Queues field names the blocked FIFO, a
+// runaway co-simulation returns *simfault.CycleLimitFault, and an
+// impossible queue operation returns *simfault.InvariantFault.
 func Cosim(b *Bundle, maxSteps uint64) (CosimResult, error) {
 	env := newCosimEnv(1024)
 	as := fnsim.New(b.AS)
@@ -96,12 +142,17 @@ func Cosim(b *Bundle, maxSteps uint64) (CosimResult, error) {
 	cs.Queues = env
 	cs.JCQMap = b.JCQTable()
 
+	origin := fmt.Sprintf("slicer cosim %q", b.Name)
 	var steps uint64
 	runUntilBlocked := func(s *fnsim.Sim) (bool, error) {
 		progress := false
 		for !s.Halted() {
 			if steps >= maxSteps {
-				return progress, fmt.Errorf("slicer: cosim of %q exceeded %d steps", b.Name, maxSteps)
+				return progress, &simfault.CycleLimitFault{
+					Origin:   origin,
+					Limit:    int64(maxSteps),
+					Snapshot: env.snapshot(simfault.KindCycleLimit, as, cs, steps),
+				}
 			}
 			err := s.Step()
 			if errors.Is(err, fnsim.ErrBlocked) {
@@ -109,6 +160,13 @@ func Cosim(b *Bundle, maxSteps uint64) (CosimResult, error) {
 			}
 			if err != nil {
 				return progress, err
+			}
+			if env.fault != nil {
+				if f, ok := env.fault.(*simfault.InvariantFault); ok && f.Snapshot == nil {
+					f.Origin = origin
+					f.Snapshot = env.snapshot(simfault.KindInvariant, as, cs, steps)
+				}
+				return progress, env.fault
 			}
 			progress = true
 			steps++
@@ -126,10 +184,12 @@ func Cosim(b *Bundle, maxSteps uint64) (CosimResult, error) {
 			return CosimResult{}, err
 		}
 		if !p1 && !p2 {
-			return CosimResult{}, fmt.Errorf(
-				"slicer: cosim of %q deadlocked at AS pc %d / CS pc %d (LDQ=%d SDQ=%d CQ=%d)",
-				b.Name, as.PC(), cs.PC(),
-				env.qs[isa.RegLDQ].Len(), env.qs[isa.RegSDQ].Len(), env.qs[isa.RegCQ].Len())
+			return CosimResult{}, &simfault.DeadlockFault{
+				Origin:   origin,
+				Cycle:    int64(steps),
+				Queues:   env.queueStates(),
+				Snapshot: env.snapshot(simfault.KindDeadlock, as, cs, steps),
+			}
 		}
 	}
 

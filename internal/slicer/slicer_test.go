@@ -1,6 +1,7 @@
 package slicer
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"hidisc/internal/isa"
 	"hidisc/internal/mem"
 	"hidisc/internal/profile"
+	"hidisc/internal/simfault"
 )
 
 // convolutionSrc is the paper's running example (Figure 3): the inner
@@ -469,7 +471,7 @@ func TestCMASTriggerAnnotationsInAS(t *testing.T) {
 }
 
 func TestBlockingHandshakeEmitsGETSCQ(t *testing.T) {
-	p := asm.MustAssemble("k", chaseKernelSrc)
+	p := mustAssemble(t, "k", chaseKernelSrc)
 	prof, err := profile.CacheProfile(p, smallHier(), 50_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -508,7 +510,7 @@ func TestCMASBranchTargetsInRange(t *testing.T) {
 func TestCMASKeepsEquivalence(t *testing.T) {
 	// CMAS and GETSCQ/trigger insertion must not change functional
 	// results.
-	p := asm.MustAssemble("k", chaseKernelSrc)
+	p := mustAssemble(t, "k", chaseKernelSrc)
 	want, err := fnsim.RunProgram(p, 50_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -731,7 +733,7 @@ loop:   lw   $r3, 0($r2)
         out  $r4
         halt
 `
-	p := asm.MustAssemble("stream", src)
+	p := mustAssemble(t, "stream", src)
 	prof, err := profile.CacheProfile(p, mem.DefaultHierConfig(), 10_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -769,7 +771,7 @@ loop:   sw   $r1, 0($r2)
         bgtz $r1, loop
         halt
 `
-	p := asm.MustAssemble("storestream", src)
+	p := mustAssemble(t, "storestream", src)
 	prof, err := profile.CacheProfile(p, mem.DefaultHierConfig(), 10_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -828,7 +830,7 @@ func TestControlThinningDropsASOnlyLoop(t *testing.T) {
 		}
 	}
 	// Thinning must not change semantics.
-	p := asm.MustAssemble("t", asOnlyLoopSrc)
+	p := mustAssemble(t, "t", asOnlyLoopSrc)
 	ref, err := fnsim.RunProgram(p, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -896,7 +898,7 @@ loop:   lw   $r3, 0($r2)
 f:      add  $r4, $r4, $r3
         jr   $ra
 `
-	p := asm.MustAssemble("call-loop", src)
+	p := mustAssemble(t, "call-loop", src)
 	prof, err := profile.CacheProfile(p, mem.DefaultHierConfig(), 10_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -907,5 +909,75 @@ f:      add  $r4, $r4, $r3
 	}
 	if len(b.CMAS) != 0 {
 		t.Errorf("CMAS built for a loop containing a call")
+	}
+}
+
+// mustAssemble assembles fixed test source, failing the test on error.
+func mustAssemble(tb testing.TB, name, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", name, err)
+	}
+	return p
+}
+
+func TestCosimDeadlockIsTypedWithBlockedQueue(t *testing.T) {
+	// A mis-sliced bundle: the CS pops an LDQ value the AS never
+	// pushes. Cosim must return a structured DeadlockFault naming the
+	// starved queue — not an opaque string — so callers can branch on
+	// which FIFO wedged the pair.
+	cs := mustAssemble(t, "cs", `
+main:   add $r1, $LDQ, $r0
+        halt
+`)
+	as := mustAssemble(t, "as", `
+main:   halt
+`)
+	b := &Bundle{Name: "starved", Seq: as, CS: cs, AS: as}
+	_, err := Cosim(b, 1_000_000)
+	if err == nil {
+		t.Fatal("mis-sliced bundle co-simulated without error")
+	}
+	var dl *simfault.DeadlockFault
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %T (%v), want *simfault.DeadlockFault", err, err)
+	}
+	ldq, ok := dl.Queue("LDQ")
+	if !ok {
+		t.Fatalf("fault lost the LDQ state: %+v", dl.Queues)
+	}
+	if !ldq.Empty() || ldq.Pushes != 0 {
+		t.Errorf("LDQ at deadlock = %+v; want empty and never pushed", ldq)
+	}
+	if dl.Snapshot == nil || len(dl.Snapshot.Cores) != 2 {
+		t.Fatalf("snapshot = %+v, want both pseudo-cores", dl.Snapshot)
+	}
+	for _, c := range dl.Snapshot.Cores {
+		if c.Name == "as" && !c.Halted {
+			t.Error("snapshot shows the AS still running; it halted before the wedge")
+		}
+		if c.Name == "cs" && c.Halted {
+			t.Error("snapshot shows the CS halted; it is the blocked consumer")
+		}
+	}
+}
+
+func TestCosimStepLimitIsTyped(t *testing.T) {
+	// An infinite CS loop must surface as a CycleLimitFault, not hang.
+	cs := mustAssemble(t, "cs", `
+main:   j main
+`)
+	as := mustAssemble(t, "as", `
+main:   halt
+`)
+	b := &Bundle{Name: "spin", Seq: as, CS: cs, AS: as}
+	_, err := Cosim(b, 1000)
+	var cl *simfault.CycleLimitFault
+	if !errors.As(err, &cl) {
+		t.Fatalf("got %T (%v), want *simfault.CycleLimitFault", err, err)
+	}
+	if cl.Limit != 1000 || cl.Snapshot == nil {
+		t.Errorf("fault = %+v", cl)
 	}
 }

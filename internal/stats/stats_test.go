@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hidisc/internal/asm"
+	"hidisc/internal/isa"
 	"hidisc/internal/fnsim"
 	"hidisc/internal/machine"
 	"hidisc/internal/mem"
@@ -30,7 +31,7 @@ loop:   lw   $r3, 0($r2)
 
 func reportFor(t *testing.T, arch machine.Arch) Report {
 	t.Helper()
-	p := asm.MustAssemble("k", kernel)
+	p := mustAssemble(t, "k", kernel)
 	ref, err := fnsim.RunProgram(p, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -117,4 +118,14 @@ func TestThroughput(t *testing.T) {
 	if s := tp.String(); s == "" {
 		t.Error("empty String")
 	}
+}
+
+// mustAssemble assembles fixed test source, failing the test on error.
+func mustAssemble(tb testing.TB, name, src string) *isa.Program {
+	tb.Helper()
+	p, err := asm.Assemble(name, src)
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", name, err)
+	}
+	return p
 }

@@ -43,12 +43,6 @@ func (w *Workload) Program() (*isa.Program, error) {
 	return asm.Assemble(w.Name, w.Source)
 }
 
-// MustProgram assembles the workload, panicking on error; the sources
-// are fixed at build time.
-func (w *Workload) MustProgram() *isa.Program {
-	return asm.MustAssemble(w.Name, w.Source)
-}
-
 // Scale selects workload sizing.
 type Scale int
 

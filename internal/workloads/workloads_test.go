@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hidisc/internal/fnsim"
+	"hidisc/internal/isa"
 	"hidisc/internal/machine"
 	"hidisc/internal/mem"
 	"hidisc/internal/profile"
@@ -71,7 +72,7 @@ func TestWorkloadsAcrossArchitectures(t *testing.T) {
 	for _, w := range All(ScaleTest) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			p := w.MustProgram()
+			p := mustProgram(t, w)
 			prof, err := profile.CacheProfile(p, mem.DefaultHierConfig(), w.MaxInsts)
 			if err != nil {
 				t.Fatal(err)
@@ -104,7 +105,7 @@ func TestCosimEquivalence(t *testing.T) {
 	for _, w := range All(ScaleTest) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			p := w.MustProgram()
+			p := mustProgram(t, w)
 			b, err := slicer.Separate(p, slicer.Options{})
 			if err != nil {
 				t.Fatal(err)
@@ -132,7 +133,7 @@ func TestPaperScaleWorkingSetsExceedL1(t *testing.T) {
 	// The paper's premise: data-intensive kernels overwhelm the L1.
 	l1 := mem.DefaultHierConfig().L1D.SizeBytes()
 	for _, w := range All(ScalePaper) {
-		p := w.MustProgram()
+		p := mustProgram(t, w)
 		if len(p.Data) < l1 {
 			t.Errorf("%s: static data %d bytes < L1 %d", w.Name, len(p.Data), l1)
 		}
@@ -173,7 +174,7 @@ func TestExtraReferenceOutputs(t *testing.T) {
 				if scale == ScalePaper && testing.Short() {
 					t.Skip("paper scale skipped in -short")
 				}
-				p := w.MustProgram()
+				p := mustProgram(t, w)
 				res, err := fnsim.RunProgram(p, w.MaxInsts)
 				if err != nil {
 					t.Fatal(err)
@@ -190,7 +191,7 @@ func TestExtraAcrossArchitectures(t *testing.T) {
 	for _, w := range Extra(ScaleTest) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			p := w.MustProgram()
+			p := mustProgram(t, w)
 			prof, err := profile.CacheProfile(p, mem.DefaultHierConfig(), w.MaxInsts)
 			if err != nil {
 				t.Fatal(err)
@@ -210,4 +211,14 @@ func TestExtraAcrossArchitectures(t *testing.T) {
 			}
 		})
 	}
+}
+
+// mustProgram assembles a workload, failing the test on error.
+func mustProgram(tb testing.TB, w *Workload) *isa.Program {
+	tb.Helper()
+	p, err := w.Program()
+	if err != nil {
+		tb.Fatalf("assemble %s: %v", w.Name, err)
+	}
+	return p
 }
