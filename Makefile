@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz-smoke bench
+.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json
 
-ci: vet build test race fuzz-smoke
+ci: vet build test race fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,15 @@ fuzz-smoke:
 # One pass over every table/figure benchmark (reports simMIPS).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# A single-iteration benchmark pass as a CI smoke: catches harness
+# regressions (a benchmark that panics or wedges) without paying for a
+# full measurement run.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x -timeout 10m .
+
+# Regenerate the committed per-run timing baseline. The Figure 8 matrix
+# runs sequentially at paper scale so wall times are comparable across
+# commits; diff BENCH_fig8.json to see a change's performance effect.
+bench-json:
+	$(GO) run ./cmd/hidisc-bench -bench-json BENCH_fig8.json

@@ -10,10 +10,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"hidisc/internal/experiments"
@@ -36,9 +38,26 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	timeout := flag.Duration("timeout", 0, "abort wedged simulations after this long (0 = no limit)")
 	dumpDir := flag.String("dump-on-fault", "", "write fault snapshots as JSON into this directory")
+	noSkip := flag.Bool("no-skip", false, "disable event-driven idle-cycle skipping (tick every cycle)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	benchJSON := flag.String("bench-json", "", "run the Figure 8 matrix sequentially and write per-run timings as JSON to this file")
 	flag.Parse()
 
 	faultDumpDir = *dumpDir
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	cpuProfiling = *cpuProfile != ""
+	memProfilePath = *memProfile
+	defer stopProfiles()
 
 	sc := workloads.ScalePaper
 	if *scale == "test" {
@@ -50,12 +69,24 @@ func main() {
 
 	r := experiments.NewRunner(sc)
 	r.Workers = *jobs
+	if *noSkip {
+		r.Configure = func(c *machine.Config) { c.NoSkip = true }
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		r.Ctx = ctx
 	}
 	start := time.Now()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(r, *scale, *noSkip, *benchJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bench timings written to %s in %v\n",
+			*benchJSON, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *all || *t1 {
 		fmt.Println(experiments.Table1())
@@ -116,11 +147,97 @@ func main() {
 		wall.Round(time.Millisecond), *jobs, tp)
 }
 
+// benchEntry is one (workload, architecture) timing in the bench-json
+// report: the repo's performance trajectory is tracked as a series of
+// these files (BENCH_fig8.json on main is the current baseline).
+type benchEntry struct {
+	Workload      string  `json:"workload"`
+	Arch          string  `json:"arch"`
+	SimCycles     int64   `json:"simCycles"`
+	WallSeconds   float64 `json:"wallSeconds"`
+	MCyclesPerSec float64 `json:"mcyclesPerSec"`
+}
+
+type benchReport struct {
+	Scale              string       `json:"scale"`
+	NoSkip             bool         `json:"noSkip,omitempty"`
+	TotalWallSeconds   float64      `json:"totalWallSeconds"`
+	TotalSimCycles     int64        `json:"totalSimCycles"`
+	TotalMCyclesPerSec float64      `json:"totalMCyclesPerSec"`
+	Entries            []benchEntry `json:"entries"`
+}
+
+// writeBenchJSON runs the Figure 8 matrix sequentially — one
+// simulation at a time, compile time excluded — so per-run wall times
+// are not polluted by scheduling, and writes the report to path.
+func writeBenchJSON(r *experiments.Runner, scale string, noSkip bool, path string) error {
+	rep := benchReport{Scale: scale, NoSkip: noSkip}
+	for _, name := range workloads.Names() {
+		if _, err := r.Compile(name); err != nil {
+			return err
+		}
+		for _, arch := range machine.Arches {
+			t0 := time.Now()
+			m, err := r.Run(name, arch, r.Hier)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, arch, err)
+			}
+			wall := time.Since(t0).Seconds()
+			rep.Entries = append(rep.Entries, benchEntry{
+				Workload:      name,
+				Arch:          string(arch),
+				SimCycles:     m.Cycles,
+				WallSeconds:   wall,
+				MCyclesPerSec: float64(m.Cycles) / 1e6 / wall,
+			})
+			rep.TotalSimCycles += m.Cycles
+			rep.TotalWallSeconds += wall
+		}
+	}
+	if rep.TotalWallSeconds > 0 {
+		rep.TotalMCyclesPerSec = float64(rep.TotalSimCycles) / 1e6 / rep.TotalWallSeconds
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // faultDumpDir, when set by -dump-on-fault, receives JSON snapshots of
 // every typed fault carried by the error that killed the run.
 var faultDumpDir string
 
+// Profile state shared with fatal(): os.Exit skips defers, so the
+// error path must flush profiles explicitly or a faulting run would
+// leave a truncated, unusable profile.
+var (
+	cpuProfiling   bool
+	memProfilePath string
+)
+
+func stopProfiles() {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+		cpuProfiling = false
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hidisc-bench: heap profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialise final live-heap numbers
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hidisc-bench: heap profile:", err)
+		}
+		memProfilePath = ""
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	if faultDumpDir != "" {
 		paths, werr := simfault.WriteSnapshots(faultDumpDir, err)
 		if werr != nil {

@@ -41,6 +41,7 @@ func main() {
 	maxInsts := flag.Uint64("max-insts", 1_000_000_000, "functional execution budget")
 	traceCycles := flag.Int64("trace", 0, "print a pipeline trace for the first N cycles")
 	compare := flag.Bool("compare", false, "run all four architectures and print a comparison table")
+	noSkip := flag.Bool("no-skip", false, "disable event-driven idle-cycle skipping (tick every cycle)")
 	timeout := flag.Duration("timeout", 0, "abort a wedged simulation after this long (0 = no limit)")
 	dumpDir := flag.String("dump-on-fault", "", "write fault snapshots as JSON into this directory")
 	flag.Parse()
@@ -106,7 +107,14 @@ func main() {
 	if *compare {
 		var reports []stats.Report
 		for _, arch := range machine.Arches {
-			res, rerr := machine.RunArchContext(ctx, b, arch, hier)
+			acfg := machine.DefaultConfig(arch)
+			acfg.Hier = hier
+			acfg.NoSkip = *noSkip
+			am, rerr := machine.New(b, acfg)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			res, rerr := am.RunContext(ctx)
 			if rerr != nil {
 				fatal(rerr)
 			}
@@ -120,6 +128,7 @@ func main() {
 	}
 	cfg := machine.DefaultConfig(a)
 	cfg.Hier = hier
+	cfg.NoSkip = *noSkip
 	if *traceCycles > 0 {
 		tr := &cpu.TextTracer{W: os.Stderr, ToCycle: *traceCycles}
 		cfg.Wide.Tracer = tr

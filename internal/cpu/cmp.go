@@ -91,10 +91,12 @@ type cmpCtx struct {
 	windowUseful int
 }
 
-func (c *cmpCtx) srcReady(now int64, in isa.Inst) bool {
-	src, n := in.SourceList()
-	for i := 0; i < n; i++ {
-		if r := src[i]; r.IsArch() && c.readyAt[r] > now {
+// srcReady checks the scoreboard against the instruction's decoded
+// source list (see dec: CMAS programs are static, so the sources are
+// precomputed once at engine construction).
+func (c *cmpCtx) srcReady(now int64, d *dec) bool {
+	for i := 0; i < int(d.nsrc); i++ {
+		if r := d.src[i]; r.IsArch() && c.readyAt[r] > now {
 			return false
 		}
 	}
@@ -114,24 +116,58 @@ func (c *cmpCtx) setReady(r isa.Reg, at int64) {
 type CMPEngine struct {
 	cfg   CMPConfig
 	progs [][]isa.Inst
+	decos [][]dec // static decode tables, parallel to progs
 	mem   *mem.Memory
 	hier  *mem.Hierarchy
 	scq   []*queue.Queue
 	ctxs  []*cmpCtx
 	stats CMPStats
+
+	// worked / idlePutStalls mirror the Core's idle-cycle protocol (see
+	// Core.CycleEv): an idle CMP cycle changes nothing but PutStalls.
+	worked        bool
+	idlePutStalls int64
+
+	// Idle fast path, mirroring Core: after a proven-idle cycle, ticks
+	// before idleUntil with an unchanged queue epoch are exact replays
+	// and cost O(1). Fork and Shutdown invalidate it explicitly (they
+	// mutate engine state from outside the cycle).
+	epoch     *int64
+	fastIdle  bool
+	idleValid bool
+	idleUntil int64
+	idleEpoch int64
 }
 
 // NewCMP builds the engine. progs[id] is the CMAS program for id, and
 // scq[id] its slip-control queue.
 func NewCMP(cfg CMPConfig, progs [][]isa.Inst, m *mem.Memory, h *mem.Hierarchy, scq []*queue.Queue) *CMPEngine {
 	cfg = cfg.withDefaults()
+	decos := make([][]dec, len(progs))
+	for i, p := range progs {
+		decos[i] = decodeProg(p)
+	}
 	return &CMPEngine{
 		cfg:   cfg,
 		progs: progs,
+		decos: decos,
 		mem:   m,
 		hier:  h,
 		scq:   scq,
 		ctxs:  make([]*cmpCtx, len(progs)),
+	}
+}
+
+// AttachEvents wires the machine-wide queue-mutation epoch into the
+// engine and enables its O(1) idle fast path. Slip-control queue
+// generations created later by Fork inherit the epoch.
+func (e *CMPEngine) AttachEvents(epoch *int64) {
+	e.epoch = epoch
+	e.fastIdle = epoch != nil
+	for _, q := range e.scq {
+		if q != nil {
+			q.SetEpoch(epoch)
+		}
 	}
 }
 
@@ -179,8 +215,10 @@ func (e *CMPEngine) Fork(id int, ir [isa.NumIntRegs]uint32, fr [isa.NumFPRegs]fl
 		old := e.scq[id]
 		old.Close()
 		e.scq[id] = queue.New(old.Name(), old.Cap())
+		e.scq[id].SetEpoch(e.epoch)
 	}
 	e.stats.Forks++
+	e.idleValid = false
 }
 
 // Shutdown kills every context and closes the slip-control queues;
@@ -193,6 +231,7 @@ func (e *CMPEngine) Shutdown() {
 			e.closeSCQ(id)
 		}
 	}
+	e.idleValid = false
 }
 
 func (e *CMPEngine) closeSCQ(id int) {
@@ -204,6 +243,86 @@ func (e *CMPEngine) closeSCQ(id int) {
 // Cycle advances every live context by up to IssueWidth in-order
 // instructions, sharing the engine's cache ports.
 func (e *CMPEngine) Cycle(now int64) error {
+	_, err := e.CycleEv(now)
+	return err
+}
+
+// CycleEv advances the engine one clock and returns its next-event
+// cycle under the same contract as Core.CycleEv: now+1 after any
+// progress, the earliest scoreboard wakeup when every context is
+// blocked on an in-flight fill, and math.MaxInt64 when the only waits
+// are on another component (a full slip-control queue).
+func (e *CMPEngine) CycleEv(now int64) (int64, error) {
+	if e.idleValid {
+		if *e.epoch == e.idleEpoch && now < e.idleUntil {
+			// Exact replay of the last ticked idle cycle (see Core.CycleEv).
+			e.stats.PutStalls += e.idlePutStalls
+			return e.idleUntil, nil
+		}
+		e.idleValid = false
+	}
+	ps := e.stats.PutStalls
+	e.worked = false
+	if err := e.cycle(now); err != nil {
+		return now + 1, err
+	}
+	if e.worked {
+		return now + 1, nil
+	}
+	e.idlePutStalls = e.stats.PutStalls - ps
+	wake := e.nextWake(now)
+	if e.fastIdle {
+		e.idleValid = true
+		e.idleUntil = wake
+		e.idleEpoch = *e.epoch
+	}
+	return wake, nil
+}
+
+// nextWake returns the earliest cycle at which a blocked context's
+// sources all become ready. Only called on idle cycles, where every
+// active context is stalled either on the scoreboard (local deadline:
+// the max of its pending readyAt times) or on a full slip-control
+// queue (no local deadline — the consuming core's wakeup drives it).
+func (e *CMPEngine) nextWake(now int64) int64 {
+	wake := int64(math.MaxInt64)
+	for id, c := range e.ctxs {
+		if c == nil || !c.active {
+			continue
+		}
+		prog := e.progs[id]
+		if c.pc < 0 || c.pc >= len(prog) {
+			return now + 1 // next cycle reports the pc fault
+		}
+		if prog[c.pc].Op == isa.PUTSCQ {
+			continue // waits on the consumer core
+		}
+		w := int64(0)
+		d := &e.decos[id][c.pc]
+		for i := 0; i < int(d.nsrc); i++ {
+			if r := d.src[i]; r.IsArch() && c.readyAt[r] > w {
+				w = c.readyAt[r]
+			}
+		}
+		if w <= now {
+			return now + 1 // blocked for a reason we cannot time: tick
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	return wake
+}
+
+// CreditIdle accounts n fast-forwarded idle cycles: the PutStalls
+// pattern of the last (idle) cycle repeats n times.
+func (e *CMPEngine) CreditIdle(n int64) {
+	if n > 0 {
+		e.stats.PutStalls += n * e.idlePutStalls
+	}
+}
+
+func (e *CMPEngine) cycle(now int64) error {
 	ports := 0
 	for id, c := range e.ctxs {
 		if c == nil || !c.active {
@@ -215,10 +334,11 @@ func (e *CMPEngine) Cycle(now int64) error {
 				return fmt.Errorf("cmp: CMAS %d pc %d out of range", id, c.pc)
 			}
 			in := prog[c.pc]
-			if !c.srcReady(now, in) {
+			d := &e.decos[id][c.pc]
+			if !c.srcReady(now, d) {
 				break
 			}
-			if in.Op.IsMem() && ports >= e.cfg.MemPorts {
+			if d.isMem && ports >= e.cfg.MemPorts {
 				break // port contention: retry next cycle
 			}
 			advanced, usedPort, taken, err := e.step(now, id, c, in)
@@ -231,6 +351,7 @@ func (e *CMPEngine) Cycle(now int64) error {
 			if !advanced {
 				break
 			}
+			e.worked = true
 			c.insts++
 			e.stats.Executed++
 			if c.insts > e.cfg.MaxInstsPerThread {

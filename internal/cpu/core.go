@@ -124,9 +124,11 @@ type srcOperand struct {
 }
 
 type entry struct {
-	seq  int64
-	pc   int
-	inst isa.Inst
+	seq int64
+	pc  int
+	// inst points into the (immutable) program's instruction slice —
+	// holding the Inst by value made every dispatch copy it twice.
+	inst *isa.Inst
 
 	// srcs aliases srcsBuf so that building the operand list never
 	// allocates; entries are always handled by pointer, which keeps the
@@ -163,11 +165,60 @@ type entry struct {
 	refs   int32
 	pinned bool
 	dead   bool
+
+	// nready counts sources whose ready flag is set, so the issue scan
+	// can skip refreshOperands (and the per-source ready loop) for the
+	// common entry whose operands have all arrived.
+	nready int8
+
+	// qpend counts operands that are unresolved queue claims; it is the
+	// only reason left to poll refreshOperands, because register
+	// operands are resolved push-style by the producer's completion
+	// (see wakeWaiters). waiters lists in-window consumers holding this
+	// entry as an operand producer. A stale pointer to a squashed (and
+	// possibly recycled) consumer is harmless: the wake scan matches on
+	// src.producer, which the squash already cleared.
+	qpend   int8
+	waiters []*entry
 }
 
+// reset clears every entry field except srcsBuf: zeroing the operand
+// buffer is the bulk of a whole-struct clear and is pointless — srcs
+// re-slices it to length zero and dispatch overwrites what it appends.
+func (e *entry) reset() {
+	e.seq = 0
+	e.pc = 0
+	e.inst = nil
+	e.srcs = e.srcsBuf[:0]
+	e.dest = 0
+	e.result = 0
+	e.execErr = nil
+	e.issued = false
+	e.completed = false
+	e.completeAt = 0
+	e.isCtl = false
+	e.taken = false
+	e.predNext = 0
+	e.actualNext = 0
+	e.isLoad = false
+	e.isStore = false
+	e.addr = 0
+	e.addrReady = false
+	e.pushed = false
+	e.squashed = false
+	e.refs = 0
+	e.pinned = false
+	e.dead = false
+	e.nready = 0
+	e.qpend = 0
+	e.waiters = e.waiters[:0]
+}
+
+// fetched carries a fetch-queue slot; the instruction itself is
+// re-read from the immutable program at dispatch (prog.Insts[pc]), so
+// the IFQ never copies Inst structs around.
 type fetched struct {
 	pc       int
-	inst     isa.Inst
 	predNext int
 }
 
@@ -185,6 +236,79 @@ func (f *fuPool) acquire(now int64, occupy int64) bool {
 	return false
 }
 
+// dec caches every Op-derived predicate the per-cycle stages need for
+// one static instruction. The program never changes after construction,
+// so decoding each dispatched instance again (SourceList, IsMem, Dest,
+// functional-unit class) was pure per-cycle overhead — on memory-bound
+// runs it dominated the dispatch stage's profile.
+type dec struct {
+	src     [isa.MaxSources]isa.Reg
+	nsrc    uint8
+	pool    int8 // functional-unit pool id (poolNone..poolMem)
+	isMem   bool
+	isCtl   bool
+	isLoad  bool
+	isStore bool
+	hasPush bool // pushes to any architectural queue at commit/release
+	hasQSrc bool // claims a queue operand (incl. GETSCQ's hidden credit)
+	dest    isa.Reg
+	lat     int64 // result latency in cycles
+	occupy  int64 // pool reservation in cycles (latency if unpipelined)
+}
+
+// Functional-unit pool ids in dec.pool.
+const (
+	poolNone = int8(iota)
+	poolIntALU
+	poolIntMulDv
+	poolFPALU
+	poolFPMulDv
+	poolMem
+)
+
+// decodeProg builds the static decode table for a program.
+func decodeProg(insts []isa.Inst) []dec {
+	t := make([]dec, len(insts))
+	for i, in := range insts {
+		d := &t[i]
+		src, n := in.SourceList()
+		d.src = src
+		d.nsrc = uint8(n)
+		d.isMem = in.Op.IsMem()
+		d.isCtl = in.Op.IsControl()
+		d.isLoad = in.Op.IsLoad() || in.Op == isa.PREF
+		d.isStore = in.Op.IsStore()
+		d.dest = in.Dest()
+		d.hasPush = d.dest.IsQueue() || in.Op == isa.PUTSCQ ||
+			in.Ann.Has(isa.AnnTapLDQ) || in.Ann.Has(isa.AnnTapSDQ) || in.Ann.Has(isa.AnnPushCQ)
+		d.hasQSrc = in.Op == isa.GETSCQ
+		for si := 0; si < n; si++ {
+			if src[si].IsQueue() {
+				d.hasQSrc = true
+			}
+		}
+		cl := in.Op.Class()
+		d.lat = int64(cl.Latency())
+		d.occupy = 1
+		if !cl.Pipelined() {
+			d.occupy = d.lat
+		}
+		switch cl {
+		case isa.ClassIntALU, isa.ClassBranch, isa.ClassQueue:
+			d.pool = poolIntALU
+		case isa.ClassIntMul, isa.ClassIntDiv:
+			d.pool = poolIntMulDv
+		case isa.ClassFPAdd:
+			d.pool = poolFPALU
+		case isa.ClassFPMul, isa.ClassFPDiv:
+			d.pool = poolFPMulDv
+		case isa.ClassLoad, isa.ClassStore:
+			d.pool = poolMem
+		}
+	}
+	return t
+}
+
 // Core is one out-of-order processor.
 type Core struct {
 	cfg  Config
@@ -192,6 +316,23 @@ type Core struct {
 	mem  *mem.Memory
 	hier *mem.Hierarchy
 	qs   QueueSet
+
+	// deco is the static decode table, indexed by instruction pc (fetch
+	// only enqueues in-range pcs, so every in-flight entry has one).
+	deco []dec
+
+	// popQ/pushQ mirror qs.Pop and qs.Push as dense arrays indexed by
+	// register number: the dispatch and push paths hit them for every
+	// queue operand, where a map lookup (hash + bucket walk) is
+	// measurable at simulation scale.
+	popQ, pushQ [int(isa.RegSCQ) + 1]*queue.Queue
+
+	// minComplete is a lower bound on the earliest completeAt of any
+	// issued-but-incomplete entry; writeback skips its window scan
+	// entirely while now is below it. Pending completion times never
+	// change once set, so the bound only goes stale in the safe
+	// direction (too low → a wasted scan, never a missed completion).
+	minComplete int64
 
 	intR [isa.NumIntRegs]uint32
 	fpR  [isa.NumFPRegs]float64
@@ -211,6 +352,17 @@ type Core struct {
 	winHead int
 	lsq     []*entry
 	lsqHead int
+
+	// nUnissued counts window entries not yet issued, so the issue scan
+	// can stop as soon as it has visited all of them instead of walking
+	// the issued-waiting-commit tail of the window every cycle.
+	// nInflight counts issued-but-incomplete entries the same way for
+	// the writeback scan.
+	nUnissued int
+	nInflight int
+	// nCtlPending counts unresolved control entries so releasePushes can
+	// skip its oldest-unresolved-branch scan when no branch is in flight.
+	nCtlPending int
 
 	// rename maps an architectural register to its youngest in-window
 	// producer: a dense array indexed by register number (int and FP
@@ -238,6 +390,30 @@ type Core struct {
 	halted bool
 	output []string
 	stats  Stats
+
+	// worked marks that the current Cycle changed machine state beyond
+	// the per-cycle stall counters; idleDelta records which of those
+	// counters the cycle incremented. Together they let CycleEv prove a
+	// cycle idle (the next cycle with unchanged inputs replays it
+	// exactly) and let CreditIdle account fast-forwarded cycles
+	// bit-identically to ticked ones.
+	worked    bool
+	idleDelta idleStalls
+
+	// Per-core idle fast path. After a proven-idle cycle the core
+	// records its local wakeup (idleUntil) and a snapshot of the
+	// machine-wide queue epoch (idleEpoch). While now < idleUntil and
+	// the epoch is unchanged, every tick is an exact replay of that
+	// idle cycle, so CycleEv applies idleDelta in O(1) instead of
+	// re-running the pipeline scans. This is what makes a core that is
+	// blocked behind the prefetch engine (or the other core) cheap even
+	// though the machine clock keeps ticking for the busy component.
+	// Enabled by AttachEvents; the no-skip reference path never sets it.
+	epoch     *int64
+	fastIdle  bool
+	idleValid bool
+	idleUntil int64
+	idleEpoch int64
 
 	// recentPCs rings the last committed program counters for fault
 	// forensics (oldest overwritten first); recentLen counts total
@@ -271,6 +447,17 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory, h *mem.Hierarchy, qs Queu
 		pred:     newPredictor(cfg),
 		btb:      bpred.NewBTB(cfg.BTBSize),
 		ras:      bpred.NewRAS(cfg.RASDepth),
+	}
+	c.deco = decodeProg(prog.Insts)
+	for r, q := range qs.Pop {
+		if int(r) < len(c.popQ) {
+			c.popQ[r] = q
+		}
+	}
+	for r, q := range qs.Push {
+		if int(r) < len(c.pushQ) {
+			c.pushQ[r] = q
+		}
 	}
 	c.intR[isa.SP] = isa.StackTop
 	return c
@@ -311,29 +498,145 @@ func (c *Core) SnapshotRegs() ([isa.NumIntRegs]uint32, [isa.NumFPRegs]float64) {
 // IntReg returns a committed integer register value (tests).
 func (c *Core) IntReg(r isa.Reg) uint32 { return c.intR[r] }
 
+// idleStalls is the set of stall counters an idle cycle may bump (at
+// most once each per cycle). An idle cycle changes nothing else, so
+// later idle cycles with unchanged inputs bump exactly the same set —
+// which is what makes crediting a fast-forwarded span exact.
+type idleStalls struct {
+	fetch       int64
+	dispatch    int64
+	queueWait   int64
+	memWait     int64
+	commitQueue int64
+}
+
 // Cycle advances the core by one clock. Stage order models the
 // pipeline flowing from commit back to fetch, so results propagate
 // with realistic one-cycle stage separation.
 func (c *Core) Cycle(now int64) error {
+	_, err := c.CycleEv(now)
+	return err
+}
+
+// CycleEv advances the core by one clock and returns the earliest
+// future cycle at which this core can possibly change state again
+// (its next event). The contract the machine's fast-forward relies on:
+// if every component reports a wakeup > now+1, every cycle strictly
+// before the minimum wakeup is an exact replay of this one (stall
+// counters included), so they may be skipped and credited via
+// CreditIdle. A core that did any work this cycle reports now+1; a
+// core waiting only on another core (an architectural queue) reports
+// math.MaxInt64 and relies on the producer's own wakeup to resume the
+// clock.
+// AttachEvents wires the machine-wide queue-mutation epoch into the
+// core and enables the O(1) idle fast path (see the field comment).
+// The naive reference loop (Config.NoSkip) does not call it.
+func (c *Core) AttachEvents(epoch *int64) {
+	c.epoch = epoch
+	c.fastIdle = epoch != nil
+}
+
+func (c *Core) CycleEv(now int64) (int64, error) {
 	if c.halted {
-		return nil
+		return math.MaxInt64, nil
 	}
+	if c.idleValid {
+		if *c.epoch == c.idleEpoch && now < c.idleUntil {
+			// Provable replay of the last ticked idle cycle: no queue
+			// anywhere has changed (epoch) and no local timer — an
+			// in-flight completion or a reservation expiry — has fired
+			// (idleUntil). Injected port stalls only lengthen
+			// reservations, which cannot invalidate an idle replay.
+			c.stats.Cycles++
+			c.stats.FetchStalls += c.idleDelta.fetch
+			c.stats.DispatchStalls += c.idleDelta.dispatch
+			c.stats.QueueWaitCycles += c.idleDelta.queueWait
+			c.stats.MemWaitCycles += c.idleDelta.memWait
+			c.stats.CommitQueueStall += c.idleDelta.commitQueue
+			return c.idleUntil, nil
+		}
+		c.idleValid = false
+	}
+	fs := c.stats
+	c.worked = false
 	c.stats.Cycles++
 	if err := c.commit(now); err != nil {
-		return fmt.Errorf("core %s: %w", c.cfg.Name, err)
+		return now + 1, fmt.Errorf("core %s: %w", c.cfg.Name, err)
 	}
-	if c.halted {
-		return nil
+	if !c.halted {
+		c.writeback(now)
+		c.releasePushes()
+		if err := c.issue(now); err != nil {
+			return now + 1, fmt.Errorf("core %s: %w", c.cfg.Name, err)
+		}
+		c.dispatch(now)
+		c.fetch(now)
+		c.accountStalls(now)
 	}
-	c.writeback(now)
-	c.releasePushes()
-	if err := c.issue(now); err != nil {
-		return fmt.Errorf("core %s: %w", c.cfg.Name, err)
+	if !c.worked {
+		// Self-healing guard: architectural progress must imply worked.
+		// If a mark site is ever missed the core degrades to per-cycle
+		// ticking instead of skipping incorrectly.
+		if c.stats.Committed != fs.Committed || c.stats.Mispredicts != fs.Mispredicts ||
+			c.stats.Squashed != fs.Squashed || c.stats.DispatchRedirects != fs.DispatchRedirects {
+			c.worked = true
+		}
 	}
-	c.dispatch(now)
-	c.fetch(now)
-	c.accountStalls(now)
-	return nil
+	if c.worked || c.halted {
+		return now + 1, nil
+	}
+	c.idleDelta = idleStalls{
+		fetch:       c.stats.FetchStalls - fs.FetchStalls,
+		dispatch:    c.stats.DispatchStalls - fs.DispatchStalls,
+		queueWait:   c.stats.QueueWaitCycles - fs.QueueWaitCycles,
+		memWait:     c.stats.MemWaitCycles - fs.MemWaitCycles,
+		commitQueue: c.stats.CommitQueueStall - fs.CommitQueueStall,
+	}
+	wake := c.nextWake(now)
+	if c.fastIdle {
+		c.idleValid = true
+		c.idleUntil = wake
+		c.idleEpoch = *c.epoch
+	}
+	return wake, nil
+}
+
+// nextWake returns the earliest cycle after now at which an idle core
+// has a self-contained reason to act: an in-flight instruction
+// completing, or a functional-unit/cache-port reservation expiring
+// (a head-of-window store or a ready load may be waiting on exactly
+// that). Waits on architectural queues have no local deadline — the
+// producing core's wakeup drives them — so they contribute MaxInt64.
+func (c *Core) nextWake(now int64) int64 {
+	wake := int64(math.MaxInt64)
+	for _, e := range c.window {
+		if e.issued && !e.completed && e.completeAt > now && e.completeAt < wake {
+			wake = e.completeAt
+		}
+	}
+	for _, p := range [...]*fuPool{&c.intALU, &c.intMulDv, &c.fpALU, &c.fpMulDv, &c.memPorts} {
+		for _, b := range p.busyUntil {
+			if b > now && b < wake {
+				wake = b
+			}
+		}
+	}
+	return wake
+}
+
+// CreditIdle accounts n fast-forwarded idle cycles exactly as if they
+// had been ticked: the cycle counter advances and the stall pattern of
+// the last (idle) cycle repeats n times.
+func (c *Core) CreditIdle(n int64) {
+	if c.halted || n <= 0 {
+		return
+	}
+	c.stats.Cycles += n
+	c.stats.FetchStalls += n * c.idleDelta.fetch
+	c.stats.DispatchStalls += n * c.idleDelta.dispatch
+	c.stats.QueueWaitCycles += n * c.idleDelta.queueWait
+	c.stats.MemWaitCycles += n * c.idleDelta.memWait
+	c.stats.CommitQueueStall += n * c.idleDelta.commitQueue
 }
 
 // --- commit ---
@@ -378,7 +681,7 @@ func (c *Core) commitInsts(now int64) error {
 		// Output-queue space for every push this instruction performs
 		// (usually released already at non-speculative completion).
 		var pushes []pushOp
-		if !e.pushed {
+		if !e.pushed && c.deco[e.pc].hasPush {
 			pushes = c.pushPlan(e)
 			if !queuesHaveSpace(pushes) {
 				c.stats.CommitQueueStall++
@@ -395,6 +698,7 @@ func (c *Core) commitInsts(now int64) error {
 			}
 			c.storeCommit(now, e)
 		}
+		c.worked = true
 
 		// Effects.
 		if e.dest.IsArch() && e.dest != isa.R0 {
@@ -409,9 +713,11 @@ func (c *Core) commitInsts(now int64) error {
 			}
 		}
 		e.pushed = true // the release list must not push this entry again
-		for i := range e.srcs {
-			if e.srcs[i].qref != nil {
-				e.srcs[i].qref.Free(e.srcs[i].qseq)
+		if c.deco[e.pc].hasQSrc {
+			for i := range e.srcs {
+				if e.srcs[i].qref != nil {
+					e.srcs[i].qref.Free(e.srcs[i].qseq)
+				}
 			}
 		}
 		if e.isCtl {
@@ -450,7 +756,9 @@ func (c *Core) commitInsts(now int64) error {
 		c.stats.Committed++
 		c.recentPCs[c.recentLen%recentPCDepth] = int32(e.pc)
 		c.recentLen++
-		c.trace(now, StageCommit, e, "")
+		if c.cfg.Tracer != nil {
+			c.trace(now, StageCommit, e, "")
+		}
 		c.winHead++
 		if e.isLoad || e.isStore {
 			c.lsqHead++
@@ -482,11 +790,11 @@ func (c *Core) newEntry() *entry {
 	if n := len(c.free); n > 0 {
 		e = c.free[n-1]
 		c.free = c.free[:n-1]
-		*e = entry{}
+		e.reset()
 	} else {
 		e = new(entry)
+		e.srcs = e.srcsBuf[:0]
 	}
-	e.srcs = e.srcsBuf[:0]
 	return e
 }
 
@@ -558,10 +866,12 @@ func queuesHaveSpace(pushes []pushOp) bool {
 // serialise the two streams into lockstep.
 func (c *Core) releasePushes() {
 	oldestUnresolved := int64(math.MaxInt64)
-	for _, w := range c.window {
-		if w.isCtl && !w.completed {
-			oldestUnresolved = w.seq
-			break
+	if c.nCtlPending > 0 {
+		for _, w := range c.window {
+			if w.isCtl && !w.completed {
+				oldestUnresolved = w.seq
+				break
+			}
 		}
 	}
 	for c.pushHead < len(c.pushList) {
@@ -571,6 +881,7 @@ func (c *Core) releasePushes() {
 			// commit stage reaches an entry first when the release head
 			// was blocked on queue space in the preceding cycles).
 			c.pushHead++
+			c.worked = true
 			c.unpinPush(e)
 			continue
 		}
@@ -588,6 +899,7 @@ func (c *Core) releasePushes() {
 		}
 		e.pushed = true
 		c.pushHead++
+		c.worked = true
 		c.unpinPush(e)
 	}
 	if c.pushHead > 4096 {
@@ -603,7 +915,7 @@ func (c *Core) releasePushes() {
 func (c *Core) pushPlan(e *entry) []pushOp {
 	out := c.pushScratch[:0]
 	add := func(r isa.Reg, v uint64) {
-		q := c.qs.Push[r]
+		q := c.pushQ[r]
 		if q == nil {
 			return
 		}
@@ -674,15 +986,43 @@ func (c *Core) flushIFQ() {
 func (c *Core) ifqLen() int { return len(c.ifq) - c.ifqHead }
 
 func (c *Core) writeback(now int64) {
+	if now < c.minComplete {
+		return // no in-flight completion is due yet (see minComplete)
+	}
+	pending := int64(math.MaxInt64)
+	remaining := c.nInflight
 	for _, e := range c.window {
-		if e.issued && !e.completed && e.completeAt <= now {
+		if remaining == 0 {
+			break // every in-flight entry has been visited
+		}
+		if e.issued && !e.completed {
+			remaining--
+			if e.completeAt > now {
+				if e.completeAt < pending {
+					pending = e.completeAt
+				}
+				continue
+			}
 			e.completed = true
-			c.trace(now, StageComplete, e, "")
+			c.nInflight--
+			if e.isCtl {
+				c.nCtlPending--
+			}
+			c.worked = true
+			if len(e.waiters) > 0 {
+				c.wakeWaiters(e)
+			}
+			if c.cfg.Tracer != nil {
+				c.trace(now, StageComplete, e, "")
+			}
 			if e.isCtl && e.actualNext != e.predNext {
 				c.stats.Mispredicts++
 				if c.cfg.Tracer != nil {
 					c.trace(now, StageSquash, e, fmt.Sprintf("mispredict: %d not %d", e.actualNext, e.predNext))
 				}
+				// The squash may drop pending entries and the scan stops
+				// early; reset the bound so the next cycle rescans.
+				c.minComplete = 0
 				c.squashAfter(e)
 				c.pc = e.actualNext
 				c.fetchStopped = false
@@ -691,6 +1031,7 @@ func (c *Core) writeback(now int64) {
 			}
 		}
 	}
+	c.minComplete = pending
 }
 
 // squashAfter removes every entry younger than e, rewinding queue
@@ -723,12 +1064,23 @@ func (c *Core) squashAfter(e *entry) {
 		c.window[i] = nil
 	}
 	c.window = c.window[:cut]
-	// Rebuild LSQ and rename table from survivors.
+	// Rebuild LSQ, rename table, and the scan counters from survivors.
 	c.lsq = c.lsq[:0]
+	c.nUnissued = 0
+	c.nInflight = 0
+	c.nCtlPending = 0
 	c.rename = [isa.NumIntRegs + isa.NumFPRegs]*entry{}
 	for _, w := range c.window {
 		if w.isLoad || w.isStore {
 			c.lsq = append(c.lsq, w)
+		}
+		if !w.issued {
+			c.nUnissued++
+		} else if !w.completed {
+			c.nInflight++
+		}
+		if w.isCtl && !w.completed {
+			c.nCtlPending++
 		}
 		if w.dest.IsArch() && w.dest != isa.R0 {
 			c.rename[w.dest] = w
@@ -740,14 +1092,18 @@ func (c *Core) squashAfter(e *entry) {
 
 func (c *Core) issue(now int64) error {
 	issued := 0
+	remaining := c.nUnissued
 	for _, e := range c.window {
-		if issued >= c.cfg.IssueWidth {
+		if remaining == 0 || issued >= c.cfg.IssueWidth {
 			break
 		}
 		if e.issued {
 			continue
 		}
-		c.refreshOperands(e)
+		remaining--
+		if e.qpend > 0 {
+			c.refreshOperands(e)
+		}
 		switch {
 		case e.isStore:
 			// Address generation when the base register arrives; the
@@ -755,12 +1111,19 @@ func (c *Core) issue(now int64) error {
 			if !e.addrReady && e.srcs[0].ready {
 				e.addr = uint32(e.srcs[0].val) + uint32(e.inst.Imm)
 				e.addrReady = true
+				c.worked = true
 				issued++
 			}
-			if e.addrReady && e.srcs[1].ready {
+			if e.addrReady && e.srcs[1].ready && !e.issued {
 				e.issued = true
+				c.nUnissued--
+				c.nInflight++
 				e.completed = false
 				e.completeAt = now + 1
+				if e.completeAt < c.minComplete {
+					c.minComplete = e.completeAt
+				}
+				c.worked = true
 			}
 			continue
 		case e.isLoad:
@@ -770,6 +1133,7 @@ func (c *Core) issue(now int64) error {
 			if !e.addrReady {
 				e.addr = uint32(e.srcs[0].val) + uint32(e.inst.Imm)
 				e.addrReady = true
+				c.worked = true
 			}
 			ok, fwd, wait := c.loadDisambiguate(e)
 			if wait {
@@ -783,7 +1147,13 @@ func (c *Core) issue(now int64) error {
 					e.execErr = err
 				}
 				e.issued = true
+				c.nUnissued--
+				c.nInflight++
 				e.completeAt = now + 1
+				if e.completeAt < c.minComplete {
+					c.minComplete = e.completeAt
+				}
+				c.worked = true
 				issued++
 				continue
 			}
@@ -793,26 +1163,25 @@ func (c *Core) issue(now int64) error {
 			done := c.hier.Access(now, e.addr, false, c.cfg.Prefetching || e.inst.Op == isa.PREF)
 			c.loadValue(e)
 			e.issued = true
+			c.nUnissued--
+			c.nInflight++
 			e.completeAt = done
+			if done < c.minComplete {
+				c.minComplete = done
+			}
+			c.worked = true
 			issued++
 			continue
 		}
 		// Non-memory operations need every operand.
-		ready := true
-		for i := range e.srcs {
-			if !e.srcs[i].ready {
-				ready = false
-				break
-			}
-		}
-		if !ready {
+		if int(e.nready) < len(e.srcs) {
 			continue
 		}
-		pool, occupy := c.poolFor(e.inst.Op)
-		if pool != nil && !pool.acquire(now, occupy) {
+		d := &c.deco[e.pc]
+		if pool := c.poolByID(d.pool); pool != nil && !pool.acquire(now, d.occupy) {
 			continue
 		}
-		c.execute(now, e)
+		c.execute(now, e, d.lat)
 		issued++
 	}
 	return nil
@@ -823,25 +1192,41 @@ func (c *Core) issue(now int64) error {
 func (c *Core) refreshOperands(e *entry) {
 	for i := range e.srcs {
 		s := &e.srcs[i]
-		if s.ready {
+		if s.ready || s.qref == nil {
 			continue
 		}
-		if s.producer != nil {
-			if s.producer.completed {
-				s.val = s.producer.result
-				s.ready = true
-				c.releaseProducer(s)
-			}
-			continue
-		}
-		if s.qref != nil {
-			if s.qref.Ready(s.qseq) {
-				s.val = s.qref.ValueAt(s.qseq)
-				s.ready = true
-			}
-			continue
+		if s.qref.Ready(s.qseq) {
+			s.val = s.qref.ValueAt(s.qseq)
+			s.ready = true
+			e.nready++
+			e.qpend--
+			c.worked = true
 		}
 	}
+}
+
+// wakeWaiters resolves the operands of every consumer waiting on a
+// just-completed producer — the push half of operand wakeup. Register
+// results are delivered here, at completion inside writeback, instead
+// of each consumer polling its producers every cycle in the issue
+// scan; the consuming entry observes exactly the same state when issue
+// runs later in the same cycle. Stale waiters (squashed, possibly
+// recycled consumers) no longer name e as a producer and fall through
+// the match.
+func (c *Core) wakeWaiters(e *entry) {
+	for _, w := range e.waiters {
+		for i := range w.srcs {
+			s := &w.srcs[i]
+			if s.producer == e {
+				s.val = e.result
+				s.ready = true
+				s.producer = nil
+				w.nready++
+				e.refs--
+			}
+		}
+	}
+	e.waiters = e.waiters[:0]
 }
 
 // loadDisambiguate applies the LSQ rules: the load may proceed when
@@ -939,11 +1324,28 @@ func (c *Core) poolFor(op isa.Op) (*fuPool, int64) {
 	return nil, 0
 }
 
+// poolByID maps a dec.pool id to the core's functional-unit pool.
+func (c *Core) poolByID(id int8) *fuPool {
+	switch id {
+	case poolIntALU:
+		return &c.intALU
+	case poolIntMulDv:
+		return &c.intMulDv
+	case poolFPALU:
+		return &c.fpALU
+	case poolFPMulDv:
+		return &c.fpMulDv
+	case poolMem:
+		return &c.memPorts
+	}
+	return nil
+}
+
 // execute computes the result of a non-memory instruction and
-// schedules its completion.
-func (c *Core) execute(now int64, e *entry) {
+// schedules its completion lat cycles out (the decode-table latency of
+// its functional-unit class).
+func (c *Core) execute(now int64, e *entry, lat int64) {
 	in := e.inst
-	lat := int64(in.Op.Class().Latency())
 	val := func(i int) uint64 {
 		if i < len(e.srcs) {
 			return e.srcs[i].val
@@ -1032,8 +1434,16 @@ func (c *Core) execute(now int64, e *entry) {
 		e.execErr = err
 	}
 	e.issued = true
+	c.nUnissued--
+	c.nInflight++
 	e.completeAt = now + lat
-	c.trace(now, StageIssue, e, "")
+	if e.completeAt < c.minComplete {
+		c.minComplete = e.completeAt
+	}
+	c.worked = true
+	if c.cfg.Tracer != nil {
+		c.trace(now, StageIssue, e, "")
+	}
 }
 
 // --- dispatch ---
@@ -1056,13 +1466,15 @@ func (c *Core) dispatchInsts(now int64) {
 			return
 		}
 		f := c.ifq[c.ifqHead]
-		in := f.inst
-		isMem := in.Op.IsMem()
+		in := &c.prog.Insts[f.pc]
+		d := &c.deco[f.pc]
+		isMem := d.isMem
 		if isMem && len(c.lsq) >= c.cfg.LSQSize {
 			c.stats.DispatchStalls++
 			return
 		}
 		c.ifqHead++
+		c.worked = true
 		if (in.Op == isa.BCQ || in.Op == isa.JCQ) && c.fetchCQPeek > 0 {
 			c.fetchCQPeek--
 		}
@@ -1071,30 +1483,36 @@ func (c *Core) dispatchInsts(now int64) {
 		e.seq = c.nextSeq
 		e.pc = f.pc
 		e.inst = in
-		e.dest = in.Dest()
+		e.dest = d.dest
 		e.predNext = f.predNext
-		e.isCtl = in.Op.IsControl()
-		e.isLoad = in.Op.IsLoad() || in.Op == isa.PREF
-		e.isStore = in.Op.IsStore()
+		e.isCtl = d.isCtl
+		e.isLoad = d.isLoad
+		e.isStore = d.isStore
 		c.nextSeq++
 		e.actualNext = f.pc + 1 // non-control default: never mispredicts
 		if isMem && !c.cfg.HasMem {
 			e.execErr = fmt.Errorf("memory operation %v on a core without memory access", in.Op)
 		}
 
-		srcList, nsrc := in.SourceList()
+		// Operands are built in place in srcsBuf: appending a ~40-byte
+		// srcOperand per source re-checks capacity and rewrites the
+		// slice header for every operand of every dispatched
+		// instruction, which is measurable at simulation scale.
+		nsrc := int(d.nsrc)
 		for si := 0; si < nsrc; si++ {
-			r := srcList[si]
-			s := srcOperand{reg: r}
+			r := d.src[si]
+			s := &e.srcsBuf[si]
+			*s = srcOperand{reg: r}
 			switch {
 			case r.IsQueue():
-				q := c.qs.Pop[r]
+				q := c.popQ[r]
 				if q == nil {
 					e.execErr = fmt.Errorf("no pop rights on %v", r)
 					s.ready = true
 				} else {
 					s.qref = q
 					s.qseq = q.Claim()
+					e.qpend++
 				}
 			case r == isa.R0:
 				s.ready = true
@@ -1106,14 +1524,18 @@ func (c *Core) dispatchInsts(now int64) {
 					} else {
 						s.producer = prod
 						prod.refs++
+						prod.waiters = append(prod.waiters, e)
 					}
 				} else {
 					s.val = c.readReg(r)
 					s.ready = true
 				}
 			}
-			e.srcs = append(e.srcs, s)
+			if s.ready {
+				e.nready++
+			}
 		}
+		e.srcs = e.srcsBuf[:nsrc]
 		// In blocking mode GETSCQ consumes a slip-control credit as a
 		// hidden operand (in non-blocking mode the credit, if present,
 		// is consumed at commit).
@@ -1122,6 +1544,7 @@ func (c *Core) dispatchInsts(now int64) {
 			if id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
 				q := c.qs.SCQ[id]
 				e.srcs = append(e.srcs, srcOperand{reg: isa.RegSCQ, qref: q, qseq: q.Claim()})
+				e.qpend++
 			}
 		}
 
@@ -1133,13 +1556,14 @@ func (c *Core) dispatchInsts(now int64) {
 			e.completed = true
 			e.completeAt = now
 		}
-		c.trace(now, StageDispatch, e, "")
+		if c.cfg.Tracer != nil {
+			c.trace(now, StageDispatch, e, "")
+		}
 		c.window = append(c.window, e)
 		if isMem {
 			c.lsq = append(c.lsq, e)
 		}
-		if e.dest.IsQueue() || in.Op == isa.PUTSCQ ||
-			in.Ann.Has(isa.AnnTapLDQ) || in.Ann.Has(isa.AnnTapSDQ) || in.Ann.Has(isa.AnnPushCQ) {
+		if d.hasPush {
 			e.pinned = true
 			c.pushList = append(c.pushList, e)
 		}
@@ -1159,6 +1583,8 @@ func (c *Core) dispatchInsts(now int64) {
 			v := e.srcs[0].qref.ValueAt(e.srcs[0].qseq)
 			e.srcs[0].val = v
 			e.srcs[0].ready = true
+			e.nready++
+			e.qpend--
 			c.resolveCtlToken(e, v)
 			e.issued, e.completed = true, true
 			e.completeAt = now
@@ -1172,6 +1598,13 @@ func (c *Core) dispatchInsts(now int64) {
 				c.fetchStopped = false
 				e.predNext = e.actualNext // already steered; nothing to squash
 			}
+		}
+
+		if !e.issued {
+			c.nUnissued++
+		}
+		if e.isCtl && !e.completed {
+			c.nCtlPending++
 		}
 	}
 }
@@ -1230,15 +1663,17 @@ func (c *Core) fetch(now int64) {
 		}
 		if c.pc < 0 || c.pc >= len(c.prog.Insts) {
 			c.fetchStopped = true
+			c.worked = true
 			return
 		}
-		in := c.prog.Insts[c.pc]
+		in := &c.prog.Insts[c.pc]
 		next := c.pc + 1
 		taken := false
 		switch {
 		case in.Op == isa.HALT:
-			c.ifq = append(c.ifq, fetched{pc: c.pc, inst: in, predNext: next})
+			c.ifq = append(c.ifq, fetched{pc: c.pc, predNext: next})
 			c.fetchStopped = true
+			c.worked = true
 			return
 		case in.Op == isa.J:
 			next = in.Target()
@@ -1253,7 +1688,7 @@ func (c *Core) fetch(now int64) {
 			// prediction. The dispatch-time claim verifies the
 			// direction, so a wrong peek only costs a fetch redirect.
 			steered := false
-			if q := c.qs.Pop[isa.RegCQ]; q != nil {
+			if q := c.popQ[isa.RegCQ]; q != nil {
 				if v, ok := q.PeekFuture(c.fetchCQPeek); ok {
 					if in.Op == isa.BCQ {
 						if v != 0 {
@@ -1300,8 +1735,9 @@ func (c *Core) fetch(now int64) {
 				taken = true
 			}
 		}
-		c.ifq = append(c.ifq, fetched{pc: c.pc, inst: in, predNext: next})
+		c.ifq = append(c.ifq, fetched{pc: c.pc, predNext: next})
 		c.pc = next
+		c.worked = true
 		if taken {
 			return // fetch break after a predicted-taken branch
 		}

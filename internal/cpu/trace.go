@@ -79,7 +79,10 @@ func (c *Core) trace(now int64, stage Stage, e *entry, note string) {
 	}
 	ev := TraceEvent{Cycle: now, Core: c.cfg.Name, Stage: stage, Note: note}
 	if e != nil {
-		ev.PC, ev.Seq, ev.Inst = e.pc, e.seq, e.inst
+		ev.PC, ev.Seq = e.pc, e.seq
+		if e.inst != nil {
+			ev.Inst = *e.inst
+		}
 	}
 	c.cfg.Tracer.Event(ev)
 }

@@ -1,0 +1,54 @@
+package experiments
+
+// Workload-level differential for the event-driven cycle skipper:
+// every workload on every architecture must produce a bit-identical
+// machine.Result (cycles, all stats, output, memory hash, queue
+// integrals) with fast-forwarding on and off. Run under -race by the
+// tier-1 gate.
+
+import (
+	"reflect"
+	"testing"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/workloads"
+)
+
+func TestSkipDifferentialAllWorkloads(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	skippedSomewhere := false
+	for _, name := range workloads.Names() {
+		c, err := r.Compile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, arch := range machine.Arches {
+			run := func(noSkip bool) (machine.Result, *machine.Machine) {
+				cfg := machine.DefaultConfig(arch)
+				cfg.Hier = r.Hier
+				cfg.NoSkip = noSkip
+				m, err := machine.New(c.bundleFor(arch), cfg)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, arch, err)
+				}
+				res, err := m.Run()
+				if err != nil {
+					t.Fatalf("%s/%s (noSkip=%v): %v", name, arch, noSkip, err)
+				}
+				return res, m
+			}
+			fast, m := run(false)
+			ref, _ := run(true)
+			if !reflect.DeepEqual(fast, ref) {
+				t.Errorf("%s/%s: Result differs between skip and no-skip:\nskip:    %+v\nno-skip: %+v",
+					name, arch, fast, ref)
+			}
+			if m.CyclesSkipped() > 0 {
+				skippedSomewhere = true
+			}
+		}
+	}
+	if !skippedSomewhere {
+		t.Error("fast-forward never engaged on any workload/architecture")
+	}
+}

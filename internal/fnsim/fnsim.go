@@ -72,6 +72,13 @@ type Sim struct {
 	// JCQMap translates the producer-coordinate index popped by JCQ
 	// into this stream's coordinates (identity when nil).
 	JCQMap []int
+
+	// usesQ caches, per pc, whether the instruction touches any
+	// architectural queue (pop source, push destination, or tap
+	// annotation). The program is immutable, so Step consults this one
+	// bool instead of re-deriving the need sets for the overwhelmingly
+	// common queue-free instruction.
+	usesQ []bool
 }
 
 // New prepares a simulator for the program: memory holds the data
@@ -80,6 +87,18 @@ func New(p *isa.Program) *Sim {
 	s := &Sim{prog: p, Mem: mem.NewMemory(), pc: p.Entry}
 	s.Mem.LoadSegment(isa.DataBase, p.Data)
 	s.intR[isa.SP] = isa.StackTop
+	s.usesQ = make([]bool, len(p.Insts))
+	for i, in := range p.Insts {
+		uses := in.Dest().IsQueue() ||
+			in.Ann.Has(isa.AnnTapLDQ) || in.Ann.Has(isa.AnnTapSDQ) || in.Ann.Has(isa.AnnPushCQ)
+		src, n := in.SourceList()
+		for j := 0; j < n; j++ {
+			if src[j].IsQueue() {
+				uses = true
+			}
+		}
+		s.usesQ[i] = uses
+	}
 	return s
 }
 
@@ -186,38 +205,48 @@ func (s *Sim) setFP(r isa.Reg, v float64) error {
 // the environment, returning ErrBlocked when any would block. With no
 // environment it returns a descriptive error for queue usage.
 func (s *Sim) queueReady(in isa.Inst) error {
-	popNeed := map[isa.Reg]int{}
-	for _, src := range in.Sources() {
-		if src.IsQueue() {
-			popNeed[src]++
+	// Needs are tallied in fixed arrays over the four queue registers
+	// (RegLDQ..RegSCQ): this runs for every functionally executed
+	// instruction, where per-step map allocation dominated the
+	// reference simulator's profile.
+	var popNeed, pushNeed [int(isa.RegSCQ-isa.RegLDQ) + 1]int
+	used := false
+	src, n := in.SourceList()
+	for i := 0; i < n; i++ {
+		if r := src[i]; r.IsQueue() {
+			popNeed[r-isa.RegLDQ]++
+			used = true
 		}
 	}
-	pushNeed := map[isa.Reg]int{}
 	if d := in.Dest(); d.IsQueue() {
-		pushNeed[d]++
+		pushNeed[d-isa.RegLDQ]++
+		used = true
 	}
 	if in.Ann.Has(isa.AnnTapLDQ) {
-		pushNeed[isa.RegLDQ]++
+		pushNeed[0]++ // RegLDQ
+		used = true
 	}
 	if in.Ann.Has(isa.AnnTapSDQ) {
-		pushNeed[isa.RegSDQ]++
+		pushNeed[isa.RegSDQ-isa.RegLDQ]++
+		used = true
 	}
 	if in.Ann.Has(isa.AnnPushCQ) {
-		pushNeed[isa.RegCQ]++
+		pushNeed[isa.RegCQ-isa.RegLDQ]++
+		used = true
 	}
-	if len(popNeed) == 0 && len(pushNeed) == 0 {
+	if !used {
 		return nil
 	}
 	if s.Queues == nil {
 		return fmt.Errorf("fnsim: pc %d: %v uses architectural queues, invalid in sequential execution", s.pc, in.Op)
 	}
-	for q, n := range popNeed {
-		if s.Queues.PopAvail(q) < n {
+	for i, n := range popNeed {
+		if n > 0 && s.Queues.PopAvail(isa.RegLDQ+isa.Reg(i)) < n {
 			return ErrBlocked
 		}
 	}
-	for q, n := range pushNeed {
-		if s.Queues.PushSpace(q) < n {
+	for i, n := range pushNeed {
+		if n > 0 && s.Queues.PushSpace(isa.RegLDQ+isa.Reg(i)) < n {
 			return ErrBlocked
 		}
 	}
@@ -233,8 +262,10 @@ func (s *Sim) Step() error {
 		return fmt.Errorf("fnsim: pc %d out of range", s.pc)
 	}
 	in := s.prog.Insts[s.pc]
-	if err := s.queueReady(in); err != nil {
-		return err
+	if s.usesQ[s.pc] {
+		if err := s.queueReady(in); err != nil {
+			return err
+		}
 	}
 	ev := Event{PC: s.pc, Inst: in}
 	next := s.pc + 1

@@ -17,6 +17,7 @@ package machine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/debug"
 
 	"hidisc/internal/cpu"
@@ -64,6 +65,12 @@ type Config struct {
 	// An Injector must not be shared between concurrently running
 	// machines (its storm PRNG mutates).
 	Inject *simfault.Injector
+
+	// NoSkip disables the event-driven fast-forward and ticks every
+	// cycle. Results are bit-identical either way (the differential
+	// tests pin this); the flag is the escape hatch and the reference
+	// semantics the skipper is checked against.
+	NoSkip bool
 }
 
 // DefaultConfig returns the paper's Table 1 parameters for the given
@@ -136,6 +143,14 @@ type Machine struct {
 	scq          []*queue.Queue
 
 	queues map[string]*queue.Queue // by name, for fault injection
+
+	skipped int64 // cycles fast-forwarded instead of ticked
+
+	// epoch counts externally visible mutations of every architectural
+	// queue; the cores' idle fast paths snapshot it to prove "nothing I
+	// could be waiting on has changed" in O(1). Attached only when the
+	// skipper is enabled, so NoSkip runs the untouched reference loop.
+	epoch int64
 }
 
 // New builds a machine running the bundle under the configuration.
@@ -219,6 +234,18 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 	default:
 		return nil, fmt.Errorf("machine: unknown architecture %q", cfg.Arch)
 	}
+
+	if !cfg.NoSkip {
+		for _, q := range m.queues {
+			q.SetEpoch(&m.epoch)
+		}
+		for _, c := range m.cores {
+			c.AttachEvents(&m.epoch)
+		}
+		if m.cmp != nil {
+			m.cmp.AttachEvents(&m.epoch)
+		}
+	}
 	return m, nil
 }
 
@@ -281,22 +308,44 @@ func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
 		if m.cfg.Inject != nil {
 			m.injectTick(cycle)
 		}
+		// Tick every component, collecting the earliest cycle at which
+		// any of them can act again. A component that made progress
+		// reports cycle+1; one blocked purely on another component
+		// reports MaxInt64 and is woken by the blocker's own event.
+		wake := int64(math.MaxInt64)
 		for _, c := range m.cores {
-			if err := c.Cycle(cycle); err != nil {
+			w, err := c.CycleEv(cycle)
+			if err != nil {
 				return Result{}, fmt.Errorf("%s: %w", m.origin(), err)
+			}
+			if w < wake {
+				wake = w
 			}
 		}
 		if m.cmp != nil {
-			if err := m.cmp.Cycle(cycle); err != nil {
+			w, err := m.cmp.CycleEv(cycle)
+			if err != nil {
 				return Result{}, fmt.Errorf("%s: %w", m.origin(), err)
 			}
+			if w < wake {
+				wake = w
+			}
 			// When the triggering processor halts the prefetcher has
-			// nothing left to help; kill surviving contexts.
+			// nothing left to help; kill surviving contexts. Closing the
+			// slip-control queues can unblock a core, so no skipping.
 			if !shutdownDone && m.triggerCoreHalted() {
 				m.cmp.Shutdown()
 				shutdownDone = true
+				wake = cycle + 1
 			}
 		}
+		// Safety net: the memory system itself has no autonomous events
+		// (every fill time is already carried by a waiting instruction or
+		// scoreboard entry), but an in-flight fill bounds any jump.
+		if w := m.hier.NextFill(cycle); w < wake {
+			wake = w
+		}
+		m.tickQueues(1)
 
 		var committed uint64
 		for _, c := range m.cores {
@@ -314,7 +363,41 @@ func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
 				Snapshot:    m.snapshot(simfault.KindDeadlock, cycle),
 			}
 		}
-		cycle++
+
+		next := cycle + 1
+		if !m.cfg.NoSkip && wake > next {
+			next = wake
+			// Clamp the jump so it never leaps over a cycle where the
+			// naive loop would do something a pure replay would not:
+			// a context poll, the watchdog trip, the MaxCycles fault,
+			// or a scheduled injector perturbation.
+			if p := (cycle | 4095) + 1; p < next {
+				next = p
+			}
+			if w := lastProgress + m.cfg.WatchdogCycles + 1; w < next {
+				next = w
+			}
+			if m.cfg.MaxCycles < next {
+				next = m.cfg.MaxCycles
+			}
+			if m.cfg.Inject != nil {
+				if e := m.injectorNextEvent(cycle); e < next {
+					next = e
+				}
+			}
+			if n := next - cycle - 1; n > 0 {
+				// Credit the skipped idle cycles exactly as if ticked.
+				for _, c := range m.cores {
+					c.CreditIdle(n)
+				}
+				if m.cmp != nil {
+					m.cmp.CreditIdle(n)
+				}
+				m.tickQueues(n)
+				m.skipped += n
+			}
+		}
+		cycle = next
 	}
 
 	res = Result{
@@ -343,6 +426,54 @@ func (m *Machine) triggerCoreHalted() bool {
 	return m.cores[len(m.cores)-1].Halted()
 }
 
+// CyclesSkipped returns how many cycles the event-driven fast-forward
+// jumped over instead of ticking (0 under Config.NoSkip).
+func (m *Machine) CyclesSkipped() int64 { return m.skipped }
+
+// tickQueues integrates architectural-queue occupancy over n cycles.
+// Occupancy only changes on cycles where some component works, so
+// crediting a whole idle span at the frozen length matches the naive
+// per-cycle integral exactly.
+func (m *Machine) tickQueues(n int64) {
+	if m.ldq != nil {
+		m.ldq.Tick(n)
+		m.sdq.Tick(n)
+		m.cq.Tick(n)
+	}
+}
+
+// injectorNextEvent returns the earliest cycle after now at which the
+// injector does something: a point action's At, or any cycle inside a
+// stall-cache-port window (which perturbs the target core every cycle
+// it covers, so the machine must tick through it).
+func (m *Machine) injectorNextEvent(now int64) int64 {
+	next := int64(math.MaxInt64)
+	for i := range m.cfg.Inject.Actions {
+		a := &m.cfg.Inject.Actions[i]
+		w := int64(math.MaxInt64)
+		switch a.Kind {
+		case simfault.ActCloseQueue, simfault.ActDropCredit, simfault.ActPanic:
+			if a.At > now {
+				w = a.At
+			}
+		case simfault.ActStallCachePort:
+			if a.Active(now + 1) {
+				w = now + 1
+			} else if a.At > now {
+				w = a.At
+			}
+		case simfault.ActMispredictStorm:
+			// Storm draws happen only on cycles where the target core
+			// fetches a conditional branch — worked cycles, which are
+			// never skipped — so the window needs no clamp.
+		}
+		if w < next {
+			next = w
+		}
+	}
+	return next
+}
+
 func (m *Machine) origin() string { return fmt.Sprintf("machine %s", m.cfg.Arch) }
 
 // queueStates captures every architectural queue for fault forensics.
@@ -362,7 +493,7 @@ func (m *Machine) queueStates() []simfault.QueueState {
 // it guards itself: a panic while snapshotting yields whatever partial
 // snapshot was built instead of killing the containment boundary.
 func (m *Machine) snapshot(kind simfault.Kind, cycle int64) (snap *simfault.Snapshot) {
-	snap = &simfault.Snapshot{Kind: kind, Arch: string(m.cfg.Arch), Cycle: cycle}
+	snap = &simfault.Snapshot{Kind: kind, Arch: string(m.cfg.Arch), Cycle: cycle, CyclesSkipped: m.skipped}
 	defer func() { _ = recover() }()
 	for _, c := range m.cores {
 		snap.Cores = append(snap.Cores, c.FaultState())

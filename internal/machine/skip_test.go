@@ -1,0 +1,158 @@
+package machine
+
+// Differential tests for the event-driven idle-cycle skipper: the fast
+// path must be bit-identical to the naive per-cycle loop — same
+// Result, and on faulting runs the same fault kind at the same cycle —
+// with and without an active fault injector. These pin the wakeup
+// contract (cpu.Core.CycleEv, cpu.CMPEngine.CycleEv, mem.NextFill) and
+// the machine's clamp rules.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hidisc/internal/simfault"
+	"hidisc/internal/slicer"
+)
+
+// runSkipPair runs the same bundle/config twice — fast-forward on and
+// off — and returns both outcomes plus the skipping machine itself.
+// mkInject builds a fresh injector per run (they must not be shared).
+func runSkipPair(t *testing.T, b *slicer.Bundle, cfg Config, mkInject func() *simfault.Injector) (skip, ref Result, skipErr, refErr error, m *Machine) {
+	t.Helper()
+	run := func(noSkip bool) (Result, error, *Machine) {
+		c := cfg
+		c.NoSkip = noSkip
+		if mkInject != nil {
+			c.Inject = mkInject()
+		}
+		mm, err := New(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mm.Run()
+		return res, err, mm
+	}
+	skip, skipErr, m = run(false)
+	ref, refErr, refM := run(true)
+	if n := refM.CyclesSkipped(); n != 0 {
+		t.Fatalf("NoSkip machine reports %d skipped cycles", n)
+	}
+	return skip, ref, skipErr, refErr, m
+}
+
+// assertSameOutcome compares the two runs: identical Result on
+// success, identical fault kind and fault cycle on failure.
+func assertSameOutcome(t *testing.T, who string, skip, ref Result, skipErr, refErr error) {
+	t.Helper()
+	if (skipErr == nil) != (refErr == nil) {
+		t.Fatalf("%s: skip err = %v, no-skip err = %v", who, skipErr, refErr)
+	}
+	if skipErr != nil {
+		sk, ok1 := simfault.KindOf(skipErr)
+		rk, ok2 := simfault.KindOf(refErr)
+		if !ok1 || !ok2 || sk != rk {
+			t.Fatalf("%s: fault kinds differ: skip %q (%v) vs no-skip %q (%v)", who, sk, skipErr, rk, refErr)
+		}
+		ss, rs := simfault.SnapshotOf(skipErr), simfault.SnapshotOf(refErr)
+		if ss == nil || rs == nil {
+			t.Fatalf("%s: missing fault snapshot (skip=%v no-skip=%v)", who, ss != nil, rs != nil)
+		}
+		if ss.Cycle != rs.Cycle {
+			t.Fatalf("%s: fault cycle differs: skip %d vs no-skip %d", who, ss.Cycle, rs.Cycle)
+		}
+		return
+	}
+	if !reflect.DeepEqual(skip, ref) {
+		t.Fatalf("%s: Result differs between skip and no-skip:\nskip:    %+v\nno-skip: %+v", who, skip, ref)
+	}
+}
+
+// TestSkipBitIdenticalKernels runs every hand-written kernel on every
+// architecture and demands a bit-identical Result from the fast path,
+// which must also actually skip on the memory-bound configurations.
+func TestSkipBitIdenticalKernels(t *testing.T) {
+	for name := range kernels {
+		for _, arch := range Arches {
+			withProfile := arch == CPCMP || arch == HiDISC
+			b := compileKernel(t, name, withProfile)
+			skip, ref, skipErr, refErr, m := runSkipPair(t, b, DefaultConfig(arch), nil)
+			who := name + "/" + string(arch)
+			assertSameOutcome(t, who, skip, ref, skipErr, refErr)
+			if skipErr == nil && m.CyclesSkipped() == 0 && skip.Cycles > 20_000 {
+				t.Errorf("%s: %d-cycle run never fast-forwarded", who, skip.Cycles)
+			}
+		}
+	}
+}
+
+// TestSkipBitIdenticalUnderInjection replays the fault-injection
+// drills differentially: point actions, windowed port stalls and a
+// probabilistic mispredict storm must land on the same cycles (and
+// consume the same PRNG draws) whether or not the machine skips.
+func TestSkipBitIdenticalUnderInjection(t *testing.T) {
+	cases := []struct {
+		name string
+		arch Arch
+		mk   func() *simfault.Injector
+	}{
+		{"close-cq", CPAP, func() *simfault.Injector {
+			return simfault.NewInjector(1, simfault.Action{Kind: simfault.ActCloseQueue, Queue: "cq", At: 400})
+		}},
+		{"drop-credit", HiDISC, func() *simfault.Injector {
+			return simfault.NewInjector(1, simfault.Action{Kind: simfault.ActDropCredit, Queue: "ldq", At: 300, Count: 2})
+		}},
+		{"storm", Superscalar, func() *simfault.Injector {
+			return simfault.NewInjector(7, simfault.Action{
+				Kind: simfault.ActMispredictStorm, Core: "core", At: 100, Until: 3000, Probability: 0.5,
+			})
+		}},
+		{"port-stall-window", CPAP, func() *simfault.Injector {
+			return simfault.NewInjector(1, simfault.Action{Kind: simfault.ActStallCachePort, Core: "ap", At: 100, Until: 900})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			withProfile := tc.arch == CPCMP || tc.arch == HiDISC
+			b := compileKernel(t, "convolution", withProfile)
+			skip, ref, skipErr, refErr, _ := runSkipPair(t, b, DefaultConfig(tc.arch), tc.mk)
+			assertSameOutcome(t, tc.name, skip, ref, skipErr, refErr)
+		})
+	}
+}
+
+// TestSkipNeverJumpsWatchdog wedges the AP behind permanently stalled
+// cache ports: the fast path must ride its clamps to the exact cycle
+// where the naive loop trips the watchdog, never leaping over it.
+func TestSkipNeverJumpsWatchdog(t *testing.T) {
+	b := compileKernel(t, "convolution", false)
+	cfg := DefaultConfig(CPAP)
+	cfg.WatchdogCycles = 1500
+	mk := func() *simfault.Injector {
+		return simfault.NewInjector(1, simfault.Action{Kind: simfault.ActStallCachePort, Core: "ap", At: 100})
+	}
+	skip, ref, skipErr, refErr, _ := runSkipPair(t, b, cfg, mk)
+	assertSameOutcome(t, "watchdog", skip, ref, skipErr, refErr)
+	var dl *simfault.DeadlockFault
+	if !errors.As(skipErr, &dl) {
+		t.Fatalf("got %T (%v), want *simfault.DeadlockFault", skipErr, skipErr)
+	}
+}
+
+// TestSkipNeverJumpsCycleLimit: the MaxCycles fault must fire at the
+// limit cycle exactly, not wherever a jump happened to land.
+func TestSkipNeverJumpsCycleLimit(t *testing.T) {
+	b := compileKernel(t, "chase", false)
+	cfg := DefaultConfig(Superscalar)
+	cfg.MaxCycles = 777
+	skip, ref, skipErr, refErr, _ := runSkipPair(t, b, cfg, nil)
+	assertSameOutcome(t, "cycle-limit", skip, ref, skipErr, refErr)
+	var cl *simfault.CycleLimitFault
+	if !errors.As(skipErr, &cl) {
+		t.Fatalf("got %T (%v), want *simfault.CycleLimitFault", skipErr, skipErr)
+	}
+	if snap := simfault.SnapshotOf(skipErr); snap.Cycle != 777 {
+		t.Errorf("fault cycle = %d, want exactly the 777-cycle limit", snap.Cycle)
+	}
+}

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 
 	"hidisc/internal/simfault"
 )
@@ -60,25 +61,36 @@ type HierStats struct {
 	InFlightAtReset int
 }
 
+// mshrFill is one in-flight L1 block: the block address and the cycle
+// its fill completes.
+type mshrFill struct {
+	block uint32
+	ready int64
+}
+
 // Hierarchy is the shared data-memory system: an L1 data cache backed
 // by a unified L2 backed by main memory, with MSHR-style merging of
 // accesses to in-flight blocks.
 //
-// State (tag arrays, LRU) is updated eagerly at access time; an MSHR
-// map records when each in-flight L1 block's fill completes so that
+// State (tag arrays, LRU) is updated eagerly at access time; the MSHR
+// list records when each in-flight L1 block's fill completes so that
 // later accesses to the block are delayed until the data has actually
 // arrived. This models a non-blocking cache with unlimited MSHRs, the
-// sim-outorder default.
+// sim-outorder default. The list is kept sorted by completion cycle
+// and bounded by the number of outstanding misses: completed entries
+// are pruned from the front on every access, and NextFill (the
+// event-driven cycle skipper's clock) is O(1).
 type Hierarchy struct {
 	cfg  HierConfig
 	L1D  *Cache
 	L2   *Cache
-	mshr map[uint32]int64 // L1 block address -> fill completion cycle
+	mshr []mshrFill // in flight, sorted ascending by ready cycle
+
+	l1BlockShift uint // log2(L1 block size), precomputed
 
 	memWritebacks  uint64
 	mergedHits     uint64
 	prefetchIssued uint64
-	sweep          int
 }
 
 // NewHierarchy builds a hierarchy.
@@ -94,11 +106,15 @@ func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
+	bb := uint(0)
+	for 1<<bb != cfg.L1D.BlockSize {
+		bb++
+	}
 	return &Hierarchy{
-		cfg:  cfg,
-		L1D:  l1,
-		L2:   l2,
-		mshr: make(map[uint32]int64),
+		cfg:          cfg,
+		L1D:          l1,
+		L2:           l2,
+		l1BlockShift: bb,
 	}, nil
 }
 
@@ -113,19 +129,21 @@ func (h *Hierarchy) Access(now int64, addr uint32, write, prefetch bool) int64 {
 	if prefetch {
 		h.prefetchIssued++
 	}
+	// Prune completed fills from the sorted front. This is driven purely
+	// by the access sequence, so skip and no-skip runs prune identically.
+	for len(h.mshr) > 0 && h.mshr[0].ready <= now {
+		h.mshr = h.mshr[:copy(h.mshr, h.mshr[1:])]
+	}
 	l1lat := int64(h.cfg.L1D.Latency)
 	block := h.L1D.BlockAddr(addr)
 	if h.L1D.Access(addr, write, prefetch) {
-		if ready, ok := h.mshr[block]; ok {
-			if now < ready {
-				// Line is still in flight: merge into the pending fill.
-				if !prefetch {
-					h.L1D.MarkDelayedHit()
-					h.mergedHits++
-				}
-				return ready
+		if ready, ok := h.fillTime(block); ok && now < ready {
+			// Line is still in flight: merge into the pending fill.
+			if !prefetch {
+				h.L1D.MarkDelayedHit()
+				h.mergedHits++
 			}
-			delete(h.mshr, block)
+			return ready
 		}
 		return now + l1lat
 	}
@@ -142,18 +160,63 @@ func (h *Hierarchy) Access(now int64, addr uint32, write, prefetch bool) int64 {
 	evicted, evValid, wb := h.L1D.Fill(addr, write, prefetch)
 	if evValid {
 		// If the victim was itself in flight its MSHR entry is dead.
-		delete(h.mshr, evicted)
+		h.dropFill(evicted)
 		if wb {
-			evAddr := evicted << h.l1BlockBits()
+			evAddr := evicted << h.l1BlockShift
 			if !h.L2.WritebackTo(evAddr) {
 				h.memWritebacks++
 			}
 		}
 	}
 	ready := now + fill
-	h.mshr[block] = ready
-	h.maybeSweep(now)
+	h.insertFill(block, ready)
 	return ready
+}
+
+// fillTime returns the completion cycle of the in-flight fill for an L1
+// block, if one is outstanding.
+func (h *Hierarchy) fillTime(block uint32) (int64, bool) {
+	for i := range h.mshr {
+		if h.mshr[i].block == block {
+			return h.mshr[i].ready, true
+		}
+	}
+	return 0, false
+}
+
+// dropFill removes the MSHR entry for a block, preserving order.
+func (h *Hierarchy) dropFill(block uint32) {
+	for i := range h.mshr {
+		if h.mshr[i].block == block {
+			h.mshr = append(h.mshr[:i], h.mshr[i+1:]...)
+			return
+		}
+	}
+}
+
+// insertFill records an in-flight fill, keeping the list sorted by
+// completion cycle (ties keep insertion order, so the order is
+// deterministic).
+func (h *Hierarchy) insertFill(block uint32, ready int64) {
+	h.mshr = append(h.mshr, mshrFill{block: block, ready: ready})
+	for i := len(h.mshr) - 1; i > 0 && h.mshr[i-1].ready > ready; i-- {
+		h.mshr[i-1], h.mshr[i] = h.mshr[i], h.mshr[i-1]
+	}
+}
+
+// NextFill returns the earliest cycle strictly after now at which an
+// in-flight fill completes, or math.MaxInt64 when nothing is in flight.
+// The machine's event-driven fast-forward uses it as the memory
+// system's next-wakeup clock. O(1) in the common case: the list is
+// sorted by completion cycle and completed entries are pruned on every
+// access.
+func (h *Hierarchy) NextFill(now int64) int64 {
+	for i := range h.mshr {
+		if h.mshr[i].ready > now {
+			return h.mshr[i].ready
+		}
+	}
+	return math.MaxInt64
 }
 
 // Present reports whether addr currently hits in L1 with its fill
@@ -163,33 +226,10 @@ func (h *Hierarchy) Present(now int64, addr uint32) bool {
 	if !h.L1D.Lookup(addr) {
 		return false
 	}
-	if ready, ok := h.mshr[h.L1D.BlockAddr(addr)]; ok && now < ready {
+	if ready, ok := h.fillTime(h.L1D.BlockAddr(addr)); ok && now < ready {
 		return false
 	}
 	return true
-}
-
-func (h *Hierarchy) l1BlockBits() uint {
-	bb := uint(0)
-	for 1<<bb != h.cfg.L1D.BlockSize {
-		bb++
-	}
-	return bb
-}
-
-// maybeSweep drops completed MSHR entries occasionally so the map does
-// not grow without bound over long simulations.
-func (h *Hierarchy) maybeSweep(now int64) {
-	h.sweep++
-	if h.sweep < 4096 {
-		return
-	}
-	h.sweep = 0
-	for b, ready := range h.mshr {
-		if ready <= now {
-			delete(h.mshr, b)
-		}
-	}
 }
 
 // Stats returns the aggregated counters.
@@ -209,8 +249,8 @@ func (h *Hierarchy) Stats() HierStats {
 // traffic at both levels.
 func (h *Hierarchy) FaultState(now int64) simfault.HierState {
 	inFlight := 0
-	for _, ready := range h.mshr {
-		if ready > now {
+	for i := range h.mshr {
+		if h.mshr[i].ready > now {
 			inFlight++
 		}
 	}
@@ -232,6 +272,6 @@ func (h *Hierarchy) Reset() {
 	h.L1D.ResetStats()
 	h.L2.Flush()
 	h.L2.ResetStats()
-	h.mshr = make(map[uint32]int64)
+	h.mshr = h.mshr[:0]
 	h.memWritebacks, h.mergedHits, h.prefetchIssued = 0, 0, 0
 }

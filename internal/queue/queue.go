@@ -39,15 +39,22 @@ type Queue struct {
 
 	closed bool
 
+	// epoch, when attached, is a machine-wide event counter bumped on
+	// every externally visible mutation of any attached queue. The
+	// cores' idle fast paths snapshot it: an unchanged epoch proves no
+	// queue a component could be waiting on has changed state.
+	epoch *int64
+
 	stats Stats
 }
 
 // Stats counts queue traffic for the simulator's reports.
 type Stats struct {
-	Pushes       uint64
-	Claims       uint64
-	Unclaims     uint64
-	MaxOccupancy int
+	Pushes          uint64
+	Claims          uint64
+	Unclaims        uint64
+	MaxOccupancy    int
+	OccupancyCycles int64 // sum over cycles of Len() — time-integrated occupancy
 }
 
 // New returns an empty queue with the given capacity.
@@ -56,6 +63,18 @@ func New(name string, capacity int) *Queue {
 		panic(fmt.Sprintf("queue %q: capacity %d must be positive", name, capacity))
 	}
 	return &Queue{name: name, buf: make([]uint64, capacity)}
+}
+
+// SetEpoch attaches a shared event counter. Every externally visible
+// mutation (push, claim, unclaim, free, close, reopen, reset) bumps
+// it, so a component that snapshotted the counter during an idle cycle
+// can prove "no queue changed since" with a single comparison.
+func (q *Queue) SetEpoch(p *int64) { q.epoch = p }
+
+func (q *Queue) bump() {
+	if q.epoch != nil {
+		*q.epoch++
+	}
 }
 
 // Name returns the queue's name (for diagnostics).
@@ -90,10 +109,16 @@ func (q *Queue) Closed() bool { return q.closed }
 
 // Close marks the queue closed. Pushed entries remain consumable;
 // claims beyond the pushed count become trivially ready with value 0.
-func (q *Queue) Close() { q.closed = true }
+func (q *Queue) Close() {
+	q.closed = true
+	q.bump()
+}
 
 // Reopen clears the closed flag (a re-triggered CMAS reopens its SCQ).
-func (q *Queue) Reopen() { q.closed = false }
+func (q *Queue) Reopen() {
+	q.closed = false
+	q.bump()
+}
 
 // Push appends v. It reports false when the queue is full.
 func (q *Queue) Push(v uint64) bool {
@@ -103,6 +128,7 @@ func (q *Queue) Push(v uint64) bool {
 	q.buf[q.tail%int64(len(q.buf))] = v
 	q.tail++
 	q.stats.Pushes++
+	q.bump()
 	if n := q.Len(); n > q.stats.MaxOccupancy {
 		q.stats.MaxOccupancy = n
 	}
@@ -115,6 +141,7 @@ func (q *Queue) Claim() int64 {
 	s := q.next
 	q.next++
 	q.stats.Claims++
+	q.bump()
 	return s
 }
 
@@ -125,6 +152,7 @@ func (q *Queue) Unclaim(k int) {
 	}
 	q.next -= int64(k)
 	q.stats.Unclaims += uint64(k)
+	q.bump()
 }
 
 // Ready reports whether the value for claim seq has been pushed (or
@@ -163,6 +191,7 @@ func (q *Queue) Free(seq int64) {
 		panic(fmt.Sprintf("queue %q: Free(%d) out of order (head %d)", q.name, seq, q.head))
 	}
 	q.head++
+	q.bump()
 }
 
 // PeekFuture inspects the value the (claims+k)-th pop will return, if
@@ -195,10 +224,20 @@ func (q *Queue) PopCommitted() (uint64, bool) {
 func (q *Queue) Reset() {
 	q.head, q.tail, q.next = 0, 0, 0
 	q.closed = false
+	q.bump()
 }
 
 // Stats returns a copy of the traffic counters.
 func (q *Queue) Stats() Stats { return q.stats }
+
+// Tick accumulates the time-integrated occupancy: the current Len held
+// for the given number of cycles. The machine calls it once per ticked
+// cycle (cycles=1) and once per fast-forwarded idle span (cycles=n);
+// occupancy is frozen while every consumer and producer is idle, so
+// both paths integrate identically.
+func (q *Queue) Tick(cycles int64) {
+	q.stats.OccupancyCycles += int64(q.Len()) * cycles
+}
 
 // State captures the queue's occupancy and traffic for a fault
 // snapshot.

@@ -50,6 +50,11 @@ type Snapshot struct {
 	Arch  string `json:"arch,omitempty"`
 	Cycle int64  `json:"cycle"`
 
+	// CyclesSkipped is how many of Cycle the machine fast-forwarded
+	// via event-driven idle skipping rather than ticking (0 when the
+	// skipper is disabled).
+	CyclesSkipped int64 `json:"cyclesSkipped,omitempty"`
+
 	Cores  []CoreState  `json:"cores,omitempty"`
 	Queues []QueueState `json:"queues,omitempty"`
 	Hier   *HierState   `json:"hier,omitempty"`
