@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json
+.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json serve-smoke
 
-ci: vet build test race fuzz-smoke bench-smoke
+ci: vet build test race fuzz-smoke bench-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel runner, the multi-core machine, and the queue/core
-# building blocks they drive concurrently; run them under the race
-# detector.
+# The parallel runner, the multi-core machine, the queue/core building
+# blocks they drive concurrently, and the job server's cache/dedup/
+# admission paths; run them under the race detector.
 race:
-	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu
+	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu ./internal/simserver
 
 # A short native-fuzz pass over the assembler: arbitrary source must
 # never panic. Deeper runs: go test -fuzz FuzzAssemble ./internal/asm
@@ -36,6 +36,12 @@ bench:
 # full measurement run.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x -timeout 10m .
+
+# End-to-end service smoke: start hidisc-serve on an ephemeral port,
+# run one job through the HTTP client, confirm the repeat is a cache
+# hit, SIGTERM, and require a clean drain (exit 0).
+serve-smoke:
+	$(GO) run ./cmd/hidisc-serve -smoke
 
 # Regenerate the committed per-run timing baseline. The Figure 8 matrix
 # runs sequentially at paper scale so wall times are comparable across

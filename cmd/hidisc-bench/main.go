@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hidisc-bench [-scale test|paper] [-j N] [-table1] [-fig8] [-table2] [-fig9] [-fig10] [-all]
+//	hidisc-bench -remote http://HOST:PORT -fig8   # drive a hidisc-serve instance
 package main
 
 import (
@@ -20,14 +21,18 @@ import (
 
 	"hidisc/internal/experiments"
 	"hidisc/internal/machine"
+	"hidisc/internal/mem"
+	"hidisc/internal/simclient"
 	"hidisc/internal/simfault"
+	"hidisc/internal/simserver"
 	"hidisc/internal/stats"
 	"hidisc/internal/workloads"
 )
 
 func main() {
 	scale := flag.String("scale", "paper", "workload scale: test or paper")
-	jobs := flag.Int("j", runtime.NumCPU(), "number of parallel simulation workers")
+	jobs := flag.Int("j", 0, "number of parallel simulation workers (<= 0: one per CPU)")
+	remote := flag.String("remote", "", "submit simulations to a hidisc-serve instance at this base URL instead of running locally")
 	t1 := flag.Bool("table1", false, "print Table 1 (simulation parameters)")
 	f8 := flag.Bool("fig8", false, "run Figure 8 (speedups)")
 	t2 := flag.Bool("table2", false, "run Table 2 (average speedups)")
@@ -72,10 +77,19 @@ func main() {
 	if *noSkip {
 		r.Configure = func(c *machine.Config) { c.NoSkip = true }
 	}
+	ctx := context.Background()
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 		r.Ctx = ctx
+	}
+	var rem *remoteRunner
+	if *remote != "" {
+		rem = &remoteRunner{c: simclient.New(*remote), ctx: ctx, scale: *scale, hier: mem.DefaultHierConfig()}
+		if err := rem.c.Healthz(ctx); err != nil {
+			fatal(fmt.Errorf("remote %s: %w", *remote, err))
+		}
 	}
 	start := time.Now()
 
@@ -94,7 +108,11 @@ func main() {
 	var fig8 *experiments.Fig8
 	if *all || *f8 || *t2 || *f9 || *lod {
 		var err error
-		fig8, err = experiments.RunFig8(r)
+		if rem != nil {
+			fig8, err = rem.fig8()
+		} else {
+			fig8, err = experiments.RunFig8(r)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -115,7 +133,13 @@ func main() {
 	}
 	if *all || *f10 {
 		for _, name := range []string{"Pointer", "NB"} {
-			p, err := experiments.RunFig10(r, name)
+			var p *experiments.Fig10
+			var err error
+			if rem != nil {
+				p, err = rem.fig10(name)
+			} else {
+				p, err = experiments.RunFig10(r, name)
+			}
 			if err != nil {
 				fatal(err)
 			}
@@ -127,7 +151,13 @@ func main() {
 		for _, name := range []string{"Matrix", "CornerTurn"} {
 			var base int64
 			for _, arch := range machine.Arches {
-				m, err := r.Run(name, arch, r.Hier)
+				var m experiments.Measurement
+				var err error
+				if rem != nil {
+					m, err = rem.run(name, arch)
+				} else {
+					m, err = r.Run(name, arch, r.Hier)
+				}
 				if err != nil {
 					fatal(err)
 				}
@@ -141,10 +171,71 @@ func main() {
 		fmt.Println()
 	}
 	wall := time.Since(start)
+	if rem != nil {
+		if ms, err := rem.c.Metrics(ctx); err == nil {
+			fmt.Fprintf(os.Stderr, "total wall time: %v (remote %s): server %s\n",
+				wall.Round(time.Millisecond), *remote, ms.Throughput)
+		} else {
+			fmt.Fprintf(os.Stderr, "total wall time: %v (remote %s)\n", wall.Round(time.Millisecond), *remote)
+		}
+		return
+	}
 	cycles, insts := r.SimTotals()
 	tp := stats.Throughput{SimCycles: cycles, SimInsts: insts, Wall: wall}
 	fmt.Fprintf(os.Stderr, "total wall time: %v (-j %d): %s\n",
-		wall.Round(time.Millisecond), *jobs, tp)
+		wall.Round(time.Millisecond), experiments.EffectiveWorkers(*jobs), tp)
+}
+
+// remoteRunner drives the figures through a hidisc-serve instance. The
+// job lists are the same canonical ones the local path runs, so the
+// assembled figures are bit-identical to a local run (pinned by the
+// simserver end-to-end test).
+type remoteRunner struct {
+	c     *simclient.Client
+	ctx   context.Context
+	scale string
+	hier  mem.HierConfig
+}
+
+// submit runs a job list remotely and returns measurements in job
+// order.
+func (rr *remoteRunner) submit(jobs []experiments.Job) ([]experiments.Measurement, error) {
+	br := simserver.BatchRequest{Scale: rr.scale}
+	for _, j := range jobs {
+		br.Jobs = append(br.Jobs, simserver.JobRequest{
+			Workload: j.Workload, Arch: j.Arch, Hier: simserver.HierJSON(j.Hier),
+		})
+	}
+	ms, _, err := rr.c.Measurements(rr.ctx, br)
+	return ms, err
+}
+
+func (rr *remoteRunner) fig8() (*experiments.Fig8, error) {
+	jobs := experiments.Fig8Jobs(rr.hier, 0)
+	ms, err := rr.submit(jobs)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Fig8From(experiments.GroupByWorkloadArch(jobs, ms)), nil
+}
+
+func (rr *remoteRunner) fig10(name string) (*experiments.Fig10, error) {
+	jobs := experiments.Fig10Jobs(name, rr.hier, 0)
+	ms, err := rr.submit(jobs)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Fig10From(name, jobs, ms), nil
+}
+
+func (rr *remoteRunner) run(name string, arch machine.Arch) (experiments.Measurement, error) {
+	resp, err := rr.c.Run(rr.ctx, simserver.JobRequest{
+		Workload: name, Arch: arch, Scale: rr.scale, Hier: simserver.HierJSON(rr.hier),
+	})
+	if err != nil {
+		return experiments.Measurement{}, err
+	}
+	return resp.Decode()
 }
 
 // benchEntry is one (workload, architecture) timing in the bench-json

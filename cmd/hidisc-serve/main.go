@@ -1,0 +1,174 @@
+// Command hidisc-serve exposes the simulator as a service: a JSON job
+// API over experiments.Runner with a content-addressed result cache,
+// singleflight deduplication of identical in-flight submissions, and
+// bounded-queue admission control (429 + Retry-After under overload).
+//
+// Usage:
+//
+//	hidisc-serve [-addr HOST:PORT] [-scale test|paper] [-j N]
+//	             [-queue N] [-cache N] [-job-timeout D] [-drain D]
+//
+//	curl -s localhost:8080/v1/jobs -d '{"workload":"Pointer","arch":"hidisc"}'
+//	curl -s localhost:8080/v1/batch -d '{"matrix":"fig8"}'
+//	curl -s localhost:8080/metrics
+//
+// SIGTERM/SIGINT triggers a graceful drain: the health probe flips to
+// 503, new submissions are refused, in-flight simulations finish (up
+// to -drain), and the process exits 0. A second signal — or an expired
+// drain deadline — cancels in-flight machines through the RunContext
+// path and exits 1.
+//
+// -smoke runs the CI self-test: start the server on an ephemeral port,
+// run one job through the HTTP client, SIGTERM ourselves, and verify
+// the drain exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/simclient"
+	"hidisc/internal/simserver"
+	"hidisc/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	scale := flag.String("scale", "paper", "default workload scale: test or paper")
+	jobs := flag.Int("j", 0, "concurrent simulation workers (<= 0: one per CPU)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the running jobs")
+	cacheN := flag.Int("cache", 1024, "result cache entries (0 disables caching)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job simulation budget (0 = unbounded)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline after SIGTERM")
+	smoke := flag.Bool("smoke", false, "self-test: serve, run one job via the client, SIGTERM, verify clean drain")
+	flag.Parse()
+
+	sc := workloads.ScalePaper
+	if *scale == "test" {
+		sc = workloads.ScaleTest
+	}
+	cfg := simserver.Config{
+		Scale:        sc,
+		Workers:      *jobs,
+		Queue:        *queue,
+		CacheEntries: *cacheN,
+		JobTimeout:   *jobTimeout,
+	}
+	if *smoke {
+		*addr = "127.0.0.1:0"
+		cfg.Scale = workloads.ScaleTest
+	}
+
+	srv := simserver.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "hidisc-serve: listening on http://%s (scale=%s)\n",
+		ln.Addr(), simserver.ScaleName(cfg.Scale))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
+	if *smoke {
+		go runSmoke(fmt.Sprintf("http://%s", ln.Addr()))
+	}
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "hidisc-serve: %v: draining (deadline %v)\n", sig, *drain)
+	}
+
+	// Graceful drain: refuse new work, let admitted jobs finish.
+	srv.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	go func() {
+		// A second signal forces the issue immediately.
+		<-sigs
+		fmt.Fprintln(os.Stderr, "hidisc-serve: second signal: cancelling in-flight jobs")
+		srv.ForceCancel()
+	}()
+	drainErr := srv.Drain(ctx)
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "hidisc-serve:", drainErr)
+		srv.ForceCancel()
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		httpSrv.Close()
+	}
+	if drainErr != nil {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "hidisc-serve: drained, bye")
+}
+
+// runSmoke drives the self-test against the live server, then signals
+// the main goroutine to drain. Any failure exits non-zero immediately.
+func runSmoke(base string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := simclient.New(base)
+
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = c.Healthz(ctx); err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		fatal(fmt.Errorf("smoke: healthz never came up: %w", err))
+	}
+
+	resp, err := c.Run(ctx, simserver.JobRequest{Workload: "Pointer", Arch: machine.HiDISC})
+	if err != nil {
+		fatal(fmt.Errorf("smoke: job: %w", err))
+	}
+	m, err := resp.Decode()
+	if err != nil {
+		fatal(fmt.Errorf("smoke: decode: %w", err))
+	}
+	if m.Cycles <= 0 {
+		fatal(fmt.Errorf("smoke: implausible measurement: %+v", m))
+	}
+	// The same job again must come from the result cache.
+	again, err := c.Run(ctx, simserver.JobRequest{Workload: "Pointer", Arch: machine.HiDISC})
+	if err != nil {
+		fatal(fmt.Errorf("smoke: cached job: %w", err))
+	}
+	if !again.Cached {
+		fatal(errors.New("smoke: repeat submission missed the result cache"))
+	}
+	mts, err := c.Metrics(ctx)
+	if err != nil || mts.Completed < 1 || mts.CacheHits < 1 {
+		fatal(fmt.Errorf("smoke: metrics %+v: %v", mts, err))
+	}
+	fmt.Fprintf(os.Stderr, "hidisc-serve: smoke ok (%s on %s: %d cycles, cache hit confirmed); sending SIGTERM\n",
+		m.Workload, m.Arch, m.Cycles)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		fatal(fmt.Errorf("smoke: self-signal: %w", err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hidisc-serve:", err)
+	os.Exit(1)
+}

@@ -73,6 +73,11 @@ type Runner struct {
 	// (the figure helpers have no context parameter of their own); a
 	// cancelled run surfaces as *simfault.TimeoutFault.
 	Ctx context.Context
+	// NoMemo disables the runner's internal measurement memo (compiled
+	// bundles are still memoised). Long-lived callers that keep their
+	// own bounded cache — the hidisc-serve LRU — set this so a runner
+	// serving an unbounded job stream cannot grow without bound.
+	NoMemo bool
 
 	mu       sync.Mutex
 	compiled map[string]*compileEntry
@@ -173,16 +178,21 @@ func (r *Runner) Run(name string, arch machine.Arch, hier mem.HierConfig) (Measu
 }
 
 // RunContext is Run under an explicit context; cancellation surfaces
-// as *simfault.TimeoutFault. Successful measurements are memoised.
+// as *simfault.TimeoutFault. Successful measurements are memoised
+// (unless NoMemo) under the job's canonical content key.
 func (r *Runner) RunContext(ctx context.Context, name string, arch machine.Arch, hier mem.HierConfig) (Measurement, error) {
-	key := fmt.Sprintf("%s|%s|%d|%d", name, arch, hier.L2.Latency, hier.MemLatency)
+	j := Job{Workload: name, Arch: arch, Hier: hier, Scale: r.Scale}
+	if r.NoMemo {
+		return r.measure(ctx, j)
+	}
+	key := j.Key()
 	r.mu.Lock()
 	m, ok := r.cache[key]
 	r.mu.Unlock()
 	if ok {
 		return m, nil
 	}
-	m, err := r.measure(ctx, Job{Workload: name, Arch: arch, Hier: hier})
+	m, err := r.measure(ctx, j)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -262,20 +272,23 @@ func verifyOutput(w *workloads.Workload, got []string) error {
 	return nil
 }
 
-// RunAll measures every benchmark on every architecture at the default
-// hierarchy, fanning the independent simulations across r.Workers
-// goroutines.
-func (r *Runner) RunAll() (map[string]map[machine.Arch]Measurement, error) {
+// Fig8Jobs returns the Figure 8 job matrix — every benchmark on every
+// architecture — at the given hierarchy and scale, in the canonical
+// (workload-major) order. The same list is built by local runs and by
+// remote clients so both paths simulate exactly the same jobs.
+func Fig8Jobs(hier mem.HierConfig, scale workloads.Scale) []Job {
 	jobs := make([]Job, 0, len(workloads.Names())*len(machine.Arches))
 	for _, name := range workloads.Names() {
 		for _, arch := range machine.Arches {
-			jobs = append(jobs, Job{Workload: name, Arch: arch, Hier: r.Hier})
+			jobs = append(jobs, Job{Workload: name, Arch: arch, Hier: hier, Scale: scale})
 		}
 	}
-	ms, err := r.RunJobs(r.Workers, jobs)
-	if err != nil {
-		return nil, err
-	}
+	return jobs
+}
+
+// GroupByWorkloadArch indexes per-job measurements (in job order) by
+// workload and architecture.
+func GroupByWorkloadArch(jobs []Job, ms []Measurement) map[string]map[machine.Arch]Measurement {
 	out := map[string]map[machine.Arch]Measurement{}
 	for i, j := range jobs {
 		if out[j.Workload] == nil {
@@ -283,7 +296,19 @@ func (r *Runner) RunAll() (map[string]map[machine.Arch]Measurement, error) {
 		}
 		out[j.Workload][j.Arch] = ms[i]
 	}
-	return out, nil
+	return out
+}
+
+// RunAll measures every benchmark on every architecture at the default
+// hierarchy, fanning the independent simulations across r.Workers
+// goroutines.
+func (r *Runner) RunAll() (map[string]map[machine.Arch]Measurement, error) {
+	jobs := Fig8Jobs(r.Hier, r.Scale)
+	ms, err := r.RunJobs(r.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return GroupByWorkloadArch(jobs, ms), nil
 }
 
 // --- Table 1 ---
@@ -329,6 +354,12 @@ func RunFig8(r *Runner) (*Fig8, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Fig8From(all), nil
+}
+
+// Fig8From assembles Figure 8 from grouped measurements, however they
+// were obtained (a local RunAll or a remote batch via hidisc-serve).
+func Fig8From(all map[string]map[machine.Arch]Measurement) *Fig8 {
 	f := &Fig8{Rows: map[string]map[machine.Arch]float64{}, Meas: all}
 	for name, per := range all {
 		base := per[machine.Superscalar].Cycles
@@ -337,7 +368,7 @@ func RunFig8(r *Runner) (*Fig8, error) {
 			f.Rows[name][arch] = float64(base) / float64(m.Cycles)
 		}
 	}
-	return f, nil
+	return f
 }
 
 // String renders Figure 8 as a table of normalised performance.
@@ -466,24 +497,37 @@ type Fig10 struct {
 	IPC      map[machine.Arch][]float64 // indexed by LatencyPoints
 }
 
-// RunFig10 produces Figure 10's data for one workload, running the
-// latency sweep's independent points in parallel.
-func RunFig10(r *Runner, name string) (*Fig10, error) {
+// Fig10Jobs returns the latency-sweep job list for one workload in
+// canonical (architecture-major) order.
+func Fig10Jobs(name string, hier mem.HierConfig, scale workloads.Scale) []Job {
 	jobs := make([]Job, 0, len(machine.Arches)*len(LatencyPoints))
 	for _, arch := range machine.Arches {
 		for _, lp := range LatencyPoints {
-			jobs = append(jobs, Job{Workload: name, Arch: arch, Hier: r.Hier.WithLatencies(lp.L2, lp.Mem)})
+			jobs = append(jobs, Job{Workload: name, Arch: arch, Hier: hier.WithLatencies(lp.L2, lp.Mem), Scale: scale})
 		}
 	}
-	ms, err := r.RunJobs(r.Workers, jobs)
-	if err != nil {
-		return nil, err
-	}
+	return jobs
+}
+
+// Fig10From assembles one Figure 10 panel from the Fig10Jobs job list
+// and its per-job measurements (in job order).
+func Fig10From(name string, jobs []Job, ms []Measurement) *Fig10 {
 	f := &Fig10{Workload: name, IPC: map[machine.Arch][]float64{}}
 	for i, j := range jobs {
 		f.IPC[j.Arch] = append(f.IPC[j.Arch], ms[i].IPC)
 	}
-	return f, nil
+	return f
+}
+
+// RunFig10 produces Figure 10's data for one workload, running the
+// latency sweep's independent points in parallel.
+func RunFig10(r *Runner, name string) (*Fig10, error) {
+	jobs := Fig10Jobs(name, r.Hier, r.Scale)
+	ms, err := r.RunJobs(r.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return Fig10From(name, jobs, ms), nil
 }
 
 // String renders one Figure 10 panel.

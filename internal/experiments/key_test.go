@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/mem"
+	"hidisc/internal/workloads"
+)
+
+// TestJobKeyDeterministicAndDistinct pins the canonical content hash:
+// equal inputs hash equally (across value copies, so the key is usable
+// as a cross-process cache key) and every input field participates.
+func TestJobKeyDeterministic(t *testing.T) {
+	base := Job{Workload: "Pointer", Arch: machine.HiDISC, Hier: mem.DefaultHierConfig(), Scale: workloads.ScalePaper}
+	copy := Job{Workload: "Pointer", Arch: machine.HiDISC, Hier: mem.DefaultHierConfig(), Scale: workloads.ScalePaper}
+	if base.Key() != copy.Key() {
+		t.Fatalf("equal jobs hash differently: %s vs %s", base.Key(), copy.Key())
+	}
+	if base.Key() != base.Key() {
+		t.Fatal("Key is not deterministic across calls")
+	}
+	if len(base.Key()) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", base.Key())
+	}
+	// The Configure hook is excluded by design: a perturbed job shares
+	// the unperturbed key and must therefore never be cached by key.
+	perturbed := base
+	perturbed.Configure = func(*machine.Config) {}
+	if perturbed.Key() != base.Key() {
+		t.Fatal("Configure participates in Key; it must be excluded")
+	}
+}
+
+func TestJobKeyDistinctness(t *testing.T) {
+	base := Job{Workload: "Pointer", Arch: machine.HiDISC, Hier: mem.DefaultHierConfig(), Scale: workloads.ScalePaper}
+	mutations := map[string]func(*Job){
+		"workload":    func(j *Job) { j.Workload = "Update" },
+		"arch":        func(j *Job) { j.Arch = machine.Superscalar },
+		"scale":       func(j *Job) { j.Scale = workloads.ScaleTest },
+		"l1 sets":     func(j *Job) { j.Hier.L1D.Sets *= 2 },
+		"l1 ways":     func(j *Job) { j.Hier.L1D.Ways *= 2 },
+		"l1 block":    func(j *Job) { j.Hier.L1D.BlockSize *= 2 },
+		"l1 latency":  func(j *Job) { j.Hier.L1D.Latency++ },
+		"l2 sets":     func(j *Job) { j.Hier.L2.Sets *= 2 },
+		"l2 latency":  func(j *Job) { j.Hier.L2.Latency++ },
+		"mem latency": func(j *Job) { j.Hier.MemLatency++ },
+		"fig10 point": func(j *Job) { j.Hier = j.Hier.WithLatencies(4, 40) },
+	}
+	seen := map[string]string{base.Key(): "base"}
+	for field, mutate := range mutations {
+		j := base
+		mutate(&j)
+		k := j.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutating %s collides with %s", field, prev)
+		}
+		seen[k] = field
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	for n, want := range map[int]int{0: ncpu, -1: ncpu, -100: ncpu, 1: 1, 7: 7} {
+		if got := EffectiveWorkers(n); got != want {
+			t.Errorf("EffectiveWorkers(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestRunJobsZeroWorkers exercises the RunJobs fix directly: a zero
+// (or negative) worker count must mean "one per CPU", not a wedged or
+// serialised pool, and results must match the sequential path.
+func TestRunJobsZeroWorkers(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	jobs := []Job{
+		{Workload: "Pointer", Arch: machine.Superscalar, Hier: r.Hier},
+		{Workload: "Pointer", Arch: machine.HiDISC, Hier: r.Hier},
+	}
+	got, err := r.RunJobs(0, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewRunner(workloads.ScaleTest)
+	want, err := seq.RunJobs(1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %d: workers=0 result differs from sequential", i)
+		}
+	}
+}
+
+// TestRunnerNoMemo pins the memo bypass used by hidisc-serve: with
+// NoMemo the runner re-simulates (SimTotals grows) yet results stay
+// identical.
+func TestRunnerNoMemo(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	r.NoMemo = true
+	m1, err := r.Run("Pointer", machine.Superscalar, r.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := r.SimTotals()
+	m2, err := r.Run("Pointer", machine.Superscalar, r.Hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := r.SimTotals()
+	if c2 != 2*c1 {
+		t.Errorf("NoMemo runner did not re-simulate: totals %d then %d", c1, c2)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Error("re-simulated result differs")
+	}
+}

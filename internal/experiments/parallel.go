@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
@@ -11,6 +13,7 @@ import (
 	"hidisc/internal/machine"
 	"hidisc/internal/mem"
 	"hidisc/internal/simfault"
+	"hidisc/internal/workloads"
 )
 
 // Job names one independent simulation: a workload on an architecture
@@ -20,12 +23,51 @@ type Job struct {
 	Arch     machine.Arch
 	Hier     mem.HierConfig
 
+	// Scale sizes the workload for Key(). The Runner executes every job
+	// at its own Scale — this field exists so a content hash computed by
+	// one process (e.g. the hidisc-serve result cache) distinguishes
+	// test- from paper-scale submissions.
+	Scale workloads.Scale
+
 	// Configure, when non-nil, post-processes this job's machine
 	// configuration (after the Runner-level hook). Jobs with a Configure
 	// hook bypass the measurement cache — they are presumed perturbed
 	// (fault injection, ablations) and must not pollute results shared
 	// with unperturbed jobs.
 	Configure func(*machine.Config)
+}
+
+// Key returns a canonical content hash of the job's simulation inputs:
+// workload, architecture, the full hierarchy geometry and latencies,
+// and workload scale. Simulations are deterministic, so two jobs with
+// equal keys produce bit-identical Measurements; the hash is stable
+// across processes and releases of this package (field order is fixed
+// and versioned) and is used as the result-cache key by both the
+// Runner and the hidisc-serve server.
+//
+// The Configure hook is deliberately excluded — a hook is an opaque
+// perturbation, so jobs carrying one must never be cached by key (the
+// Runner already bypasses its memo for them).
+func (j Job) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "hidisc-job-v1|%s|%s|%d|%d,%d,%d,%d|%d,%d,%d,%d|%d",
+		j.Workload, j.Arch, j.Scale,
+		j.Hier.L1D.Sets, j.Hier.L1D.Ways, j.Hier.L1D.BlockSize, j.Hier.L1D.Latency,
+		j.Hier.L2.Sets, j.Hier.L2.Ways, j.Hier.L2.BlockSize, j.Hier.L2.Latency,
+		j.Hier.MemLatency)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EffectiveWorkers resolves a requested worker count: n > 0 is taken
+// literally, anything else (including the zero value) means one worker
+// per CPU. Every fan-out entry point — RunJobs, RunAll, the figure
+// helpers, hidisc-bench -j, hidisc-serve -j — routes through this so
+// "0 workers" can never mean "no workers".
+func EffectiveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
 }
 
 // JobError attributes a failure to one job of a batch.
@@ -64,9 +106,7 @@ func (r *Runner) safeRun(ctx context.Context, j Job) (m Measurement, err error) 
 // runJobs executes every job (healthy or not) across a worker pool and
 // returns the per-job measurements and errors, both in job order.
 func (r *Runner) runJobs(ctx context.Context, workers int, jobs []Job) ([]Measurement, []error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = EffectiveWorkers(workers)
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}

@@ -1,0 +1,60 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// This file pins the wire encoding of Arch. The four architecture
+// names are part of the public surface — they appear in CLI flags,
+// fault snapshots (-dump-on-fault), and the hidisc-serve JSON API —
+// so (de)serialization is explicit and validating rather than a bare
+// string cast: an unknown name fails loudly at the boundary instead
+// of surfacing later as "unknown architecture" from machine.New.
+
+// ParseArch resolves an architecture name (case-insensitive) to one of
+// the four evaluated models. The empty string is rejected; use a
+// default at the call site when absence is meaningful.
+func ParseArch(s string) (Arch, error) {
+	for _, a := range Arches {
+		if strings.EqualFold(s, string(a)) {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("unknown architecture %q (want one of %s)", s, strings.Join(ArchNames(), ", "))
+}
+
+// ArchNames returns the canonical wire names of the four models in
+// presentation order.
+func ArchNames() []string {
+	names := make([]string, len(Arches))
+	for i, a := range Arches {
+		names[i] = string(a)
+	}
+	return names
+}
+
+// MarshalJSON encodes the architecture as its canonical name,
+// rejecting values that are not one of the four models so a corrupt
+// Arch can never round-trip silently.
+func (a Arch) MarshalJSON() ([]byte, error) {
+	if _, err := ParseArch(string(a)); err != nil {
+		return nil, fmt.Errorf("machine.Arch: %w", err)
+	}
+	return json.Marshal(string(a))
+}
+
+// UnmarshalJSON decodes and validates an architecture name.
+func (a *Arch) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("machine.Arch: %w", err)
+	}
+	parsed, err := ParseArch(s)
+	if err != nil {
+		return fmt.Errorf("machine.Arch: %w", err)
+	}
+	*a = parsed
+	return nil
+}

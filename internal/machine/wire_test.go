@@ -1,0 +1,58 @@
+package machine
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseArch(t *testing.T) {
+	for _, a := range Arches {
+		got, err := ParseArch(string(a))
+		if err != nil || got != a {
+			t.Errorf("ParseArch(%q) = %q, %v", a, got, err)
+		}
+	}
+	if got, err := ParseArch("HiDISC"); err != nil || got != HiDISC {
+		t.Errorf("ParseArch is not case-insensitive: got %q, %v", got, err)
+	}
+	for _, bad := range []string{"", "scalar", "cp", "hidisc2"} {
+		if _, err := ParseArch(bad); err == nil {
+			t.Errorf("ParseArch(%q) accepted an unknown architecture", bad)
+		}
+	}
+}
+
+func TestArchJSONRoundTrip(t *testing.T) {
+	for _, a := range Arches {
+		data, err := json.Marshal(a)
+		if err != nil {
+			t.Fatalf("marshal %q: %v", a, err)
+		}
+		if want := `"` + string(a) + `"`; string(data) != want {
+			t.Errorf("marshal %q = %s, want %s", a, data, want)
+		}
+		var back Arch
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != a {
+			t.Errorf("round trip %q -> %q", a, back)
+		}
+	}
+}
+
+func TestArchJSONRejectsUnknown(t *testing.T) {
+	var a Arch
+	if err := json.Unmarshal([]byte(`"vliw"`), &a); err == nil {
+		t.Fatal("unmarshal accepted an unknown architecture name")
+	} else if !strings.Contains(err.Error(), "vliw") {
+		t.Errorf("error %q does not name the offending value", err)
+	}
+	if err := json.Unmarshal([]byte(`3`), &a); err == nil {
+		t.Fatal("unmarshal accepted a numeric architecture")
+	}
+	if _, err := json.Marshal(Arch("bogus")); err == nil {
+		t.Fatal("marshal accepted a corrupt Arch value")
+	}
+}

@@ -2,13 +2,14 @@ package mem
 
 import "fmt"
 
-// CacheConfig describes one set-associative cache level.
+// CacheConfig describes one set-associative cache level. The JSON
+// tags are part of the HierConfig wire format (see hierarchy.go).
 type CacheConfig struct {
-	Name      string
-	Sets      int // number of sets (power of two)
-	Ways      int // associativity
-	BlockSize int // line size in bytes (power of two)
-	Latency   int // access latency in cycles
+	Name      string `json:"name,omitempty"`
+	Sets      int    `json:"sets"`      // number of sets (power of two)
+	Ways      int    `json:"ways"`      // associativity
+	BlockSize int    `json:"blockSize"` // line size in bytes (power of two)
+	Latency   int    `json:"latency"`   // access latency in cycles
 }
 
 // Validate checks the configuration.

@@ -9,10 +9,14 @@ import (
 
 // HierConfig describes the full data-memory hierarchy. The defaults
 // reproduce Table 1 of the paper.
+//
+// The JSON field names are a stable wire format shared by the
+// hidisc-serve API, its client, and configuration files; changing a
+// tag is a breaking protocol change (pinned by TestHierConfigJSON).
 type HierConfig struct {
-	L1D        CacheConfig
-	L2         CacheConfig
-	MemLatency int // main-memory access latency in CPU cycles
+	L1D        CacheConfig `json:"l1d"`
+	L2         CacheConfig `json:"l2"`
+	MemLatency int         `json:"memLatency"` // main-memory access latency in CPU cycles
 }
 
 // DefaultHierConfig returns the paper's Table 1 hierarchy: L1D 256

@@ -1,0 +1,54 @@
+package mem
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHierConfigJSON pins the hierarchy wire format: explicit camelCase
+// field names (no bare Go identifiers leaking into the protocol) and a
+// lossless round trip, since the hidisc-serve API and client both ship
+// hierarchies across this encoding.
+func TestHierConfigJSON(t *testing.T) {
+	cfg := DefaultHierConfig()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"l1d"`, `"l2"`, `"memLatency"`, `"sets"`, `"ways"`, `"blockSize"`, `"latency"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("encoding %s missing field %s", data, want)
+		}
+	}
+	for _, stale := range []string{`"L1D"`, `"MemLatency"`, `"BlockSize"`} {
+		if strings.Contains(string(data), stale) {
+			t.Errorf("encoding %s leaks Go field name %s", data, stale)
+		}
+	}
+	var back HierConfig
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Errorf("round trip mangled the config:\n got %+v\nwant %+v", back, cfg)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped config fails validation: %v", err)
+	}
+}
+
+func TestHierConfigJSONPartial(t *testing.T) {
+	// Deserializing into a default lets API callers override only the
+	// latencies, the common Figure 10 use.
+	cfg := DefaultHierConfig()
+	if err := json.Unmarshal([]byte(`{"l2":{"sets":1024,"ways":4,"blockSize":64,"latency":4},"memLatency":40}`), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.L2.Latency != 4 || cfg.MemLatency != 40 {
+		t.Errorf("override not applied: %+v", cfg)
+	}
+	if cfg.L1D != DefaultHierConfig().L1D {
+		t.Errorf("untouched L1D changed: %+v", cfg.L1D)
+	}
+}

@@ -1,0 +1,212 @@
+// Package simclient is the Go client for the hidisc-serve API: submit
+// single jobs or batch matrices, stream NDJSON batch results, and
+// decode the server's structured error bodies (including Retry-After
+// backoff hints and fault snapshots) into typed errors.
+package simclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hidisc/internal/experiments"
+	"hidisc/internal/simserver"
+)
+
+// Client talks to one hidisc-serve instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Simulations can run
+	// for minutes, so the default carries no overall timeout; bound
+	// requests with a context instead.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the given base URL.
+func New(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx server response in typed form.
+type APIError struct {
+	Status     int
+	RetryAfter time.Duration // backoff hint on 429, else 0
+	Wire       simserver.WireError
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hidisc-serve: %s: %s", e.Wire.Kind, e.Wire.Message)
+}
+
+// Overloaded reports whether the server shed this request (retry after
+// RetryAfter).
+func (e *APIError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
+
+// do issues one request and decodes error responses.
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+func decodeError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	var body simserver.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 10<<20)).Decode(&body); err != nil {
+		apiErr.Wire = simserver.WireError{
+			Status: resp.StatusCode, Kind: "http",
+			Message: fmt.Sprintf("HTTP %d with undecodable body: %v", resp.StatusCode, err),
+		}
+		return apiErr
+	}
+	apiErr.Wire = body.Err
+	return apiErr
+}
+
+// Run submits one job and returns the server's response with the
+// measurement still in its canonical raw encoding.
+func (c *Client) Run(ctx context.Context, jr simserver.JobRequest) (simserver.JobResponse, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", jr)
+	if err != nil {
+		return simserver.JobResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out simserver.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return simserver.JobResponse{}, fmt.Errorf("decoding job response: %w", err)
+	}
+	return out, nil
+}
+
+// BatchStream submits a batch and invokes fn for every NDJSON item as
+// it arrives (completion order, not submission order). fn returning an
+// error aborts the stream.
+func (c *Client) BatchStream(ctx context.Context, br simserver.BatchRequest, fn func(simserver.BatchItem) error) error {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/batch", br)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var item simserver.BatchItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("decoding batch item: %w", err)
+		}
+		if err := fn(item); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Batch submits a batch and collects every item, reassembled into
+// submission order. Per-job failures are returned as *APIError values
+// in errs (indexed like items); the call itself fails only on
+// transport or protocol errors.
+func (c *Client) Batch(ctx context.Context, br simserver.BatchRequest) (items []simserver.BatchItem, errs []error, err error) {
+	err = c.BatchStream(ctx, br, func(it simserver.BatchItem) error {
+		items = append(items, it)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Index < items[j].Index })
+	errs = make([]error, len(items))
+	for i, it := range items {
+		if it.Error != nil {
+			errs[i] = &APIError{Status: it.Error.Status, Wire: *it.Error}
+		}
+	}
+	return items, errs, nil
+}
+
+// Measurements runs a batch and decodes every measurement, failing on
+// the first per-job error. The items' raw encodings are also returned
+// for byte-identity checks against local runs.
+func (c *Client) Measurements(ctx context.Context, br simserver.BatchRequest) ([]experiments.Measurement, []simserver.BatchItem, error) {
+	items, errs, err := c.Batch(ctx, br)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms := make([]experiments.Measurement, len(items))
+	for i, it := range items {
+		if errs[i] != nil {
+			return nil, nil, fmt.Errorf("job %d: %w", i, errs[i])
+		}
+		if ms[i], err = it.Decode(); err != nil {
+			return nil, nil, fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	return ms, items, nil
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Metrics fetches the server counters.
+func (c *Client) Metrics(ctx context.Context) (simserver.MetricsSnapshot, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return simserver.MetricsSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	var m simserver.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return simserver.MetricsSnapshot{}, err
+	}
+	return m, nil
+}

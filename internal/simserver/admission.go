@@ -1,0 +1,73 @@
+package simserver
+
+import (
+	"context"
+	"sync"
+)
+
+// admission is the bounded-queue admission controller. It tracks two
+// limits: run slots (the simulation worker pool, `workers` wide) and
+// an overall admission bound of workers+queue jobs in the building at
+// once. A submission first reserves admission tokens — all-or-nothing,
+// so a batch either fits entirely or is rejected whole — then each job
+// blocks on a run slot before simulating. Rejection is instantaneous
+// (no waiting), which is what lets the server promise Retry-After
+// instead of letting latency grow without bound.
+type admission struct {
+	mu       sync.Mutex
+	admitted int
+	limit    int // workers + queue depth
+
+	run chan struct{} // buffered to the worker-pool width
+}
+
+func newAdmission(workers, queue int) *admission {
+	return &admission{
+		limit: workers + queue,
+		run:   make(chan struct{}, workers),
+	}
+}
+
+// TryAdmit reserves n admission tokens, all or nothing. It reports
+// whether the reservation succeeded and, on failure, how many jobs
+// were already admitted (the backlog a Retry-After estimate is based
+// on).
+func (a *admission) TryAdmit(n int) (ok bool, backlog int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.admitted+n > a.limit {
+		return false, a.admitted
+	}
+	a.admitted += n
+	return true, a.admitted
+}
+
+// Release returns n admission tokens.
+func (a *admission) Release(n int) {
+	a.mu.Lock()
+	a.admitted -= n
+	if a.admitted < 0 {
+		panic("simserver: admission token over-release")
+	}
+	a.mu.Unlock()
+}
+
+// InFlight returns the number of currently admitted jobs.
+func (a *admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.admitted
+}
+
+// AcquireRun blocks until a worker slot is free or ctx is done.
+func (a *admission) AcquireRun(ctx context.Context) error {
+	select {
+	case a.run <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ReleaseRun frees a worker slot.
+func (a *admission) ReleaseRun() { <-a.run }

@@ -1,0 +1,246 @@
+// Package simserver serves HiDISC simulations over HTTP: a JSON job
+// API in front of experiments.Runner with the three mechanisms a
+// simulation service needs to survive production traffic:
+//
+//   - a content-addressed result cache keyed by the canonical
+//     experiments.Job.Key() hash (simulations are deterministic, so a
+//     key fully identifies its Measurement);
+//   - singleflight deduplication, so concurrent identical submissions
+//     share one simulation instead of burning a core each;
+//   - bounded-queue admission control that answers 429 + Retry-After
+//     under overload instead of queueing without bound.
+//
+// Endpoints:
+//
+//	POST /v1/jobs     one job  -> JobResponse JSON (or ErrorBody)
+//	POST /v1/batch    job list -> NDJSON stream of BatchItem, one line
+//	                  per job as it completes (out of order; reassemble
+//	                  by Index)
+//	GET  /metrics     MetricsSnapshot JSON (counters + throughput)
+//	GET  /healthz     liveness; 503 while draining
+//
+// Typed simfault errors map to structured HTTP error bodies carrying
+// the fault's forensic Snapshot; see the table in DESIGN.md §"Service
+// layer". The package uses only the standard library.
+package simserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hidisc/internal/experiments"
+	"hidisc/internal/machine"
+	"hidisc/internal/mem"
+	"hidisc/internal/simfault"
+	"hidisc/internal/workloads"
+)
+
+// JobRequest is one simulation submission. Workload and Arch are
+// required; the hierarchy defaults to the paper's Table 1 and the
+// scale to the server's default.
+type JobRequest struct {
+	Workload string       `json:"workload"`
+	Arch     machine.Arch `json:"arch"`
+	// Hier overrides the memory hierarchy; fields left unset fall back
+	// to the Table 1 defaults (the object is decoded over them), so
+	// {"l2":{...},"memLatency":40} tweaks latencies only. Kept raw to
+	// make that merge semantic possible in one decode pass; build it
+	// with HierJSON when submitting a full config.
+	Hier json.RawMessage `json:"hier,omitempty"`
+	// Scale is "test" or "paper"; empty means the server default.
+	Scale string `json:"scale,omitempty"`
+	// TimeoutMs bounds this job's simulation wall time; 0 means the
+	// server default. The cap is enforced through the machine's
+	// RunContext cancellation path and surfaces as a timeout fault.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Fault, when set, runs the job under a deterministic fault
+	// injector. Faulted jobs bypass the cache and dedup layers: a
+	// perturbation is not part of the content key.
+	Fault *simfault.Injector `json:"fault,omitempty"`
+}
+
+// BatchRequest submits many jobs at once. Either Jobs or Matrix is
+// set; Matrix names a predefined job list ("fig8").
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs,omitempty"`
+	// Matrix expands to a canonical job list: "fig8" is the full
+	// Figure 8 benchmark x architecture matrix at the default
+	// hierarchy.
+	Matrix string `json:"matrix,omitempty"`
+	// Scale applies to matrix expansion and to jobs without their own.
+	Scale string `json:"scale,omitempty"`
+}
+
+// JobResponse answers a successful single-job submission.
+type JobResponse struct {
+	// Key is the job's canonical content hash (the cache key).
+	Key string `json:"key"`
+	// Cached is true when the measurement came from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Deduped is true when this submission shared a concurrent
+	// identical simulation instead of starting its own.
+	Deduped bool `json:"deduped,omitempty"`
+	// Measurement is the experiments.Measurement encoded verbatim; kept
+	// raw so clients can check byte-identity against a local run.
+	Measurement json.RawMessage `json:"measurement"`
+}
+
+// HierJSON encodes a hierarchy for JobRequest.Hier.
+func HierJSON(h mem.HierConfig) json.RawMessage {
+	data, err := json.Marshal(h)
+	if err != nil {
+		panic(err) // HierConfig is plain data; cannot fail
+	}
+	return data
+}
+
+// Decode unpacks the raw measurement.
+func (r JobResponse) Decode() (experiments.Measurement, error) {
+	var m experiments.Measurement
+	err := json.Unmarshal(r.Measurement, &m)
+	return m, err
+}
+
+// BatchItem is one NDJSON line of a batch response: the outcome of the
+// job at Index in the submitted list. Exactly one of Measurement and
+// Error is set.
+type BatchItem struct {
+	Index       int             `json:"index"`
+	Key         string          `json:"key,omitempty"`
+	Cached      bool            `json:"cached,omitempty"`
+	Deduped     bool            `json:"deduped,omitempty"`
+	Measurement json.RawMessage `json:"measurement,omitempty"`
+	Error       *WireError      `json:"error,omitempty"`
+}
+
+// Decode unpacks the raw measurement.
+func (it BatchItem) Decode() (experiments.Measurement, error) {
+	var m experiments.Measurement
+	err := json.Unmarshal(it.Measurement, &m)
+	return m, err
+}
+
+// WireError is the structured error representation: the fault kind (or
+// a request-level kind), a message, the HTTP status the error maps to,
+// and — for simulation faults — the machine snapshot at fault time, so
+// the forensics that -dump-on-fault writes locally are downloadable
+// from the service.
+type WireError struct {
+	Status   int             `json:"status"`
+	Kind     string          `json:"kind"`
+	Message  string          `json:"message"`
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+}
+
+func (e *WireError) Error() string {
+	return fmt.Sprintf("%s (HTTP %d): %s", e.Kind, e.Status, e.Message)
+}
+
+// ErrorBody is the top-level JSON shape of every non-2xx response.
+type ErrorBody struct {
+	Err WireError `json:"error"`
+}
+
+// Request-level error kinds (simulation faults use simfault's kinds).
+const (
+	KindBadRequest = "bad-request"
+	KindOverloaded = "overloaded"
+	KindDraining   = "draining"
+	KindInternal   = "internal"
+)
+
+// wireError converts any job-execution error into its wire shape.
+// Typed simulation faults keep their kind and snapshot; the status
+// encodes whose fault it was: 400 for malformed submissions, 422 for
+// jobs whose simulation wedged (deadlock, cycle limit — properties of
+// the submitted content), 504 for jobs cut off by their time budget,
+// 500 for violated simulator invariants.
+func wireError(err error) WireError {
+	we := WireError{Status: http.StatusInternalServerError, Kind: KindInternal, Message: err.Error()}
+	if kind, ok := simfault.KindOf(err); ok {
+		we.Kind = string(kind)
+		switch kind {
+		case simfault.KindDeadlock, simfault.KindCycleLimit:
+			we.Status = http.StatusUnprocessableEntity
+		case simfault.KindTimeout:
+			we.Status = http.StatusGatewayTimeout
+		case simfault.KindInvariant:
+			we.Status = http.StatusInternalServerError
+		}
+		if snap := simfault.SnapshotOf(err); snap != nil {
+			if data, jerr := json.Marshal(snap); jerr == nil {
+				we.Snapshot = data
+			}
+		}
+		return we
+	}
+	// Everything else the runner reports before a machine is built —
+	// unknown workloads, bad architectures, assembly errors — is a
+	// property of the request, not the server.
+	we.Status = http.StatusBadRequest
+	we.Kind = KindBadRequest
+	return we
+}
+
+// parseScale resolves a wire scale name.
+func parseScale(s string, def workloads.Scale) (workloads.Scale, error) {
+	switch s {
+	case "":
+		return def, nil
+	case "test":
+		return workloads.ScaleTest, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	}
+	return def, fmt.Errorf("unknown scale %q (want \"test\" or \"paper\")", s)
+}
+
+// ScaleName is the wire name of a workload scale.
+func ScaleName(s workloads.Scale) string {
+	if s == workloads.ScalePaper {
+		return "paper"
+	}
+	return "test"
+}
+
+// MetricsSnapshot is the GET /metrics payload.
+type MetricsSnapshot struct {
+	// Admission counters. Accepted counts jobs admitted past the
+	// bounded queue; Rejected counts 429s; Deduped counts submissions
+	// that shared another in-flight simulation; CacheHits counts
+	// submissions answered from the result cache without simulating.
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Deduped   int64 `json:"deduped"`
+	CacheHits int64 `json:"cacheHits"`
+	// Completed / Failed count finished jobs by outcome.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// InFlight is jobs admitted and not yet finished (running or
+	// queued); CacheEntries is the current result-cache population.
+	InFlight     int64 `json:"inFlight"`
+	CacheEntries int   `json:"cacheEntries"`
+	// Aggregate simulation throughput since the server started, via
+	// stats.Throughput over the runners' SimTotals.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	SimCycles     int64   `json:"simCycles"`
+	SimInsts      int64   `json:"simInsts"`
+	MCyclesPerSec float64 `json:"mcyclesPerSec"`
+	SimMIPS       float64 `json:"simMIPS"`
+	Throughput    string  `json:"throughput"`
+}
+
+// retryAfter estimates how long a rejected client should back off:
+// the queue's worth of work divided by the worker pool, from the
+// server's moving average of job wall time, clamped to [1s, 60s] and
+// rounded up to whole seconds (the Retry-After header unit).
+func retryAfter(queued int, workers int, avgJob time.Duration) int {
+	if avgJob <= 0 {
+		avgJob = time.Second
+	}
+	est := time.Duration(queued/max(workers, 1)+1) * avgJob
+	secs := int((est + time.Second - 1) / time.Second)
+	return min(max(secs, 1), 60)
+}

@@ -1,0 +1,68 @@
+package simserver
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU of content-addressed results: job key →
+// the canonical JSON encoding of its Measurement. Values are stored
+// encoded so cache hits are a copy-free write to the response and so
+// every client of one key observes byte-identical payloads.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	enc []byte
+}
+
+// newResultCache returns a cache holding at most capacity entries;
+// capacity <= 0 disables caching entirely (every Get misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// Get returns the encoded measurement for key, if cached.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).enc, true
+}
+
+// Put stores an encoded measurement, evicting the least recently used
+// entry when the cache is full.
+func (c *resultCache) Put(key string, enc []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).enc = enc
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, enc: enc})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current population.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

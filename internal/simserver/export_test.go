@@ -1,0 +1,13 @@
+package simserver
+
+// Test-only access for the external simserver_test package (which
+// imports simclient and therefore cannot live in-package).
+
+// SetLeadGate installs a hook a singleflight leader calls after
+// registering its key and before simulating; tests use it to hold a
+// job in flight deterministically.
+func SetLeadGate(s *Server, fn func(key string)) { s.leadGate = fn }
+
+// FlightWaiters reports how many followers are blocked on key's
+// in-flight simulation.
+func FlightWaiters(s *Server, key string) int { return s.flight.Waiters(key) }

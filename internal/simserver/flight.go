@@ -1,0 +1,71 @@
+package simserver
+
+import (
+	"context"
+
+	"sync"
+
+	"hidisc/internal/experiments"
+)
+
+// flightGroup is a minimal singleflight (stdlib only — the x/sync
+// version is not vendored here): concurrent Do calls with one key
+// share the first caller's execution. Unlike a result cache this holds
+// entries only while a simulation is in flight; completed results move
+// to the LRU cache, so the two layers compose into "at most one
+// simulation per key, ever, while the key stays cached".
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when the leader finishes
+	m    experiments.Measurement
+	enc  []byte // the measurement's canonical JSON encoding
+	err  error
+	dups int // followers that joined this call
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[string]*flightCall{}}
+}
+
+// Do executes fn under key, deduplicating concurrent calls: the first
+// caller (the leader) runs fn, later callers block until it finishes
+// and share its result. shared reports whether this caller was a
+// follower. A follower abandons its wait when ctx ends (the leader's
+// simulation keeps running — its result is still wanted by the cache).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (experiments.Measurement, []byte, error)) (m experiments.Measurement, enc []byte, err error, shared bool) {
+	g.mu.Lock()
+	if c, inFlight := g.m[key]; inFlight {
+		c.dups++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.m, c.enc, c.err, true
+		case <-ctx.Done():
+			return experiments.Measurement{}, nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.m, c.enc, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.m, c.enc, c.err, false
+}
+
+// Waiters returns how many followers are currently blocked on key.
+func (g *flightGroup) Waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.dups
+	}
+	return 0
+}

@@ -1,0 +1,511 @@
+package simserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hidisc/internal/experiments"
+	"hidisc/internal/machine"
+	"hidisc/internal/mem"
+	"hidisc/internal/simfault"
+	"hidisc/internal/stats"
+	"hidisc/internal/workloads"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Scale is the default workload scale for requests that don't name
+	// one.
+	Scale workloads.Scale
+	// Workers bounds concurrently running simulations; <= 0 means one
+	// per CPU (experiments.EffectiveWorkers).
+	Workers int
+	// Queue bounds jobs admitted beyond the running ones. A submission
+	// that would push the total past Workers+Queue is answered 429.
+	Queue int
+	// CacheEntries bounds the result cache; <= 0 disables caching.
+	CacheEntries int
+	// JobTimeout bounds each simulation's wall time (0 = unbounded);
+	// requests may override per job via TimeoutMs.
+	JobTimeout time.Duration
+}
+
+// DefaultConfig returns production-shaped defaults at the given scale.
+func DefaultConfig(scale workloads.Scale) Config {
+	return Config{
+		Scale:        scale,
+		Workers:      0, // one per CPU
+		Queue:        64,
+		CacheEntries: 1024,
+		JobTimeout:   0,
+	}
+}
+
+// Server wraps experiments.Runner behind the HTTP API. Create with
+// New, mount Handler on an http.Server, and call StartDraining /
+// ForceCancel from the signal path for graceful shutdown.
+type Server struct {
+	cfg     Config
+	workers int
+
+	adm    *admission
+	flight *flightGroup
+	cache  *resultCache
+	start  time.Time
+
+	// baseCtx parents every simulation; ForceCancel cancels it, which
+	// aborts in-flight machines through the RunContext path.
+	baseCtx    context.Context
+	cancelJobs context.CancelFunc
+
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	runners map[workloads.Scale]*experiments.Runner
+
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	deduped   atomic.Int64
+	cacheHits atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	avgJobNs  atomic.Int64 // EWMA of executed-job wall time
+
+	// leadGate, when non-nil, is called by a singleflight leader after
+	// it has registered its key and before it simulates. Tests use it
+	// to hold a job in flight deterministically.
+	leadGate func(key string)
+}
+
+// New builds a server. The runners it creates bypass their internal
+// memo (Runner.NoMemo) — the server's bounded LRU is the only result
+// cache, so a long job stream cannot grow memory without bound.
+func New(cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	workers := experiments.EffectiveWorkers(cfg.Workers)
+	if cfg.Queue < 0 {
+		cfg.Queue = 0
+	}
+	return &Server{
+		cfg:        cfg,
+		workers:    workers,
+		adm:        newAdmission(workers, cfg.Queue),
+		flight:     newFlightGroup(),
+		cache:      newResultCache(cfg.CacheEntries),
+		start:      time.Now(),
+		baseCtx:    ctx,
+		cancelJobs: cancel,
+		runners:    map[workloads.Scale]*experiments.Runner{},
+	}
+}
+
+// runner returns the (lazily created) runner for a scale.
+func (s *Server) runner(scale workloads.Scale) *experiments.Runner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runners[scale]
+	if !ok {
+		r = experiments.NewRunner(scale)
+		r.NoMemo = true
+		s.runners[scale] = r
+	}
+	return r
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// StartDraining flips the server into drain mode: the liveness probe
+// goes 503 (so load balancers stop routing here) and new submissions
+// are refused, while admitted jobs run to completion.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ForceCancel aborts every in-flight simulation through the machine's
+// RunContext cancellation path (they fail as timeout faults). The
+// escape hatch when a drain deadline expires.
+func (s *Server) ForceCancel() { s.cancelJobs() }
+
+// InFlight returns the number of admitted, unfinished jobs.
+func (s *Server) InFlight() int { return s.adm.InFlight() }
+
+// Drain enters drain mode and waits until every admitted job has
+// finished or ctx expires (ErrDrainTimeout).
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDraining()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.adm.InFlight() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d jobs still in flight: %w", s.adm.InFlight(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// --- job execution ---
+
+// outcome is one job's result in server-internal form.
+type outcome struct {
+	key     string
+	enc     []byte
+	cached  bool
+	deduped bool
+	err     error
+}
+
+// execute runs one validated submission through cache, dedup, and the
+// worker pool. reqCtx governs only this caller's wait: a leader's
+// simulation runs under the server's base context (plus the job's time
+// budget) so a disconnected client cannot kill a result that other
+// submissions — or the cache — still want.
+func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.Scale) outcome {
+	hier := mem.DefaultHierConfig()
+	if len(jr.Hier) > 0 {
+		if err := json.Unmarshal(jr.Hier, &hier); err != nil {
+			return outcome{err: badRequest(fmt.Errorf("hier: %w", err))}
+		}
+	}
+	if err := hier.Validate(); err != nil {
+		return outcome{err: badRequest(err)}
+	}
+	if jr.Workload == "" {
+		return outcome{err: badRequest(errors.New("missing workload"))}
+	}
+	if jr.Arch == "" {
+		return outcome{err: badRequest(errors.New("missing arch"))}
+	}
+	if _, err := machine.ParseArch(string(jr.Arch)); err != nil {
+		return outcome{err: badRequest(err)}
+	}
+
+	job := experiments.Job{Workload: jr.Workload, Arch: jr.Arch, Hier: hier, Scale: scale}
+	key := job.Key()
+
+	// Faulted jobs are perturbed: not content-addressed, so neither
+	// cached nor deduplicated. Each gets a private Injector copy (the
+	// storm PRNG mutates).
+	if jr.Fault != nil {
+		inj := *jr.Fault
+		job.Configure = func(c *machine.Config) { c.Inject = &inj }
+		m, err := s.simulate(jr, job, scale)
+		if err != nil {
+			return outcome{key: key, err: err}
+		}
+		enc, err := json.Marshal(m)
+		if err != nil {
+			return outcome{key: key, err: err}
+		}
+		return outcome{key: key, enc: enc}
+	}
+
+	if enc, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		return outcome{key: key, enc: enc, cached: true}
+	}
+
+	_, enc, err, shared := s.flight.Do(reqCtx, key, func() (experiments.Measurement, []byte, error) {
+		if s.leadGate != nil {
+			s.leadGate(key)
+		}
+		// Double-check the cache: a previous flight for this key may
+		// have completed between our Get miss and Do.
+		if enc, ok := s.cache.Get(key); ok {
+			s.cacheHits.Add(1)
+			return experiments.Measurement{}, enc, nil
+		}
+		m, err := s.simulate(jr, job, scale)
+		if err != nil {
+			return experiments.Measurement{}, nil, err
+		}
+		enc, err := json.Marshal(m)
+		if err != nil {
+			return experiments.Measurement{}, nil, err
+		}
+		s.cache.Put(key, enc)
+		return m, enc, nil
+	})
+	if shared {
+		s.deduped.Add(1)
+	}
+	if err != nil {
+		return outcome{key: key, err: err}
+	}
+	return outcome{key: key, enc: enc, deduped: shared}
+}
+
+// simulate acquires a worker slot and runs one job under its time
+// budget, recording throughput bookkeeping.
+func (s *Server) simulate(jr JobRequest, job experiments.Job, scale workloads.Scale) (experiments.Measurement, error) {
+	if err := s.adm.AcquireRun(s.baseCtx); err != nil {
+		return experiments.Measurement{}, &simfault.TimeoutFault{
+			Origin: "simserver", Cause: "server shutting down: " + err.Error(),
+		}
+	}
+	defer s.adm.ReleaseRun()
+
+	ctx := s.baseCtx
+	timeout := s.cfg.JobTimeout
+	if jr.TimeoutMs > 0 {
+		timeout = time.Duration(jr.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	t0 := time.Now()
+	ms, err := s.runner(scale).RunJobsContext(ctx, 1, []experiments.Job{job})
+	s.observeJobTime(time.Since(t0))
+	if err != nil {
+		s.failed.Add(1)
+		// Strip the batch attribution wrapper: this is a single job and
+		// the response already names it.
+		var je *experiments.JobError
+		if errors.As(err, &je) {
+			err = je.Err
+		}
+		return experiments.Measurement{}, err
+	}
+	s.completed.Add(1)
+	return ms[0], nil
+}
+
+// observeJobTime folds a sample into the EWMA used for Retry-After.
+func (s *Server) observeJobTime(d time.Duration) {
+	for {
+		old := s.avgJobNs.Load()
+		next := int64(d)
+		if old > 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if s.avgJobNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, WireError{Status: http.StatusServiceUnavailable, Kind: KindDraining, Message: "server is draining"})
+		return
+	}
+	var jr JobRequest
+	if err := decodeBody(w, r, &jr); err != nil {
+		writeError(w, wireError(badRequest(err)))
+		return
+	}
+	scale, err := parseScale(jr.Scale, s.cfg.Scale)
+	if err != nil {
+		writeError(w, wireError(badRequest(err)))
+		return
+	}
+	if ok, backlog := s.adm.TryAdmit(1); !ok {
+		s.reject(w, backlog)
+		return
+	}
+	s.accepted.Add(1)
+	defer s.adm.Release(1)
+
+	out := s.execute(r.Context(), jr, scale)
+	if out.err != nil {
+		writeError(w, wireError(out.err))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResponse{
+		Key: out.key, Cached: out.cached, Deduped: out.deduped, Measurement: out.enc,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, WireError{Status: http.StatusServiceUnavailable, Kind: KindDraining, Message: "server is draining"})
+		return
+	}
+	var br BatchRequest
+	if err := decodeBody(w, r, &br); err != nil {
+		writeError(w, wireError(badRequest(err)))
+		return
+	}
+	scale, err := parseScale(br.Scale, s.cfg.Scale)
+	if err != nil {
+		writeError(w, wireError(badRequest(err)))
+		return
+	}
+	jobs, err := expandBatch(br, scale)
+	if err != nil {
+		writeError(w, wireError(badRequest(err)))
+		return
+	}
+	if len(jobs) > s.workers+s.cfg.Queue {
+		writeError(w, WireError{
+			Status: http.StatusBadRequest, Kind: KindBadRequest,
+			Message: fmt.Sprintf("batch of %d exceeds server capacity %d; split it", len(jobs), s.workers+s.cfg.Queue),
+		})
+		return
+	}
+	if ok, backlog := s.adm.TryAdmit(len(jobs)); !ok {
+		s.reject(w, backlog)
+		return
+	}
+	s.accepted.Add(int64(len(jobs)))
+
+	// Stream one NDJSON line per job as it completes, out of order.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	items := make(chan BatchItem)
+	for i := range jobs {
+		go func(i int) {
+			defer s.adm.Release(1)
+			jscale, serr := parseScale(jobs[i].Scale, scale)
+			var out outcome
+			if serr != nil {
+				out = outcome{err: badRequest(serr)}
+			} else {
+				out = s.execute(r.Context(), jobs[i], jscale)
+			}
+			it := BatchItem{Index: i, Key: out.key, Cached: out.cached, Deduped: out.deduped, Measurement: out.enc}
+			if out.err != nil {
+				we := wireError(out.err)
+				it.Error = &we
+				it.Measurement = nil
+			}
+			items <- it
+		}(i)
+	}
+	enc := json.NewEncoder(w)
+	for range jobs {
+		if err := enc.Encode(<-items); err != nil {
+			// Client went away; keep consuming so the workers finish
+			// and release their admission tokens.
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// expandBatch resolves a batch request to per-job requests.
+func expandBatch(br BatchRequest, scale workloads.Scale) ([]JobRequest, error) {
+	switch {
+	case br.Matrix != "" && len(br.Jobs) > 0:
+		return nil, errors.New("set either matrix or jobs, not both")
+	case br.Matrix == "fig8":
+		var jrs []JobRequest
+		for _, j := range experiments.Fig8Jobs(mem.DefaultHierConfig(), scale) {
+			jrs = append(jrs, JobRequest{Workload: j.Workload, Arch: j.Arch})
+		}
+		return jrs, nil
+	case br.Matrix != "":
+		return nil, fmt.Errorf("unknown matrix %q (want \"fig8\")", br.Matrix)
+	case len(br.Jobs) == 0:
+		return nil, errors.New("empty batch")
+	}
+	return br.Jobs, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	var cycles, insts int64
+	s.mu.Lock()
+	for _, r := range s.runners {
+		c, i := r.SimTotals()
+		cycles += c
+		insts += i
+	}
+	s.mu.Unlock()
+	wall := time.Since(s.start)
+	tp := stats.Throughput{SimCycles: cycles, SimInsts: insts, Wall: wall}
+	return MetricsSnapshot{
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Deduped:       s.deduped.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		InFlight:      int64(s.adm.InFlight()),
+		CacheEntries:  s.cache.Len(),
+		UptimeSeconds: wall.Seconds(),
+		SimCycles:     cycles,
+		SimInsts:      insts,
+		MCyclesPerSec: tp.CyclesPerSec() / 1e6,
+		SimMIPS:       tp.MIPS(),
+		Throughput:    tp.String(),
+	}
+}
+
+// reject answers 429 with a Retry-After estimate.
+func (s *Server) reject(w http.ResponseWriter, backlog int) {
+	s.rejected.Add(1)
+	secs := retryAfter(backlog, s.workers, time.Duration(s.avgJobNs.Load()))
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, WireError{
+		Status: http.StatusTooManyRequests, Kind: KindOverloaded,
+		Message: fmt.Sprintf("admission queue full (%d jobs in flight); retry in %ds", backlog, secs),
+	})
+}
+
+// --- plumbing ---
+
+// badRequestError marks request-shaped failures before a simulation
+// ever starts.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return badRequestError{err} }
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, we WireError) {
+	writeJSON(w, we.Status, ErrorBody{Err: we})
+}

@@ -1,0 +1,477 @@
+package simserver_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hidisc/internal/experiments"
+	"hidisc/internal/machine"
+	"hidisc/internal/mem"
+	"hidisc/internal/simclient"
+	"hidisc/internal/simfault"
+	"hidisc/internal/simserver"
+	"hidisc/internal/workloads"
+)
+
+// newTestServer starts a simserver on an ephemeral port.
+func newTestServer(t *testing.T, cfg simserver.Config) (*simserver.Server, *simclient.Client) {
+	t.Helper()
+	s := simserver.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, simclient.New(ts.URL)
+}
+
+func testConfig() simserver.Config {
+	cfg := simserver.DefaultConfig(workloads.ScaleTest)
+	cfg.Queue = 256 // admit several whole fig8 matrices at once
+	return cfg
+}
+
+// localFig8 runs the Figure 8 matrix on a sequential local runner and
+// returns the canonical JSON encoding of each measurement, in job
+// order — the reference the service must match byte for byte.
+func localFig8(t *testing.T) ([]experiments.Job, [][]byte) {
+	t.Helper()
+	r := experiments.NewRunner(workloads.ScaleTest)
+	jobs := experiments.Fig8Jobs(r.Hier, workloads.ScaleTest)
+	ms, err := r.RunJobs(1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, len(ms))
+	for i, m := range ms {
+		enc, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = enc
+	}
+	return jobs, want
+}
+
+// TestEndToEndFig8Concurrent is the acceptance test: four concurrent
+// remote clients submit the Figure 8 matrix; every response must be
+// byte-identical to the sequential local runner, identical in-flight
+// submissions must dedup (singleflight counter > 0, forced
+// deterministically by gating one job until the other clients join
+// it), and the admission/cache counters must reconcile.
+func TestEndToEndFig8Concurrent(t *testing.T) {
+	jobs, want := localFig8(t)
+	s, c := newTestServer(t, testConfig())
+
+	// Gate the first matrix job's singleflight leader until the other
+	// three clients have joined the same in-flight simulation.
+	target := jobs[0].Key()
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	simserver.SetLeadGate(s, func(key string) {
+		if key == target {
+			gateOnce.Do(func() { <-gate })
+		}
+	})
+	const clients = 4
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for simserver.FlightWaiters(s, target) < clients-1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		close(gate)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	type result struct {
+		items []simserver.BatchItem
+		err   error
+	}
+	results := make(chan result, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			items, errs, err := c.Batch(ctx, simserver.BatchRequest{Matrix: "fig8", Scale: "test"})
+			if err == nil {
+				err = errors.Join(errs...)
+			}
+			results <- result{items, err}
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		res := <-results
+		if res.err != nil {
+			t.Fatalf("client %d: %v", i, res.err)
+		}
+		if len(res.items) != len(jobs) {
+			t.Fatalf("client %d: %d items, want %d", i, len(res.items), len(jobs))
+		}
+		for _, it := range res.items {
+			if !bytes.Equal(it.Measurement, want[it.Index]) {
+				t.Errorf("job %d (%s on %s): remote measurement differs from local sequential run\nremote: %s\nlocal:  %s",
+					it.Index, jobs[it.Index].Workload, jobs[it.Index].Arch, it.Measurement, want[it.Index])
+			}
+			if it.Key != jobs[it.Index].Key() {
+				t.Errorf("job %d: key %s, want %s", it.Index, it.Key, jobs[it.Index].Key())
+			}
+		}
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Deduped == 0 {
+		t.Error("dedup counter is 0; concurrent identical submissions did not share a simulation")
+	}
+	if m.Accepted != int64(clients*len(jobs)) {
+		t.Errorf("accepted = %d, want %d", m.Accepted, clients*len(jobs))
+	}
+	if m.CacheHits+m.Deduped+m.Completed < int64(clients*len(jobs)) {
+		t.Errorf("counters don't cover the traffic: %+v", m)
+	}
+	if m.InFlight != 0 {
+		t.Errorf("inFlight = %d after all batches returned", m.InFlight)
+	}
+	if m.SimCycles == 0 || m.MCyclesPerSec == 0 {
+		t.Errorf("throughput metrics empty: %+v", m)
+	}
+}
+
+// TestSingleJobCacheAndDedupFlags pins the response metadata: a cold
+// job is neither cached nor deduped, an identical resubmission is a
+// cache hit, and the measurement bytes are identical in both.
+func TestSingleJobCacheAndDedupFlags(t *testing.T) {
+	_, c := newTestServer(t, testConfig())
+	ctx := context.Background()
+	req := simserver.JobRequest{Workload: "Pointer", Arch: machine.HiDISC}
+
+	first, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Deduped {
+		t.Errorf("cold job flagged cached=%v deduped=%v", first.Cached, first.Deduped)
+	}
+	again, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("identical resubmission missed the result cache")
+	}
+	if !bytes.Equal(first.Measurement, again.Measurement) {
+		t.Error("cached measurement differs from the original")
+	}
+	m, err := first.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workload != "Pointer" || m.Cycles <= 0 {
+		t.Errorf("implausible measurement %+v", m)
+	}
+}
+
+// TestBackpressure429 fills the admission queue (1 worker + 1 queue
+// slot, both held at the leader gate) and checks that the next
+// submission is shed with 429 + Retry-After instead of waiting.
+func TestBackpressure429(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Queue = 1
+	s, c := newTestServer(t, cfg)
+
+	gate := make(chan struct{})
+	simserver.SetLeadGate(s, func(string) { <-gate })
+	ctx := context.Background()
+
+	type done struct {
+		resp simserver.JobResponse
+		err  error
+	}
+	finished := make(chan done, 2)
+	submit := func(arch machine.Arch) {
+		resp, err := c.Run(ctx, simserver.JobRequest{Workload: "Pointer", Arch: arch})
+		finished <- done{resp, err}
+	}
+	go submit(machine.Superscalar)
+	go submit(machine.HiDISC)
+	deadline := time.Now().Add(30 * time.Second)
+	for s.InFlight() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.InFlight() != 2 {
+		t.Fatalf("in flight = %d, want 2", s.InFlight())
+	}
+
+	_, err := c.Run(ctx, simserver.JobRequest{Workload: "Pointer", Arch: machine.CPAP})
+	var apiErr *simclient.APIError
+	if !errors.As(err, &apiErr) || !apiErr.Overloaded() {
+		t.Fatalf("overloaded server answered %v, want 429", err)
+	}
+	if apiErr.RetryAfter < time.Second {
+		t.Errorf("Retry-After = %v, want >= 1s", apiErr.RetryAfter)
+	}
+	if !strings.Contains(apiErr.Wire.Message, "admission queue full") {
+		t.Errorf("unhelpful overload message %q", apiErr.Wire.Message)
+	}
+
+	close(gate) // let the held jobs run to completion
+	for i := 0; i < 2; i++ {
+		d := <-finished
+		if d.err != nil {
+			t.Errorf("admitted job failed after overload: %v", d.err)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", m.Rejected)
+	}
+}
+
+// TestGracefulDrain pins the shutdown contract: draining flips the
+// health probe to 503 and refuses new submissions while admitted jobs
+// run to completion and answer 200.
+func TestGracefulDrain(t *testing.T) {
+	s, c := newTestServer(t, testConfig())
+	gate := make(chan struct{})
+	simserver.SetLeadGate(s, func(string) { <-gate })
+	ctx := context.Background()
+
+	finished := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, simserver.JobRequest{Workload: "Pointer", Arch: machine.Superscalar})
+		finished <- err
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for s.InFlight() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	s.StartDraining()
+	if err := c.Healthz(ctx); err == nil {
+		t.Error("healthz reports live while draining")
+	} else {
+		var apiErr *simclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Errorf("draining healthz = %v, want 503", err)
+		}
+	}
+	_, err := c.Run(ctx, simserver.JobRequest{Workload: "Pointer", Arch: machine.HiDISC})
+	var apiErr *simclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable || apiErr.Wire.Kind != simserver.KindDraining {
+		t.Fatalf("draining server accepted a job: %v", err)
+	}
+
+	close(gate)
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-finished; err != nil {
+		t.Errorf("in-flight job failed during drain: %v", err)
+	}
+}
+
+// TestErrorMapping pins the typed-fault → HTTP contract, including the
+// downloadable forensic snapshot on simulation faults.
+func TestErrorMapping(t *testing.T) {
+	_, c := newTestServer(t, testConfig())
+	ctx := context.Background()
+
+	expect := func(t *testing.T, err error, status int, kind string) *simclient.APIError {
+		t.Helper()
+		var apiErr *simclient.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("got %v, want *APIError", err)
+		}
+		if apiErr.Status != status || apiErr.Wire.Kind != kind {
+			t.Fatalf("got HTTP %d kind %q (%s), want %d %q",
+				apiErr.Status, apiErr.Wire.Kind, apiErr.Wire.Message, status, kind)
+		}
+		return apiErr
+	}
+
+	t.Run("unknown workload", func(t *testing.T) {
+		_, err := c.Run(ctx, simserver.JobRequest{Workload: "Nonsense", Arch: machine.HiDISC})
+		expect(t, err, http.StatusBadRequest, simserver.KindBadRequest)
+	})
+	t.Run("unknown arch", func(t *testing.T) {
+		// The typed client can't even marshal an invalid Arch, so this
+		// server-side rejection needs a raw request.
+		resp, err := http.Post(c.BaseURL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"workload":"Pointer","arch":"vliw"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body simserver.ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest || body.Err.Kind != simserver.KindBadRequest {
+			t.Fatalf("got HTTP %d kind %q (%s), want 400 bad-request",
+				resp.StatusCode, body.Err.Kind, body.Err.Message)
+		}
+		if !strings.Contains(body.Err.Message, "superscalar") {
+			t.Errorf("message %q does not list the valid architectures", body.Err.Message)
+		}
+	})
+	t.Run("invalid hierarchy", func(t *testing.T) {
+		_, err := c.Run(ctx, simserver.JobRequest{
+			Workload: "Pointer", Arch: machine.HiDISC,
+			Hier: json.RawMessage(`{"memLatency":-5}`),
+		})
+		expect(t, err, http.StatusBadRequest, simserver.KindBadRequest)
+	})
+	t.Run("unknown matrix", func(t *testing.T) {
+		_, _, err := c.Batch(ctx, simserver.BatchRequest{Matrix: "fig99"})
+		expect(t, err, http.StatusBadRequest, simserver.KindBadRequest)
+	})
+	t.Run("injected deadlock maps to 422 with snapshot", func(t *testing.T) {
+		// Stall the AP's cache ports forever: the machine wedges and
+		// the watchdog raises a DeadlockFault with a forensic snapshot.
+		_, err := c.Run(ctx, simserver.JobRequest{
+			Workload: "Pointer", Arch: machine.CPAP,
+			Fault: simfault.NewInjector(1, simfault.Action{Kind: simfault.ActStallCachePort, Core: "ap", At: 100}),
+		})
+		apiErr := expect(t, err, http.StatusUnprocessableEntity, string(simfault.KindDeadlock))
+		if len(apiErr.Wire.Snapshot) == 0 {
+			t.Fatal("deadlock error carries no snapshot")
+		}
+		var snap simfault.Snapshot
+		if jerr := json.Unmarshal(apiErr.Wire.Snapshot, &snap); jerr != nil {
+			t.Fatalf("snapshot does not decode: %v", jerr)
+		}
+		if snap.Kind != simfault.KindDeadlock || len(snap.Cores) == 0 {
+			t.Errorf("snapshot lacks forensics: %+v", snap)
+		}
+	})
+	t.Run("cancelled job maps to 504", func(t *testing.T) {
+		_, err := c.Run(ctx, simserver.JobRequest{
+			Workload: "Pointer", Arch: machine.HiDISC, TimeoutMs: 1, Scale: "paper",
+		})
+		expect(t, err, http.StatusGatewayTimeout, string(simfault.KindTimeout))
+	})
+}
+
+// TestBatchHierOverride checks that batch jobs carry per-job
+// hierarchies (the Figure 10 sweep shape) and that measurements come
+// back in submission order with matching keys.
+func TestBatchHierOverride(t *testing.T) {
+	_, c := newTestServer(t, testConfig())
+	ctx := context.Background()
+
+	hier := mem.DefaultHierConfig()
+	jobs := experiments.Fig10Jobs("Pointer", hier, workloads.ScaleTest)[:4] // superscalar sweep
+	br := simserver.BatchRequest{Scale: "test"}
+	for _, j := range jobs {
+		br.Jobs = append(br.Jobs, simserver.JobRequest{
+			Workload: j.Workload, Arch: j.Arch, Hier: simserver.HierJSON(j.Hier),
+		})
+	}
+	ms, items, err := c.Measurements(ctx, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := experiments.NewRunner(workloads.ScaleTest)
+	want, err := r.RunJobs(1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if items[i].Key != jobs[i].Key() {
+			t.Errorf("job %d: key mismatch", i)
+		}
+		if ms[i].Cycles != want[i].Cycles {
+			t.Errorf("job %d: %d cycles remote, %d local", i, ms[i].Cycles, want[i].Cycles)
+		}
+		wantEnc, _ := json.Marshal(want[i])
+		if !bytes.Equal(items[i].Measurement, wantEnc) {
+			t.Errorf("job %d: measurement bytes differ from local run", i)
+		}
+	}
+	// The four latency points must be distinct simulations.
+	seen := map[string]bool{}
+	for _, it := range items {
+		if seen[it.Key] {
+			t.Errorf("duplicate key %s across distinct latency points", it.Key)
+		}
+		seen[it.Key] = true
+	}
+}
+
+// TestOversizedBatchRejected pins the capacity guard: a batch larger
+// than workers+queue can never be admitted, so it must be refused as a
+// bad request (not endlessly 429ed).
+func TestOversizedBatchRejected(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.Queue = 2
+	_, c := newTestServer(t, cfg)
+	br := simserver.BatchRequest{}
+	for i := 0; i < 4; i++ {
+		br.Jobs = append(br.Jobs, simserver.JobRequest{Workload: "Pointer", Arch: machine.HiDISC})
+	}
+	_, _, err := c.Batch(context.Background(), br)
+	var apiErr *simclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %v, want 400", err)
+	}
+	if !strings.Contains(apiErr.Wire.Message, "capacity") {
+		t.Errorf("message %q does not explain the capacity limit", apiErr.Wire.Message)
+	}
+}
+
+// TestFaultedJobsBypassCache: two identical fault-plan submissions
+// must both simulate (no cache pollution from perturbed runs), and a
+// healthy job with the same shape must not see their results.
+func TestFaultedJobsBypassCache(t *testing.T) {
+	_, c := newTestServer(t, testConfig())
+	ctx := context.Background()
+	// A benign perturbation that still completes: stall the core's
+	// cache ports briefly.
+	plan := simfault.NewInjector(7, simfault.Action{
+		Kind: simfault.ActStallCachePort, Core: "core", At: 10, Until: 200,
+	})
+	req := simserver.JobRequest{Workload: "Pointer", Arch: machine.Superscalar, Fault: plan}
+	first, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || second.Cached || first.Deduped || second.Deduped {
+		t.Error("faulted submissions used cache/dedup; they must bypass both")
+	}
+	if !bytes.Equal(first.Measurement, second.Measurement) {
+		t.Error("deterministic fault plan produced differing measurements")
+	}
+	healthy, err := c.Run(ctx, simserver.JobRequest{Workload: "Pointer", Arch: machine.Superscalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Cached {
+		t.Error("healthy job hit a cache entry created by a perturbed run")
+	}
+	if bytes.Equal(healthy.Measurement, first.Measurement) {
+		t.Error("perturbed and healthy measurements are identical; the fault plan was dropped")
+	}
+}
+
+func ExampleScaleName() {
+	fmt.Println(simserver.ScaleName(workloads.ScaleTest), simserver.ScaleName(workloads.ScalePaper))
+	// Output: test paper
+}
