@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json serve-smoke
+.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json serve-smoke trace-smoke
 
-ci: vet build test race fuzz-smoke bench-smoke serve-smoke
+ci: vet build test race fuzz-smoke bench-smoke serve-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,18 @@ bench-smoke:
 # hit, SIGTERM, and require a clean drain (exit 0).
 serve-smoke:
 	$(GO) run ./cmd/hidisc-serve -smoke
+
+# End-to-end telemetry smoke: run one workload with the machine trace
+# and interval timeline enabled, then validate the artifacts — the
+# trace must be loadable Chrome trace-event JSON and the timeline must
+# honour the sampler's row contract (boundary rows, ceil(cycles/
+# interval) count).
+trace-smoke:
+	rm -rf .smoke && mkdir -p .smoke
+	$(GO) run ./cmd/hidisc-sim -workload Pointer -scale test -arch hidisc \
+		-trace .smoke/trace.json -timeline .smoke/timeline.ndjson > /dev/null
+	$(GO) run ./cmd/hidisc-tracecheck -trace .smoke/trace.json -timeline .smoke/timeline.ndjson
+	rm -rf .smoke
 
 # Regenerate the committed per-run timing baseline. The Figure 8 matrix
 # runs sequentially at paper scale so wall times are comparable across

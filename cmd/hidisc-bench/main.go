@@ -26,8 +26,44 @@ import (
 	"hidisc/internal/simfault"
 	"hidisc/internal/simserver"
 	"hidisc/internal/stats"
+	"hidisc/internal/telemetry"
 	"hidisc/internal/workloads"
 )
+
+// validateTelemetryFlags rejects flag combinations that silently record
+// nothing: -trace and -timeline instrument the local simulator, so a
+// -remote run (where the simulations happen in another process) cannot
+// honour them.
+func validateTelemetryFlags(remote, trace, timeline string) error {
+	if remote == "" {
+		return nil
+	}
+	if trace != "" {
+		return fmt.Errorf("-trace records the local simulator and cannot be combined with -remote (the simulations run on %s)", remote)
+	}
+	if timeline != "" {
+		return fmt.Errorf("-timeline records the local simulator and cannot be combined with -remote (the simulations run on %s)", remote)
+	}
+	return nil
+}
+
+// writeTimelines exports every job's timeline into one NDJSON file;
+// the per-row label field identifies the job.
+func writeTimelines(path string, samplers []*telemetry.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, s := range samplers {
+		if err == nil {
+			err = s.Timeline().WriteNDJSON(f)
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	scale := flag.String("scale", "paper", "workload scale: test or paper")
@@ -44,12 +80,19 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort wedged simulations after this long (0 = no limit)")
 	dumpDir := flag.String("dump-on-fault", "", "write fault snapshots as JSON into this directory")
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle-cycle skipping (tick every cycle)")
+	traceFile := flag.String("trace", "", "write a machine-wide event trace of every simulation to FILE (forces -j 1)")
+	traceFormat := flag.String("trace-format", "", "trace encoding: perfetto (default) or ndjson")
+	timelineFile := flag.String("timeline", "", "write per-job interval time series as NDJSON to FILE (forces -j 1)")
+	timelineInterval := flag.Int64("timeline-interval", 0, "sampling interval in cycles (default 1024)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	benchJSON := flag.String("bench-json", "", "run the Figure 8 matrix sequentially and write per-run timings as JSON to this file")
 	flag.Parse()
 
 	faultDumpDir = *dumpDir
+	if err := validateTelemetryFlags(*remote, *traceFile, *timelineFile); err != nil {
+		fatal(err)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -77,6 +120,58 @@ func main() {
 	if *noSkip {
 		r.Configure = func(c *machine.Config) { c.NoSkip = true }
 	}
+	var tw *telemetry.TraceWriter
+	var samplers []*telemetry.Sampler
+	if *traceFile != "" || *timelineFile != "" {
+		format, err := telemetry.ParseFormat(*traceFormat)
+		if err != nil {
+			fatal(err)
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			tw = telemetry.NewTraceWriter(f, format)
+		}
+		// One machine at a time so trace sessions never interleave on the
+		// shared writer, and no memo so every job actually simulates (a
+		// memo hit would leave a silent hole in the trace).
+		r.Workers = 1
+		r.NoMemo = true
+		prev := r.Configure
+		var jobSeq int
+		r.Configure = func(c *machine.Config) {
+			if prev != nil {
+				prev(c)
+			}
+			jobSeq++
+			label := fmt.Sprintf("job%03d/%s", jobSeq, c.Arch)
+			if tw != nil {
+				c.Trace = tw.Session(label)
+			}
+			if *timelineFile != "" {
+				s := telemetry.NewSampler(*timelineInterval)
+				s.SetLabel(label)
+				c.Sampler = s
+				samplers = append(samplers, s)
+			}
+		}
+	}
+	finishTelemetry := func() {
+		if tw != nil {
+			if err := tw.Close(); err != nil {
+				fatal(fmt.Errorf("writing %s: %w", *traceFile, err))
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", *traceFile, tw.Events())
+		}
+		if *timelineFile != "" {
+			if err := writeTimelines(*timelineFile, samplers); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "timeline written to %s (%d jobs)\n", *timelineFile, len(samplers))
+		}
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -99,6 +194,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bench timings written to %s in %v\n",
 			*benchJSON, time.Since(start).Round(time.Millisecond))
+		finishTelemetry()
 		return
 	}
 
@@ -170,6 +266,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	finishTelemetry()
 	wall := time.Since(start)
 	if rem != nil {
 		if ms, err := rem.c.Metrics(ctx); err == nil {

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A -remote run executes its simulations in another process, so local
+// telemetry flags would silently record nothing; they must be refused
+// with an error naming the conflict.
+func TestRemoteRefusesTelemetryFlags(t *testing.T) {
+	cases := []struct {
+		remote, trace, timeline string
+		wantErr                 string
+	}{
+		{"", "", "", ""},
+		{"", "t.json", "tl.ndjson", ""},
+		{"http://host:8080", "", "", ""},
+		{"http://host:8080", "t.json", "", "-trace"},
+		{"http://host:8080", "", "tl.ndjson", "-timeline"},
+		{"http://host:8080", "t.json", "tl.ndjson", "-trace"},
+	}
+	for _, tc := range cases {
+		err := validateTelemetryFlags(tc.remote, tc.trace, tc.timeline)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateTelemetryFlags(%q, %q, %q) = %v, want nil", tc.remote, tc.trace, tc.timeline, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("validateTelemetryFlags(%q, %q, %q) accepted a conflicting combination", tc.remote, tc.trace, tc.timeline)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) || !strings.Contains(err.Error(), "-remote") {
+			t.Errorf("error %q should name both %s and -remote", err, tc.wantErr)
+		}
+	}
+}

@@ -28,10 +28,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,12 +59,17 @@ func main() {
 	if *scale == "test" {
 		sc = workloads.ScaleTest
 	}
+	// All operational output is structured JSON on stderr: the server's
+	// request/job logs and this process's lifecycle lines share one
+	// stream a log pipeline can ingest without parsing prose.
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg := simserver.Config{
 		Scale:        sc,
 		Workers:      *jobs,
 		Queue:        *queue,
 		CacheEntries: *cacheN,
 		JobTimeout:   *jobTimeout,
+		Logger:       logger,
 	}
 	if *smoke {
 		*addr = "127.0.0.1:0"
@@ -74,8 +82,8 @@ func main() {
 		fatal(err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(os.Stderr, "hidisc-serve: listening on http://%s (scale=%s)\n",
-		ln.Addr(), simserver.ScaleName(cfg.Scale))
+	logger.Info("listening", "url", fmt.Sprintf("http://%s", ln.Addr()),
+		"scale", simserver.ScaleName(cfg.Scale))
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -84,14 +92,14 @@ func main() {
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 
 	if *smoke {
-		go runSmoke(fmt.Sprintf("http://%s", ln.Addr()))
+		go runSmoke(fmt.Sprintf("http://%s", ln.Addr()), logger)
 	}
 
 	select {
 	case err := <-serveErr:
 		fatal(err)
 	case sig := <-sigs:
-		fmt.Fprintf(os.Stderr, "hidisc-serve: %v: draining (deadline %v)\n", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "deadline", *drain)
 	}
 
 	// Graceful drain: refuse new work, let admitted jobs finish.
@@ -101,12 +109,12 @@ func main() {
 	go func() {
 		// A second signal forces the issue immediately.
 		<-sigs
-		fmt.Fprintln(os.Stderr, "hidisc-serve: second signal: cancelling in-flight jobs")
+		logger.Warn("second signal: cancelling in-flight jobs")
 		srv.ForceCancel()
 	}()
 	drainErr := srv.Drain(ctx)
 	if drainErr != nil {
-		fmt.Fprintln(os.Stderr, "hidisc-serve:", drainErr)
+		logger.Error("drain failed", "err", drainErr.Error())
 		srv.ForceCancel()
 	}
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -117,12 +125,12 @@ func main() {
 	if drainErr != nil {
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "hidisc-serve: drained, bye")
+	logger.Info("drained, bye")
 }
 
 // runSmoke drives the self-test against the live server, then signals
 // the main goroutine to drain. Any failure exits non-zero immediately.
-func runSmoke(base string) {
+func runSmoke(base string, logger *slog.Logger) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	c := simclient.New(base)
@@ -161,11 +169,49 @@ func runSmoke(base string) {
 	if err != nil || mts.Completed < 1 || mts.CacheHits < 1 {
 		fatal(fmt.Errorf("smoke: metrics %+v: %v", mts, err))
 	}
-	fmt.Fprintf(os.Stderr, "hidisc-serve: smoke ok (%s on %s: %d cycles, cache hit confirmed); sending SIGTERM\n",
-		m.Workload, m.Arch, m.Cycles)
+	// The same endpoint, content-negotiated to the Prometheus text
+	// exposition, must carry the job-latency histogram.
+	if err := checkPromMetrics(ctx, base); err != nil {
+		fatal(fmt.Errorf("smoke: %w", err))
+	}
+	logger.Info("smoke ok; sending SIGTERM",
+		"workload", m.Workload, "arch", m.Arch, "cycles", m.Cycles)
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		fatal(fmt.Errorf("smoke: self-signal: %w", err))
 	}
+}
+
+// checkPromMetrics fetches /metrics with Accept: text/plain and
+// verifies the Prometheus view is served with the exposition
+// content-type and includes the job-latency histogram.
+func checkPromMetrics(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return fmt.Errorf("prom metrics content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"# TYPE hidisc_job_seconds histogram",
+		"hidisc_job_seconds_count",
+		"hidisc_jobs_completed_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			return fmt.Errorf("prom metrics missing %q", want)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ import (
 	"hidisc/internal/simfault"
 	"hidisc/internal/slicer"
 	"hidisc/internal/stats"
+	"hidisc/internal/telemetry"
 	"hidisc/internal/workloads"
 )
 
@@ -39,7 +40,11 @@ func main() {
 	l2lat := flag.Int("l2", 0, "override L2 latency (cycles)")
 	memlat := flag.Int("mem", 0, "override memory latency (cycles)")
 	maxInsts := flag.Uint64("max-insts", 1_000_000_000, "functional execution budget")
-	traceCycles := flag.Int64("trace", 0, "print a pipeline trace for the first N cycles")
+	traceCycles := flag.Int64("trace-cycles", 0, "print a text pipeline trace for the first N cycles")
+	traceFile := flag.String("trace", "", "write a machine-wide event trace to FILE")
+	traceFormat := flag.String("trace-format", "", "trace encoding: perfetto (default) or ndjson")
+	timelineFile := flag.String("timeline", "", "write interval time series to FILE (.csv for CSV, else NDJSON)")
+	timelineInterval := flag.Int64("timeline-interval", 0, "sampling interval in cycles (default 1024)")
 	compare := flag.Bool("compare", false, "run all four architectures and print a comparison table")
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle-cycle skipping (tick every cycle)")
 	timeout := flag.Duration("timeout", 0, "abort a wedged simulation after this long (0 = no limit)")
@@ -47,6 +52,13 @@ func main() {
 	flag.Parse()
 
 	faultDumpDir = *dumpDir
+	if *compare && (*traceFile != "" || *timelineFile != "") {
+		fatal(fmt.Errorf("-trace/-timeline record one machine; they cannot be combined with -compare"))
+	}
+	format, err := telemetry.ParseFormat(*traceFormat)
+	if err != nil {
+		fatal(err)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -55,7 +67,6 @@ func main() {
 	}
 
 	var p *isa.Program
-	var err error
 	switch {
 	case *workload != "":
 		sc := workloads.ScalePaper
@@ -135,22 +146,68 @@ func main() {
 		cfg.CP.Tracer = tr
 		cfg.AP.Tracer = tr
 	}
+	label := *workload
+	if label == "" && flag.NArg() == 1 {
+		label = filepath.Base(flag.Arg(0))
+	}
+	var tw *telemetry.TraceWriter
+	if *traceFile != "" {
+		f, ferr := os.Create(*traceFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		tw = telemetry.NewTraceWriter(f, format)
+		cfg.Trace = tw.Session(label + "/" + string(a))
+	}
+	if *timelineFile != "" {
+		cfg.Sampler = telemetry.NewSampler(*timelineInterval)
+		cfg.Sampler.SetLabel(label + "/" + string(a))
+	}
 	mach, err := machine.New(b, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	res, err := mach.RunContext(ctx)
+	if tw != nil {
+		if cerr := tw.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("writing %s: %w", *traceFile, cerr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
 	if res.MemHash != ref.MemHash {
 		fatal(fmt.Errorf("simulation memory image differs from the functional reference"))
 	}
+	if *timelineFile != "" {
+		if werr := writeTimeline(*timelineFile, cfg.Sampler.Timeline()); werr != nil {
+			fatal(werr)
+		}
+		fmt.Fprint(os.Stderr, stats.Sparklines(cfg.Sampler.Timeline()))
+	}
 
 	for _, line := range res.Output {
 		fmt.Println(line)
 	}
 	fmt.Fprint(os.Stderr, stats.Report{Result: res, SeqInsts: ref.Insts})
+}
+
+// writeTimeline exports a timeline, choosing CSV for a .csv path and
+// NDJSON otherwise.
+func writeTimeline(path string, tl *telemetry.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".csv" {
+		err = tl.WriteCSV(f)
+	} else {
+		err = tl.WriteNDJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func loadProgram(path string) (*isa.Program, error) {

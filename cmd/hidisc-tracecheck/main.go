@@ -1,0 +1,168 @@
+// Command hidisc-tracecheck validates telemetry artifacts produced by
+// hidisc-sim/hidisc-bench, so `make trace-smoke` can assert the
+// observability pipeline end to end instead of merely checking the
+// files exist:
+//
+//   - -trace FILE: the file must parse as Chrome trace-event JSON
+//     (what ui.perfetto.dev loads) with a non-empty traceEvents array
+//     containing duration slices, counters, and track metadata;
+//   - -timeline FILE: every NDJSON row must parse, and each labelled
+//     series must honour the sampler's row contract — boundary rows at
+//     (i+1)*interval and exactly ceil(lastCycle/interval) rows.
+//
+// Exit status 0 means all supplied artifacts validate; any violation
+// prints a diagnostic and exits 1.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	timelineFile := flag.String("timeline", "", "timeline NDJSON file to validate")
+	flag.Parse()
+
+	if *traceFile == "" && *timelineFile == "" {
+		fatal(fmt.Errorf("nothing to check: pass -trace and/or -timeline"))
+	}
+	if *traceFile != "" {
+		if err := checkTrace(*traceFile); err != nil {
+			fatal(fmt.Errorf("%s: %w", *traceFile, err))
+		}
+	}
+	if *timelineFile != "" {
+		if err := checkTimeline(*timelineFile); err != nil {
+			fatal(fmt.Errorf("%s: %w", *timelineFile, err))
+		}
+	}
+}
+
+// traceEvent is the subset of the Chrome trace-event schema the
+// checker inspects.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Pid  int    `json:"pid"`
+}
+
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+	phases := map[string]int{}
+	pids := map[int]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			return fmt.Errorf("event %d (%q) has no phase", i, ev.Name)
+		}
+		phases[ev.Ph]++
+		pids[ev.Pid] = true
+	}
+	// A usable machine trace always carries track metadata (M), at
+	// least one duration slice (X), and counter samples (C); a file
+	// with none of these renders as an empty screen in Perfetto.
+	for _, ph := range []string{"M", "X", "C"} {
+		if phases[ph] == 0 {
+			return fmt.Errorf("no %q-phase events (phases seen: %v)", ph, phases)
+		}
+	}
+	fmt.Printf("%s: ok (%d events, %d tracks, phases %v)\n", path, len(doc.TraceEvents), len(pids), phases)
+	return nil
+}
+
+// series accumulates one labelled timeline's rows in file order.
+type series struct {
+	interval int64
+	cycles   []int64
+}
+
+func checkTimeline(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	order := []string{}
+	byLabel := map[string]*series{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var row struct {
+			Cycle    int64  `json:"cycle"`
+			Interval int64  `json:"interval"`
+			Label    string `json:"label"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			return fmt.Errorf("line %d: not valid JSON: %w", line, err)
+		}
+		if row.Interval <= 0 {
+			return fmt.Errorf("line %d: interval %d", line, row.Interval)
+		}
+		s, ok := byLabel[row.Label]
+		if !ok {
+			s = &series{interval: row.Interval}
+			byLabel[row.Label] = s
+			order = append(order, row.Label)
+		}
+		if s.interval != row.Interval {
+			return fmt.Errorf("line %d: series %q changes interval %d -> %d", line, row.Label, s.interval, row.Interval)
+		}
+		s.cycles = append(s.cycles, row.Cycle)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if line == 0 {
+		return fmt.Errorf("no rows")
+	}
+
+	for _, label := range order {
+		s := byLabel[label]
+		last := s.cycles[len(s.cycles)-1]
+		// Row contract (see telemetry.Sampler): in-loop samples land
+		// exactly on interval boundaries, the final flush lands on the
+		// run's last cycle, and the total is ceil(last/interval).
+		want := (last + s.interval - 1) / s.interval
+		if int64(len(s.cycles)) != want {
+			return fmt.Errorf("series %q: %d rows, want ceil(%d/%d) = %d", label, len(s.cycles), last, s.interval, want)
+		}
+		for i, c := range s.cycles[:len(s.cycles)-1] {
+			if c != int64(i+1)*s.interval {
+				return fmt.Errorf("series %q row %d: cycle %d, want boundary %d", label, i, c, int64(i+1)*s.interval)
+			}
+		}
+		if last <= int64(len(s.cycles)-1)*s.interval {
+			return fmt.Errorf("series %q final row cycle %d does not extend past the last boundary", label, last)
+		}
+	}
+	fmt.Printf("%s: ok (%d rows, %d series)\n", path, line, len(order))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hidisc-tracecheck:", err)
+	os.Exit(1)
+}

@@ -565,7 +565,7 @@ func (c *Core) CycleEv(now int64) (int64, error) {
 	}
 	if !c.halted {
 		c.writeback(now)
-		c.releasePushes()
+		c.releasePushes(now)
 		if err := c.issue(now); err != nil {
 			return now + 1, fmt.Errorf("core %s: %w", c.cfg.Name, err)
 		}
@@ -711,6 +711,9 @@ func (c *Core) commitInsts(now int64) error {
 			if !p.q.Push(p.v) {
 				panic("cpu: push space vanished within commit")
 			}
+		}
+		if len(pushes) > 0 {
+			c.trace(now, StagePush, e, "")
 		}
 		e.pushed = true // the release list must not push this entry again
 		if c.deco[e.pc].hasQSrc {
@@ -864,7 +867,7 @@ func queuesHaveSpace(pushes []pushOp) bool {
 // (e.g. an Access Processor store whose datum the Computation
 // Processor has not produced yet), so pushing only at commit would
 // serialise the two streams into lockstep.
-func (c *Core) releasePushes() {
+func (c *Core) releasePushes(now int64) {
 	oldestUnresolved := int64(math.MaxInt64)
 	if c.nCtlPending > 0 {
 		for _, w := range c.window {
@@ -896,6 +899,9 @@ func (c *Core) releasePushes() {
 			if !p.q.Push(p.v) {
 				panic("cpu: push space vanished within release")
 			}
+		}
+		if len(pushes) > 0 {
+			c.trace(now, StagePush, e, "")
 		}
 		e.pushed = true
 		c.pushHead++

@@ -1,0 +1,193 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/isa"
+	"hidisc/internal/mem"
+	"hidisc/internal/queue"
+)
+
+// The tracer is the contract the machine-wide telemetry sink builds
+// on: every event kind the pipeline can produce must actually be
+// emitted, or the Perfetto view silently loses whole categories. These
+// tests drive real kernels and assert on the event stream.
+
+func countStages(evs []TraceEvent) map[Stage]int {
+	n := map[Stage]int{}
+	for _, ev := range evs {
+		n[ev.Stage]++
+	}
+	return n
+}
+
+// TestTracerSquashEvents runs the branchy superscalar kernel (its
+// data-dependent branches mispredict in steady state) and checks the
+// squash path reports events alongside the plain pipeline stages.
+func TestTracerSquashEvents(t *testing.T) {
+	tr := &CollectTracer{}
+	c, _ := steadyCore(t, allocLoopKernel, Config{Name: "ss", HasMem: true, Tracer: tr}, QueueSet{})
+
+	n := countStages(tr.Events)
+	for _, st := range []Stage{StageDispatch, StageIssue, StageComplete, StageCommit, StageSquash} {
+		if n[st] == 0 {
+			t.Errorf("no %s events in %d traced cycles", st, 20_000)
+		}
+	}
+	if got, want := uint64(n[StageCommit]), c.Stats().Committed; got != want {
+		t.Errorf("commit events %d != committed instructions %d", got, want)
+	}
+	// One squash event per mispredicting branch (the squashed younger
+	// instructions are implied, not individually traced).
+	if got, want := uint64(n[StageSquash]), c.Stats().Mispredicts; got != want {
+		t.Errorf("squash events %d != mispredicted branches %d", got, want)
+	}
+	found := false
+	for _, ev := range tr.Events {
+		if ev.Stage == StageSquash && strings.Contains(ev.Note, "mispredict") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no squash event carries a mispredict note")
+	}
+}
+
+// TestTracerPushAndRedirectEvents drives a CP/AP pair through their
+// architectural queues: the AP's queue pushes must emit StagePush, and
+// the CP's bcq — steered by CQ tokens against the fetch direction —
+// must emit StageRedirect when the token disagrees.
+func TestTracerPushAndRedirectEvents(t *testing.T) {
+	apSrc := `
+        .data
+buf:    .space 16384
+        .text
+main:   la   $r2, buf
+        li   $r1, 256
+loop:   lw   $LDQ, 0($r2)
+        sw   $SDQ, 4($r2)
+        addi $r2, $r2, 32
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        j    main
+`
+	cpSrc := `
+main:   li   $r4, 0
+loop:   add  $r4, $r4, $LDQ
+        xor  $SDQ, $r4, $r4
+        bcq  loop
+        j    main
+`
+	ap, err := asm.Assemble("ap", apSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ap.Insts {
+		if ap.Insts[i].Op == isa.BGTZ {
+			ap.Insts[i].Ann |= isa.AnnPushCQ
+		}
+	}
+	cp, err := asm.Assemble("cp", cpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	m.LoadSegment(isa.DataBase, ap.Data)
+	h, err := mem.NewHierarchy(mem.DefaultHierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldq := queue.New("ldq", 32)
+	sdq := queue.New("sdq", 32)
+	cq := queue.New("cq", 64)
+	cpTr, apTr := &CollectTracer{}, &CollectTracer{}
+	cpCore := New(Config{Name: "cp", WindowSize: 16, Tracer: cpTr}, cp, m, h, QueueSet{
+		Pop:  map[isa.Reg]*queue.Queue{isa.RegLDQ: ldq, isa.RegCQ: cq},
+		Push: map[isa.Reg]*queue.Queue{isa.RegSDQ: sdq},
+	})
+	apCore := New(Config{Name: "ap", HasMem: true, Tracer: apTr}, ap, m, h, QueueSet{
+		Pop:  map[isa.Reg]*queue.Queue{isa.RegSDQ: sdq},
+		Push: map[isa.Reg]*queue.Queue{isa.RegLDQ: ldq, isa.RegCQ: cq},
+	})
+	for cycle := int64(0); cycle < 30_000; cycle++ {
+		if err := cpCore.Cycle(cycle); err != nil {
+			t.Fatalf("cp cycle %d: %v", cycle, err)
+		}
+		if err := apCore.Cycle(cycle); err != nil {
+			t.Fatalf("ap cycle %d: %v", cycle, err)
+		}
+	}
+
+	apStages := countStages(apTr.Events)
+	if apStages[StagePush] == 0 {
+		t.Error("AP produced queue pushes but no StagePush events")
+	}
+	cpStages := countStages(cpTr.Events)
+	if cpStages[StagePush] == 0 {
+		t.Error("CP pushed the SDQ but emitted no StagePush events")
+	}
+	// Every core names itself in its events.
+	for _, ev := range apTr.Events {
+		if ev.Core != "ap" {
+			t.Fatalf("AP event attributed to core %q", ev.Core)
+		}
+	}
+}
+
+// TestTracerRedirectEvents forces the dispatch-redirect path: the CQ is
+// kept empty at fetch time (so the BCQ must predict) with the predictor
+// inverted via ForceMispredict, and the always-taken token is pushed
+// between cycles so the dispatch-time claim resolves immediately and
+// steers the front end against the fetch direction.
+func TestTracerRedirectEvents(t *testing.T) {
+	src := `
+main:   li   $r1, 0
+loop:   addi $r1, $r1, 1
+        bcq  loop
+        j    main
+`
+	p, err := asm.Assemble("cp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	h, err := mem.NewHierarchy(mem.DefaultHierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq := queue.New("cq", 8)
+	tr := &CollectTracer{}
+	c := New(Config{
+		Name:            "cp",
+		Tracer:          tr,
+		ForceMispredict: func(int64) bool { return true },
+	}, p, m, h, QueueSet{Pop: map[isa.Reg]*queue.Queue{isa.RegCQ: cq}})
+	for cycle := int64(0); cycle < 5_000; cycle++ {
+		if err := c.Cycle(cycle); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if cq.Avail() == 0 && !cq.Full() {
+			cq.Push(1) // always taken
+		}
+	}
+	n := countStages(tr.Events)
+	if c.Stats().DispatchRedirects == 0 {
+		t.Fatal("scenario produced no dispatch redirects; test setup is stale")
+	}
+	if got, want := uint64(n[StageRedirect]), c.Stats().DispatchRedirects; got != want {
+		t.Errorf("redirect events %d != dispatch redirects %d", got, want)
+	}
+	found := false
+	for _, ev := range tr.Events {
+		if ev.Stage == StageRedirect && strings.Contains(ev.Note, "token steers") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no redirect event carries a steering note")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+// Workload-level differential for the observability layer: attaching
+// the interval sampler AND the full trace sink must leave the
+// machine.Result bit-identical on every workload × architecture, both
+// with the idle-cycle fast-forward and without it. This is the paper
+// pipeline's guarantee that instrumented numbers are the real numbers.
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/telemetry"
+	"hidisc/internal/workloads"
+)
+
+func TestTelemetryDifferentialAllWorkloads(t *testing.T) {
+	r := NewRunner(workloads.ScaleTest)
+	for _, name := range workloads.Names() {
+		c, err := r.Compile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, arch := range machine.Arches {
+			for _, noSkip := range []bool{false, true} {
+				run := func(instrument bool) machine.Result {
+					cfg := machine.DefaultConfig(arch)
+					cfg.Hier = r.Hier
+					cfg.NoSkip = noSkip
+					var tw *telemetry.TraceWriter
+					if instrument {
+						cfg.Sampler = telemetry.NewSampler(1024)
+						tw = telemetry.NewTraceWriter(io.Discard, telemetry.FormatPerfetto)
+						cfg.Trace = tw.Session(name + "/" + string(arch))
+					}
+					m, err := machine.New(c.bundleFor(arch), cfg)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", name, arch, err)
+					}
+					res, err := m.Run()
+					if err != nil {
+						t.Fatalf("%s/%s (noSkip=%v instrument=%v): %v", name, arch, noSkip, instrument, err)
+					}
+					if tw != nil {
+						if err := tw.Close(); err != nil {
+							t.Fatalf("%s/%s: trace close: %v", name, arch, err)
+						}
+						if tw.Events() == 0 {
+							t.Errorf("%s/%s: instrumented run emitted no trace events", name, arch)
+						}
+					}
+					return res
+				}
+				instrumented := run(true)
+				plain := run(false)
+				if !reflect.DeepEqual(instrumented, plain) {
+					t.Errorf("%s/%s (noSkip=%v): telemetry perturbed the Result:\nwith:    %+v\nwithout: %+v",
+						name, arch, noSkip, instrumented, plain)
+				}
+			}
+		}
+	}
+}

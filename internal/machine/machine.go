@@ -26,6 +26,7 @@ import (
 	"hidisc/internal/queue"
 	"hidisc/internal/simfault"
 	"hidisc/internal/slicer"
+	"hidisc/internal/telemetry"
 )
 
 // Arch selects one of the four evaluated architectures.
@@ -71,6 +72,22 @@ type Config struct {
 	// tests pin this); the flag is the escape hatch and the reference
 	// semantics the skipper is checked against.
 	NoSkip bool
+
+	// Sampler, when non-nil, records interval time series over the run.
+	// The machine clocks it like any other component: its next boundary
+	// clamps the idle-cycle fast-forward so every interval edge is
+	// visited, and sampling at the top of the loop reads exactly the
+	// state a no-skip run would have there — Result stays bit-identical
+	// (pinned by the telemetry differential tests). Nil costs one
+	// pointer check per visited cycle.
+	Sampler *telemetry.Sampler
+
+	// Trace, when non-nil, receives every pipeline, queue and memory
+	// event: the machine wires it as each core's Tracer (unless the core
+	// config already has one), as every queue's Probe, and as the
+	// hierarchy's Probe. Pure observer; nil keeps all hooks at a single
+	// pointer check (pinned by the AllocsPerRun tests).
+	Trace *telemetry.Trace
 }
 
 // DefaultConfig returns the paper's Table 1 parameters for the given
@@ -144,6 +161,10 @@ type Machine struct {
 
 	queues map[string]*queue.Queue // by name, for fault injection
 
+	// sampleQueues lists the architectural queues the sampler records,
+	// in timeline column order (fixed at New).
+	sampleQueues []*queue.Queue
+
 	skipped int64 // cycles fast-forwarded instead of ticked
 
 	// epoch counts externally visible mutations of every architectural
@@ -173,6 +194,15 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 		}
 	}
 
+	// wireTrace points a core at the machine-wide trace sink. A tracer
+	// already present in the configuration (hidisc-sim's -trace-cycles
+	// text trace) wins — the two are alternative views of one stream.
+	wireTrace := func(cc *cpu.Config) {
+		if cfg.Trace != nil && cc.Tracer == nil {
+			cc.Tracer = cfg.Trace
+		}
+	}
+
 	// Slip-control queues: one per CMAS. Architectures without a CMP
 	// create them closed, so GETSCQ instructions in a CMAS-annotated
 	// bundle complete immediately.
@@ -194,6 +224,7 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 		wc.HasMem = true
 		wc.EnableTriggers = cfg.Arch == CPCMP
 		wireStorm(&wc)
+		wireTrace(&wc)
 		core := cpu.New(wc, b.Seq, m.mem, m.hier, cpu.QueueSet{SCQ: m.scq})
 		m.cores = append(m.cores, core)
 		if cfg.Arch == CPCMP {
@@ -211,6 +242,7 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 		cpc.HasMem = false
 		cpc.JCQMap = b.JCQTable()
 		wireStorm(&cpc)
+		wireTrace(&cpc)
 		cpCore := cpu.New(cpc, b.CS, m.mem, m.hier, cpu.QueueSet{
 			Pop:  map[isa.Reg]*queue.Queue{isa.RegLDQ: m.ldq, isa.RegCQ: m.cq},
 			Push: map[isa.Reg]*queue.Queue{isa.RegSDQ: m.sdq},
@@ -220,6 +252,7 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 		apc.HasMem = true
 		apc.EnableTriggers = cfg.Arch == HiDISC
 		wireStorm(&apc)
+		wireTrace(&apc)
 		apCore := cpu.New(apc, b.AS, m.mem, m.hier, cpu.QueueSet{
 			Pop:  map[isa.Reg]*queue.Queue{isa.RegSDQ: m.sdq},
 			Push: map[isa.Reg]*queue.Queue{isa.RegLDQ: m.ldq, isa.RegCQ: m.cq},
@@ -245,6 +278,25 @@ func New(b *slicer.Bundle, cfg Config) (*Machine, error) {
 		if m.cmp != nil {
 			m.cmp.AttachEvents(&m.epoch)
 		}
+	}
+	if cfg.Trace != nil {
+		for _, q := range m.queues {
+			q.SetProbe(cfg.Trace)
+		}
+		m.hier.SetProbe(cfg.Trace)
+	}
+	if m.ldq != nil {
+		m.sampleQueues = []*queue.Queue{m.ldq, m.sdq, m.cq}
+	}
+	if cfg.Sampler != nil {
+		var cores, qs []string
+		for _, c := range m.cores {
+			cores = append(cores, c.Name())
+		}
+		for _, q := range m.sampleQueues {
+			qs = append(qs, q.Name())
+		}
+		cfg.Sampler.Start(cores, qs)
 	}
 	return m, nil
 }
@@ -304,6 +356,16 @@ func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
 				Limit:    m.cfg.MaxCycles,
 				Snapshot: m.snapshot(simfault.KindCycleLimit, cycle),
 			}
+		}
+		// Telemetry observes the state as of the end of cycle-1, before
+		// any component ticks this cycle: at this point credited idle
+		// spans and ticked cycles have integrated identically, so an
+		// instrumented run samples exactly what a no-skip run would.
+		if m.cfg.Trace != nil {
+			m.cfg.Trace.SetNow(cycle)
+		}
+		if m.cfg.Sampler != nil && m.cfg.Sampler.Due(cycle) {
+			m.recordSample(cycle)
 		}
 		if m.cfg.Inject != nil {
 			m.injectTick(cycle)
@@ -385,6 +447,13 @@ func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
 					next = e
 				}
 			}
+			// The sampler is clocked like any component: never leap over
+			// an interval boundary it must observe.
+			if m.cfg.Sampler != nil {
+				if b := m.cfg.Sampler.Boundary(); b < next {
+					next = b
+				}
+			}
 			if n := next - cycle - 1; n > 0 {
 				// Credit the skipped idle cycles exactly as if ticked.
 				for _, c := range m.cores {
@@ -398,6 +467,13 @@ func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
 			}
 		}
 		cycle = next
+	}
+
+	// Flush the final (possibly partial) interval so the timeline ends
+	// at the run's cycle count; a run ending exactly on a boundary adds
+	// no extra row (Record drops zero-length intervals).
+	if m.cfg.Sampler != nil {
+		m.recordSample(cycle)
 	}
 
 	res = Result{
@@ -418,6 +494,33 @@ func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
 		res.LDQ, res.SDQ, res.CQ = m.ldq.Stats(), m.sdq.Stats(), m.cq.Stats()
 	}
 	return res, nil
+}
+
+// recordSample fills the sampler's scratch row with the machine's
+// cumulative counters at a boundary cycle. Everything read here is
+// already maintained by the components, so a sample is a handful of
+// copies — no per-sample work inside the cores.
+func (m *Machine) recordSample(cycle int64) {
+	s := m.cfg.Sampler
+	row := s.Row()
+	row.Cycle = cycle
+	for i, c := range m.cores {
+		st := c.Stats()
+		row.Cores[i] = telemetry.CoreSample{
+			Committed: st.Committed,
+			QueueWait: st.QueueWaitCycles,
+			MemWait:   st.MemWaitCycles,
+		}
+	}
+	for i, q := range m.sampleQueues {
+		row.Queues[i] = q.Len()
+	}
+	hs := m.hier.Stats()
+	row.L1DAccesses, row.L1DMisses = hs.L1D.DemandAccesses, hs.L1D.DemandMisses
+	row.L2Accesses, row.L2Misses = hs.L2.DemandAccesses, hs.L2.DemandMisses
+	row.PrefetchIssued, row.PrefetchUseful = hs.PrefetchIssued, hs.L1D.UsefulPrefetch
+	row.MSHR = m.hier.InFlight(cycle)
+	s.Record()
 }
 
 // triggerCoreHalted reports whether the processor that forks CMAS

@@ -1,0 +1,198 @@
+package machine
+
+// The telemetry layer's core guarantee: attaching a sampler and a full
+// trace sink must not change the simulation in any observable way. The
+// instrumented Result must be bit-identical to the plain run — with and
+// without the idle-cycle fast-forward — and the timeline must honour
+// the rows == ceil(cycles/interval) contract.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"testing"
+
+	"hidisc/internal/cpu"
+	"hidisc/internal/telemetry"
+)
+
+// runInstrumented runs a kernel with a sampler and trace attached and
+// returns the result plus the telemetry artefacts.
+func runInstrumented(t *testing.T, name string, arch Arch, noSkip bool, interval int64) (Result, *telemetry.Timeline, *bytes.Buffer) {
+	t.Helper()
+	withProfile := arch == CPCMP || arch == HiDISC
+	b := compileKernel(t, name, withProfile)
+	cfg := DefaultConfig(arch)
+	cfg.NoSkip = noSkip
+	cfg.Sampler = telemetry.NewSampler(interval)
+	var buf bytes.Buffer
+	tw := telemetry.NewTraceWriter(&buf, telemetry.FormatPerfetto)
+	cfg.Trace = tw.Session(name + "/" + string(arch))
+	m, err := New(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s/%s: %v", name, arch, err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res, cfg.Sampler.Timeline(), &buf
+}
+
+// runPlain is the uninstrumented reference.
+func runPlain(t *testing.T, name string, arch Arch, noSkip bool) Result {
+	t.Helper()
+	withProfile := arch == CPCMP || arch == HiDISC
+	b := compileKernel(t, name, withProfile)
+	cfg := DefaultConfig(arch)
+	cfg.NoSkip = noSkip
+	m, err := New(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s/%s: %v", name, arch, err)
+	}
+	return res
+}
+
+// TestTelemetryDoesNotPerturbResult is the determinism pin at machine
+// granularity: every kernel × architecture, instrumented vs plain,
+// under both loop modes.
+func TestTelemetryDoesNotPerturbResult(t *testing.T) {
+	for name := range kernels {
+		for _, arch := range Arches {
+			for _, noSkip := range []bool{false, true} {
+				res, _, _ := runInstrumented(t, name, arch, noSkip, 512)
+				ref := runPlain(t, name, arch, noSkip)
+				if !reflect.DeepEqual(res, ref) {
+					t.Errorf("%s/%s noSkip=%v: instrumented Result differs\nwith:    %+v\nwithout: %+v",
+						name, arch, noSkip, res, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestTimelineRowContract checks rows == ceil(cycles/interval), the
+// boundary placement, and that per-core committed deltas sum back to
+// the Result totals — under both loop modes, so the skip clamp provably
+// visits every interval edge.
+func TestTimelineRowContract(t *testing.T) {
+	const interval = 256
+	for _, noSkip := range []bool{false, true} {
+		res, tl, _ := runInstrumented(t, "convolution", HiDISC, noSkip, interval)
+		want := int((res.Cycles + interval - 1) / interval)
+		if tl.Rows() != want {
+			t.Fatalf("noSkip=%v: rows = %d, want ceil(%d/%d) = %d", noSkip, tl.Rows(), res.Cycles, interval, want)
+		}
+		for i := 0; i < tl.Rows()-1; i++ {
+			if tl.Cycle[i] != int64(i+1)*interval {
+				t.Errorf("noSkip=%v: row %d at cycle %d, want %d", noSkip, i, tl.Cycle[i], (i+1)*interval)
+			}
+		}
+		if tl.Cycle[tl.Rows()-1] != res.Cycles {
+			t.Errorf("noSkip=%v: final row at %d, want run end %d", noSkip, tl.Cycle[tl.Rows()-1], res.Cycles)
+		}
+		if len(tl.Cores) != len(res.Cores) {
+			t.Fatalf("timeline has %d cores, result has %d", len(tl.Cores), len(res.Cores))
+		}
+		for c, name := range tl.Cores {
+			var sum uint64
+			for _, d := range tl.CoreCommitted[c] {
+				sum += d
+			}
+			if sum != res.Cores[name].Committed {
+				t.Errorf("noSkip=%v: core %s committed deltas sum to %d, result says %d",
+					noSkip, name, sum, res.Cores[name].Committed)
+			}
+		}
+	}
+}
+
+// TestTimelineIdenticalAcrossSkipModes: the sampler must read the same
+// state at every boundary whether the machine ticked or fast-forwarded
+// its way there.
+func TestTimelineIdenticalAcrossSkipModes(t *testing.T) {
+	_, fast, _ := runInstrumented(t, "chase", CPAP, false, 128)
+	_, slow, _ := runInstrumented(t, "chase", CPAP, true, 128)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Error("timeline differs between skip and no-skip runs")
+	}
+}
+
+// TestMachineTraceIsValidPerfetto: a real machine run produces a
+// loadable Chrome trace-event file with pipeline slices from every
+// core and queue counter tracks.
+func TestMachineTraceIsValidPerfetto(t *testing.T) {
+	_, _, buf := runInstrumented(t, "convolution", CPAP, false, 1024)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("machine trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("machine run emitted no trace events")
+	}
+	slices, counters := 0, 0
+	tracks := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+		case "C":
+			counters++
+		case "M":
+			if ev["name"] == "thread_name" {
+				if a, ok := ev["args"].(map[string]any); ok {
+					if n, ok := a["name"].(string); ok {
+						tracks[n] = true
+					}
+				}
+			}
+		}
+	}
+	if slices == 0 || counters == 0 {
+		t.Errorf("trace has %d slices and %d counter samples; want both > 0", slices, counters)
+	}
+	for _, want := range []string{"cp", "ap"} {
+		if !tracks[want] {
+			t.Errorf("no %q pipeline track (tracks: %v)", want, tracks)
+		}
+	}
+}
+
+// TestExplicitTracerWins: a core tracer set in the config (hidisc-sim's
+// text trace) must not be displaced by the machine-wide sink.
+func TestExplicitTracerWins(t *testing.T) {
+	b := compileKernel(t, "branchy", false)
+	cfg := DefaultConfig(Superscalar)
+	var text bytes.Buffer
+	tt := &textTracerStub{w: &text}
+	cfg.Wide.Tracer = tt
+	tw := telemetry.NewTraceWriter(io.Discard, telemetry.FormatNDJSON)
+	cfg.Trace = tw.Session("x")
+	m, err := New(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tt.events == 0 {
+		t.Error("explicitly configured tracer received no events")
+	}
+}
+
+type textTracerStub struct {
+	w      io.Writer
+	events int
+}
+
+func (s *textTracerStub) Event(cpu.TraceEvent) { s.events++ }

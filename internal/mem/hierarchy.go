@@ -92,9 +92,26 @@ type Hierarchy struct {
 
 	l1BlockShift uint // log2(L1 block size), precomputed
 
+	// probe, when attached, observes miss/fill/prefetch traffic for the
+	// telemetry trace sink. Nil (the default) costs a pointer check per
+	// event site, pinned by the AllocsPerRun test.
+	probe Probe
+
 	memWritebacks  uint64
 	mergedHits     uint64
 	prefetchIssued uint64
+}
+
+// Probe observes memory-system events for the telemetry trace sink:
+// demand/prefetch misses per level, L1 fill reservations with their
+// completion cycle, prefetch issues, and the in-flight fill count
+// whenever it changes. Implementations are pure observers — they must
+// not touch the hierarchy or perturb timing.
+type Probe interface {
+	CacheMiss(level string, addr uint32, prefetch bool)
+	CacheFill(level string, addr uint32, readyAt int64)
+	PrefetchIssued(addr uint32)
+	MSHROccupancy(n int)
 }
 
 // NewHierarchy builds a hierarchy.
@@ -125,6 +142,9 @@ func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierConfig { return h.cfg }
 
+// SetProbe attaches an event observer (nil detaches).
+func (h *Hierarchy) SetProbe(p Probe) { h.probe = p }
+
 // Access simulates one data access issued at cycle now and returns the
 // cycle at which the data is available (loads) or the write is accepted
 // (stores). Prefetch accesses fill the caches and are tracked
@@ -132,11 +152,19 @@ func (h *Hierarchy) Config() HierConfig { return h.cfg }
 func (h *Hierarchy) Access(now int64, addr uint32, write, prefetch bool) int64 {
 	if prefetch {
 		h.prefetchIssued++
+		if h.probe != nil {
+			h.probe.PrefetchIssued(addr)
+		}
 	}
 	// Prune completed fills from the sorted front. This is driven purely
 	// by the access sequence, so skip and no-skip runs prune identically.
+	pruned := false
 	for len(h.mshr) > 0 && h.mshr[0].ready <= now {
 		h.mshr = h.mshr[:copy(h.mshr, h.mshr[1:])]
+		pruned = true
+	}
+	if pruned && h.probe != nil {
+		h.probe.MSHROccupancy(len(h.mshr))
 	}
 	l1lat := int64(h.cfg.L1D.Latency)
 	block := h.L1D.BlockAddr(addr)
@@ -153,8 +181,14 @@ func (h *Hierarchy) Access(now int64, addr uint32, write, prefetch bool) int64 {
 	}
 
 	// L1 miss: consult L2, fill both levels, record fill time.
+	if h.probe != nil {
+		h.probe.CacheMiss("l1d", addr, prefetch)
+	}
 	fill := l1lat + int64(h.cfg.L2.Latency)
 	if !h.L2.Access(addr, false, prefetch) {
+		if h.probe != nil {
+			h.probe.CacheMiss("l2", addr, prefetch)
+		}
 		fill += int64(h.cfg.MemLatency)
 		_, _, wb := h.L2.Fill(addr, false, prefetch)
 		if wb {
@@ -174,6 +208,10 @@ func (h *Hierarchy) Access(now int64, addr uint32, write, prefetch bool) int64 {
 	}
 	ready := now + fill
 	h.insertFill(block, ready)
+	if h.probe != nil {
+		h.probe.CacheFill("l1d", addr, ready)
+		h.probe.MSHROccupancy(len(h.mshr))
+	}
 	return ready
 }
 
@@ -221,6 +259,18 @@ func (h *Hierarchy) NextFill(now int64) int64 {
 		}
 	}
 	return math.MaxInt64
+}
+
+// InFlight returns how many L1 fills are outstanding at cycle now
+// (the MSHR occupancy the telemetry sampler records).
+func (h *Hierarchy) InFlight(now int64) int {
+	n := 0
+	for i := range h.mshr {
+		if h.mshr[i].ready > now {
+			n++
+		}
+	}
+	return n
 }
 
 // Present reports whether addr currently hits in L1 with its fill

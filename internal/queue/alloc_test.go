@@ -1,0 +1,56 @@
+package queue
+
+import "testing"
+
+// The queue sits on the cores' hot path; its operations must stay
+// allocation-free with telemetry detached (the nil probe check is the
+// entire overhead). Pinned so a probe-related regression fails loudly.
+func TestQueueOpsDoNotAllocate(t *testing.T) {
+	q := New("q", 16)
+	var epoch int64
+	q.SetEpoch(&epoch)
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			if !q.Push(uint64(i)) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 8; i++ {
+			s := q.Claim()
+			if !q.Ready(s) {
+				t.Fatal("claimed value not ready")
+			}
+			_ = q.ValueAt(s)
+			q.Free(s)
+		}
+		q.Tick(3)
+	})
+	if avg != 0 {
+		t.Errorf("queue ops: %.2f allocs per run with nil probe, want 0", avg)
+	}
+}
+
+// An attached probe may observe without forcing the queue itself to
+// allocate: the events carry only the name and an int.
+type countProbe struct{ pushes, pops int }
+
+func (p *countProbe) QueuePush(string, int) { p.pushes++ }
+func (p *countProbe) QueuePop(string, int)  { p.pops++ }
+
+func TestQueueProbeSeesTraffic(t *testing.T) {
+	q := New("q", 4)
+	p := &countProbe{}
+	q.SetProbe(p)
+	q.Push(1)
+	q.Push(2)
+	s := q.Claim()
+	q.Free(s)
+	if p.pushes != 2 || p.pops != 1 {
+		t.Errorf("probe saw %d pushes, %d pops; want 2, 1", p.pushes, p.pops)
+	}
+	q.SetProbe(nil)
+	q.Push(3)
+	if p.pushes != 2 {
+		t.Error("detached probe still receiving events")
+	}
+}

@@ -45,7 +45,22 @@ type Queue struct {
 	// queue a component could be waiting on has changed state.
 	epoch *int64
 
+	// probe, when attached, observes data movement for the machine-wide
+	// trace sink. Nil (the default) costs one pointer check per push and
+	// free, pinned by the AllocsPerRun test.
+	probe Probe
+
 	stats Stats
+}
+
+// Probe observes a queue's externally visible data events for the
+// telemetry trace sink: a successful push and a storage release
+// (free), each reporting the occupancy after the event. Implementations
+// must be fast and must not touch the queue — they run inside the
+// simulation loop and must not perturb results.
+type Probe interface {
+	QueuePush(name string, occupancy int)
+	QueuePop(name string, occupancy int)
 }
 
 // Stats counts queue traffic for the simulator's reports.
@@ -70,6 +85,9 @@ func New(name string, capacity int) *Queue {
 // it, so a component that snapshotted the counter during an idle cycle
 // can prove "no queue changed since" with a single comparison.
 func (q *Queue) SetEpoch(p *int64) { q.epoch = p }
+
+// SetProbe attaches an event observer (nil detaches).
+func (q *Queue) SetProbe(p Probe) { q.probe = p }
 
 func (q *Queue) bump() {
 	if q.epoch != nil {
@@ -132,6 +150,9 @@ func (q *Queue) Push(v uint64) bool {
 	if n := q.Len(); n > q.stats.MaxOccupancy {
 		q.stats.MaxOccupancy = n
 	}
+	if q.probe != nil {
+		q.probe.QueuePush(q.name, q.Len())
+	}
 	return true
 }
 
@@ -192,6 +213,9 @@ func (q *Queue) Free(seq int64) {
 	}
 	q.head++
 	q.bump()
+	if q.probe != nil {
+		q.probe.QueuePop(q.name, q.Len())
+	}
 }
 
 // PeekFuture inspects the value the (claims+k)-th pop will return, if

@@ -128,10 +128,13 @@ func (it BatchItem) Decode() (experiments.Measurement, error) {
 // the forensics that -dump-on-fault writes locally are downloadable
 // from the service.
 type WireError struct {
-	Status   int             `json:"status"`
-	Kind     string          `json:"kind"`
-	Message  string          `json:"message"`
-	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	Status  int    `json:"status"`
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// RequestID echoes the X-Request-Id the server assigned, so a
+	// failure can be correlated with the server's structured logs.
+	RequestID string          `json:"requestId,omitempty"`
+	Snapshot  json.RawMessage `json:"snapshot,omitempty"`
 }
 
 func (e *WireError) Error() string {

@@ -1,0 +1,68 @@
+package simserver
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// ctxKey is the private context-key namespace.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// RequestIDFrom returns the request ID the observability middleware
+// assigned, or "" outside a request context.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// statusWriter captures the response status for the access log while
+// forwarding the Flusher capability the batch NDJSON stream needs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withObservability assigns each request an ID — returned in the
+// X-Request-Id header, threaded through the context into job execution
+// and error bodies — and emits one structured access-log line per
+// request.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id)))
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("requestId", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", time.Since(t0).Round(time.Microsecond)),
+		)
+	})
+}
+
+// discardLogger is the default when Config.Logger is nil: structured
+// calls stay cheap and tests stay quiet. (slog.DiscardHandler needs a
+// newer toolchain than go.mod promises.)
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewJSONHandler(io.Discard, nil))
+}

@@ -1,0 +1,94 @@
+package simserver
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a fixed-bucket latency histogram with lock-free
+// observation, rendered in the Prometheus exposition format. Bounds are
+// upper bucket edges in seconds; an implicit +Inf bucket catches the
+// tail. Sum is kept in integer nanoseconds so Observe stays a pair of
+// atomic adds.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumNs  atomic.Int64
+	total  atomic.Int64
+}
+
+// jobLatencyBounds covers simulated-job wall times from sub-millisecond
+// test-scale runs to minute-long paper-scale sweeps.
+var jobLatencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// queueWaitBounds covers admission-queue waits: usually ~0, up to the
+// Retry-After ceiling under load.
+var queueWaitBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 5, 30,
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *histogram) Observe(d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && secs > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.total.Add(1)
+}
+
+// write renders the histogram in exposition format under the given
+// metric name. Bucket counts are cumulative per the format.
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(h.sumNs.Load())/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total.Load())
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writePrometheus renders the full metric set — the same counters the
+// JSON MetricsSnapshot reports, plus the two latency histograms — in
+// the Prometheus text exposition format (version 0.0.4).
+func (s *Server) writePrometheus(w io.Writer) {
+	m := s.Metrics()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, v)
+	}
+	counter("hidisc_jobs_accepted_total", "Jobs admitted past the bounded queue.", m.Accepted)
+	counter("hidisc_jobs_rejected_total", "Submissions answered 429 by admission control.", m.Rejected)
+	counter("hidisc_jobs_deduped_total", "Submissions that shared another in-flight simulation.", m.Deduped)
+	counter("hidisc_jobs_cache_hits_total", "Submissions answered from the result cache.", m.CacheHits)
+	counter("hidisc_jobs_completed_total", "Jobs that finished successfully.", m.Completed)
+	counter("hidisc_jobs_failed_total", "Jobs that finished with a fault.", m.Failed)
+	counter("hidisc_sim_cycles_total", "Machine cycles simulated since startup.", m.SimCycles)
+	counter("hidisc_sim_insts_total", "Instructions committed by simulations since startup.", m.SimInsts)
+	gauge("hidisc_jobs_in_flight", "Jobs admitted and not yet finished.", strconv.FormatInt(m.InFlight, 10))
+	gauge("hidisc_cache_entries", "Result-cache population.", strconv.Itoa(m.CacheEntries))
+	gauge("hidisc_uptime_seconds", "Seconds since the server started.", formatFloat(m.UptimeSeconds))
+	s.jobSeconds.write(w, "hidisc_job_seconds", "Wall time of executed simulation jobs.")
+	s.queueWaitSeconds.write(w, "hidisc_job_queue_wait_seconds", "Time jobs waited for a worker slot.")
+}

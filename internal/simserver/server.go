@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +37,9 @@ type Config struct {
 	// JobTimeout bounds each simulation's wall time (0 = unbounded);
 	// requests may override per job via TimeoutMs.
 	JobTimeout time.Duration
+	// Logger receives structured request/job logs. Nil logs nowhere
+	// (handy for tests); hidisc-serve passes a JSON handler on stderr.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns production-shaped defaults at the given scale.
@@ -78,6 +83,12 @@ type Server struct {
 	failed    atomic.Int64
 	avgJobNs  atomic.Int64 // EWMA of executed-job wall time
 
+	logger *slog.Logger
+	reqSeq atomic.Int64 // request-ID source
+
+	jobSeconds       *histogram // executed-job wall time
+	queueWaitSeconds *histogram // wait for a worker slot
+
 	// leadGate, when non-nil, is called by a singleflight leader after
 	// it has registered its key and before it simulates. Tests use it
 	// to hold a job in flight deterministically.
@@ -93,6 +104,10 @@ func New(cfg Config) *Server {
 	if cfg.Queue < 0 {
 		cfg.Queue = 0
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = discardLogger()
+	}
 	return &Server{
 		cfg:        cfg,
 		workers:    workers,
@@ -103,6 +118,10 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		cancelJobs: cancel,
 		runners:    map[workloads.Scale]*experiments.Runner{},
+
+		logger:           logger,
+		jobSeconds:       newHistogram(jobLatencyBounds),
+		queueWaitSeconds: newHistogram(queueWaitBounds),
 	}
 }
 
@@ -119,20 +138,25 @@ func (s *Server) runner(scale workloads.Scale) *experiments.Runner {
 	return r
 }
 
-// Handler returns the server's route table.
+// Handler returns the server's route table, wrapped in the
+// observability middleware (request IDs + structured access log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.withObservability(mux)
 }
 
 // StartDraining flips the server into drain mode: the liveness probe
 // goes 503 (so load balancers stop routing here) and new submissions
 // are refused, while admitted jobs run to completion.
-func (s *Server) StartDraining() { s.draining.Store(true) }
+func (s *Server) StartDraining() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.logger.Info("drain started", "inFlight", s.adm.InFlight())
+	}
+}
 
 // Draining reports drain mode.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -208,7 +232,7 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 	if jr.Fault != nil {
 		inj := *jr.Fault
 		job.Configure = func(c *machine.Config) { c.Inject = &inj }
-		m, err := s.simulate(jr, job, scale)
+		m, err := s.simulate(reqCtx, jr, job, scale)
 		if err != nil {
 			return outcome{key: key, err: err}
 		}
@@ -234,7 +258,7 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 			s.cacheHits.Add(1)
 			return experiments.Measurement{}, enc, nil
 		}
-		m, err := s.simulate(jr, job, scale)
+		m, err := s.simulate(reqCtx, jr, job, scale)
 		if err != nil {
 			return experiments.Measurement{}, nil, err
 		}
@@ -255,13 +279,17 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 }
 
 // simulate acquires a worker slot and runs one job under its time
-// budget, recording throughput bookkeeping.
-func (s *Server) simulate(jr JobRequest, job experiments.Job, scale workloads.Scale) (experiments.Measurement, error) {
+// budget, recording throughput bookkeeping and latency histograms.
+// reqCtx carries only observability state (the request ID); the
+// simulation itself runs under the server's base context.
+func (s *Server) simulate(reqCtx context.Context, jr JobRequest, job experiments.Job, scale workloads.Scale) (experiments.Measurement, error) {
+	tq := time.Now()
 	if err := s.adm.AcquireRun(s.baseCtx); err != nil {
 		return experiments.Measurement{}, &simfault.TimeoutFault{
 			Origin: "simserver", Cause: "server shutting down: " + err.Error(),
 		}
 	}
+	s.queueWaitSeconds.Observe(time.Since(tq))
 	defer s.adm.ReleaseRun()
 
 	ctx := s.baseCtx
@@ -277,7 +305,9 @@ func (s *Server) simulate(jr JobRequest, job experiments.Job, scale workloads.Sc
 
 	t0 := time.Now()
 	ms, err := s.runner(scale).RunJobsContext(ctx, 1, []experiments.Job{job})
-	s.observeJobTime(time.Since(t0))
+	wall := time.Since(t0)
+	s.observeJobTime(wall)
+	s.jobSeconds.Observe(wall)
 	if err != nil {
 		s.failed.Add(1)
 		// Strip the batch attribution wrapper: this is a single job and
@@ -286,9 +316,25 @@ func (s *Server) simulate(jr JobRequest, job experiments.Job, scale workloads.Sc
 		if errors.As(err, &je) {
 			err = je.Err
 		}
+		attrs := []any{
+			"requestId", RequestIDFrom(reqCtx),
+			"workload", job.Workload, "arch", string(job.Arch),
+			"wall", wall.Round(time.Microsecond),
+		}
+		if kind, ok := simfault.KindOf(err); ok {
+			attrs = append(attrs, "fault", string(kind))
+			if snap := simfault.SnapshotOf(err); snap != nil {
+				attrs = append(attrs, "faultCycle", snap.Cycle)
+			}
+		}
+		s.logger.Error("job failed", attrs...)
 		return experiments.Measurement{}, err
 	}
 	s.completed.Add(1)
+	s.logger.Info("job completed",
+		"requestId", RequestIDFrom(reqCtx),
+		"workload", job.Workload, "arch", string(job.Arch),
+		"cycles", ms[0].Cycles, "wall", wall.Round(time.Microsecond))
 	return ms[0], nil
 }
 
@@ -310,21 +356,21 @@ func (s *Server) observeJobTime(d time.Duration) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeError(w, WireError{Status: http.StatusServiceUnavailable, Kind: KindDraining, Message: "server is draining"})
+		s.writeError(w, r, WireError{Status: http.StatusServiceUnavailable, Kind: KindDraining, Message: "server is draining"})
 		return
 	}
 	var jr JobRequest
 	if err := decodeBody(w, r, &jr); err != nil {
-		writeError(w, wireError(badRequest(err)))
+		s.writeError(w, r, wireError(badRequest(err)))
 		return
 	}
 	scale, err := parseScale(jr.Scale, s.cfg.Scale)
 	if err != nil {
-		writeError(w, wireError(badRequest(err)))
+		s.writeError(w, r, wireError(badRequest(err)))
 		return
 	}
 	if ok, backlog := s.adm.TryAdmit(1); !ok {
-		s.reject(w, backlog)
+		s.reject(w, r, backlog)
 		return
 	}
 	s.accepted.Add(1)
@@ -332,7 +378,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 	out := s.execute(r.Context(), jr, scale)
 	if out.err != nil {
-		writeError(w, wireError(out.err))
+		s.writeError(w, r, wireError(out.err))
 		return
 	}
 	writeJSON(w, http.StatusOK, JobResponse{
@@ -342,33 +388,33 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeError(w, WireError{Status: http.StatusServiceUnavailable, Kind: KindDraining, Message: "server is draining"})
+		s.writeError(w, r, WireError{Status: http.StatusServiceUnavailable, Kind: KindDraining, Message: "server is draining"})
 		return
 	}
 	var br BatchRequest
 	if err := decodeBody(w, r, &br); err != nil {
-		writeError(w, wireError(badRequest(err)))
+		s.writeError(w, r, wireError(badRequest(err)))
 		return
 	}
 	scale, err := parseScale(br.Scale, s.cfg.Scale)
 	if err != nil {
-		writeError(w, wireError(badRequest(err)))
+		s.writeError(w, r, wireError(badRequest(err)))
 		return
 	}
 	jobs, err := expandBatch(br, scale)
 	if err != nil {
-		writeError(w, wireError(badRequest(err)))
+		s.writeError(w, r, wireError(badRequest(err)))
 		return
 	}
 	if len(jobs) > s.workers+s.cfg.Queue {
-		writeError(w, WireError{
+		s.writeError(w, r, WireError{
 			Status: http.StatusBadRequest, Kind: KindBadRequest,
 			Message: fmt.Sprintf("batch of %d exceeds server capacity %d; split it", len(jobs), s.workers+s.cfg.Queue),
 		})
 		return
 	}
 	if ok, backlog := s.adm.TryAdmit(len(jobs)); !ok {
-		s.reject(w, backlog)
+		s.reject(w, r, backlog)
 		return
 	}
 	s.accepted.Add(int64(len(jobs)))
@@ -392,6 +438,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			it := BatchItem{Index: i, Key: out.key, Cached: out.cached, Deduped: out.deduped, Measurement: out.enc}
 			if out.err != nil {
 				we := wireError(out.err)
+				we.RequestID = RequestIDFrom(r.Context())
 				it.Error = &we
 				it.Measurement = nil
 			}
@@ -430,8 +477,26 @@ func expandBatch(br BatchRequest, scale workloads.Scale) ([]JobRequest, error) {
 	return br.Jobs, nil
 }
 
+// handleMetrics content-negotiates between the JSON MetricsSnapshot
+// (the default, what simclient consumes) and the Prometheus text
+// exposition (Accept: text/plain — what a scraper sends — or an
+// explicit ?format=prom). Both views are rendered from one snapshot,
+// so the counters always agree.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	format := r.URL.Query().Get("format")
+	switch {
+	case format == "prom",
+		format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain"):
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writePrometheus(w)
+	case format == "" || format == "json":
+		writeJSON(w, http.StatusOK, s.Metrics())
+	default:
+		s.writeError(w, r, WireError{
+			Status: http.StatusBadRequest, Kind: KindBadRequest,
+			Message: fmt.Sprintf("unknown metrics format %q (want \"json\" or \"prom\")", format),
+		})
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -473,11 +538,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 }
 
 // reject answers 429 with a Retry-After estimate.
-func (s *Server) reject(w http.ResponseWriter, backlog int) {
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, backlog int) {
 	s.rejected.Add(1)
 	secs := retryAfter(backlog, s.workers, time.Duration(s.avgJobNs.Load()))
+	s.logger.Warn("admission rejected",
+		"requestId", RequestIDFrom(r.Context()), "backlog", backlog, "retryAfterSeconds", secs)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeError(w, WireError{
+	s.writeError(w, r, WireError{
 		Status: http.StatusTooManyRequests, Kind: KindOverloaded,
 		Message: fmt.Sprintf("admission queue full (%d jobs in flight); retry in %ds", backlog, secs),
 	})
@@ -506,6 +573,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, we WireError) {
+// writeError stamps the request ID onto the wire error so a client can
+// quote it back when reporting a failure, logs it, and renders the
+// standard error body.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, we WireError) {
+	we.RequestID = RequestIDFrom(r.Context())
+	level := slog.LevelWarn
+	if we.Status >= http.StatusInternalServerError {
+		level = slog.LevelError
+	}
+	s.logger.Log(r.Context(), level, "request error",
+		"requestId", we.RequestID, "status", we.Status, "kind", we.Kind, "message", we.Message)
 	writeJSON(w, we.Status, ErrorBody{Err: we})
 }

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"hidisc/internal/telemetry"
+)
+
+// sparkRunes are the eight block-element levels of a sparkline cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkWidth caps a sparkline at a terminal-friendly width; longer
+// timelines are downsampled by averaging fixed-size buckets.
+const sparkWidth = 60
+
+// sparkline renders a series as block elements scaled to its own
+// [min, max] range. A flat series renders at the lowest level.
+func sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	vs = downsample(vs, sparkWidth)
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range vs {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[i])
+	}
+	return sb.String()
+}
+
+// downsample averages the series into at most width buckets.
+func downsample(vs []float64, width int) []float64 {
+	if len(vs) <= width {
+		return vs
+	}
+	out := make([]float64, width)
+	for i := range out {
+		a, b := i*len(vs)/width, (i+1)*len(vs)/width
+		var sum float64
+		for _, v := range vs[a:b] {
+			sum += v
+		}
+		out[i] = sum / float64(b-a)
+	}
+	return out
+}
+
+func seriesStats(vs []float64) (lo, hi, last float64) {
+	if len(vs) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return lo, hi, vs[len(vs)-1]
+}
+
+func ints(vs []int) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func uints(vs []uint64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Sparklines renders a recorded timeline as a compact per-series table:
+// one sparkline per core IPC / LOD fraction / memory-wait fraction,
+// per-queue occupancy, cache miss rates and MSHR occupancy, each with
+// its min/max/last values. Intended for a quick terminal read after a
+// run; the NDJSON/CSV export carries the full-resolution data.
+func Sparklines(tl *telemetry.Timeline) string {
+	if tl == nil || tl.Rows() == 0 {
+		return "timeline: no samples recorded\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %d intervals of %d cycles", tl.Rows(), tl.Interval)
+	if tl.Label != "" {
+		fmt.Fprintf(&sb, " (%s)", tl.Label)
+	}
+	sb.WriteString("\n")
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	row := func(name string, vs []float64) {
+		lo, hi, last := seriesStats(vs)
+		fmt.Fprintf(w, "  %s\t%s\tmin %.3f\tmax %.3f\tlast %.3f\n", name, sparkline(vs), lo, hi, last)
+	}
+	for i, core := range tl.Cores {
+		row(core+" ipc", tl.CoreIPC[i])
+		row(core+" lod", tl.CoreLOD[i])
+		row(core+" memwait", tl.CoreMemWait[i])
+	}
+	for i, q := range tl.Queues {
+		row(q+" occ", ints(tl.QueueOcc[i]))
+	}
+	row("l1d miss", tl.L1DMissRate)
+	row("l2 miss", tl.L2MissRate)
+	row("mshr", ints(tl.MSHROcc))
+	row("prefetch", uints(tl.PrefetchIssued))
+	w.Flush()
+	return sb.String()
+}

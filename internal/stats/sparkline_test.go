@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"hidisc/internal/telemetry"
+)
+
+func TestSparklineScalesAndDownsamples(t *testing.T) {
+	if got := sparkline([]float64{0, 1}); got != "▁█" {
+		t.Errorf("two-point spark = %q, want low then high", got)
+	}
+	if got := sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat spark = %q, want all-low", got)
+	}
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := sparkline(long); len([]rune(got)) != sparkWidth {
+		t.Errorf("downsampled spark has %d cells, want %d", len([]rune(got)), sparkWidth)
+	}
+	if sparkline(nil) != "" {
+		t.Error("empty series should render empty")
+	}
+}
+
+func TestSparklinesTable(t *testing.T) {
+	s := telemetry.NewSampler(100)
+	s.SetLabel("conv/hidisc")
+	s.Start([]string{"cp", "ap"}, []string{"ldq"})
+	for _, cycle := range []int64{100, 200, 300} {
+		r := s.Row()
+		r.Cycle = cycle
+		r.Cores[0].Committed = uint64(cycle)
+		r.Cores[1].Committed = uint64(cycle) * 3
+		r.Queues[0] = int(cycle / 100)
+		r.L1DAccesses = uint64(cycle)
+		r.L1DMisses = uint64(cycle) / 5
+		s.Record()
+	}
+	out := Sparklines(s.Timeline())
+	for _, want := range []string{"3 intervals of 100 cycles", "conv/hidisc", "cp ipc", "ap ipc", "ldq occ", "l1d miss", "mshr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sparkline table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "max 3.000") {
+		t.Errorf("ap ipc max should be 3.000:\n%s", out)
+	}
+	// Empty timeline degrades gracefully.
+	if got := Sparklines(telemetry.NewSampler(10).Timeline()); !strings.Contains(got, "no samples") {
+		t.Errorf("empty timeline: %q", got)
+	}
+	if got := Sparklines(nil); !strings.Contains(got, "no samples") {
+		t.Errorf("nil timeline: %q", got)
+	}
+}

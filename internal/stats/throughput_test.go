@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestThroughputRates(t *testing.T) {
+	tp := Throughput{SimCycles: 2_000_000, SimInsts: 1_000_000, Wall: 2 * time.Second}
+	if got := tp.CyclesPerSec(); got != 1e6 {
+		t.Errorf("CyclesPerSec = %v, want 1e6", got)
+	}
+	if got := tp.MIPS(); got != 0.5 {
+		t.Errorf("MIPS = %v, want 0.5", got)
+	}
+	if got := tp.KIPS(); got != 500 {
+		t.Errorf("KIPS = %v, want 500", got)
+	}
+}
+
+func TestThroughputZeroWall(t *testing.T) {
+	tp := Throughput{SimCycles: 100, SimInsts: 100}
+	if tp.CyclesPerSec() != 0 || tp.MIPS() != 0 {
+		t.Error("zero wall time must report zero rates, not Inf")
+	}
+}
+
+func TestThroughputString(t *testing.T) {
+	tp := Throughput{SimCycles: 4_000_000, SimInsts: 2_000_000, Wall: 2 * time.Second}
+	s := tp.String()
+	for _, want := range []string{"2.00 Mcycles/s", "1.00 simulated MIPS", "4000000 cycles", "2000000 insts", "2s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

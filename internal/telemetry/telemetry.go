@@ -1,0 +1,19 @@
+// Package telemetry is the machine-wide observability layer: an
+// interval Sampler that records per-interval time series (IPC,
+// queue-wait fractions, queue occupancies, miss rates, prefetch
+// counts) into preallocated columnar buffers, and a Trace sink that
+// fans pipeline, queue and memory events into Chrome-trace-event
+// (Perfetto-loadable) JSON or an NDJSON event stream.
+//
+// Both halves are pure observers. They read counters and receive
+// events but never mutate simulation state, so an instrumented run
+// produces a machine.Result bit-identical to an uninstrumented one —
+// with and without the event-driven idle-cycle fast-forward (the
+// sampler publishes its next boundary so the machine clamps jumps to
+// it, and visiting an extra idle cycle is an exact replay). The
+// differential tests in internal/experiments pin this.
+//
+// With telemetry disabled every hook is a single nil pointer check;
+// the AllocsPerRun pins in internal/cpu, internal/queue and
+// internal/mem prove the telemetry-off hot loop stays allocation-free.
+package telemetry

@@ -1,0 +1,332 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hidisc/internal/cpu"
+	"hidisc/internal/isa"
+)
+
+// fillAndRecord fills the sampler's scratch row with synthetic
+// cumulative counters derived from the cycle and records it.
+func fillAndRecord(s *Sampler, cycle int64) {
+	r := s.Row()
+	r.Cycle = cycle
+	for i := range r.Cores {
+		r.Cores[i].Committed = uint64(cycle) * 2
+		r.Cores[i].QueueWait = cycle / 4
+		r.Cores[i].MemWait = cycle / 8
+	}
+	for i := range r.Queues {
+		r.Queues[i] = int(cycle % 7)
+	}
+	r.L1DAccesses = uint64(cycle)
+	r.L1DMisses = uint64(cycle) / 10
+	r.L2Accesses = uint64(cycle) / 10
+	r.L2Misses = uint64(cycle) / 20
+	r.PrefetchIssued = uint64(cycle) / 3
+	r.PrefetchUseful = uint64(cycle) / 6
+	r.MSHR = int(cycle % 5)
+	s.Record()
+}
+
+func TestSamplerRowContract(t *testing.T) {
+	s := NewSampler(100)
+	s.Start([]string{"cp", "ap"}, []string{"ldq", "cq"})
+	// Simulate a machine that visits every boundary and finishes at a
+	// non-boundary cycle: rows must equal ceil(final/interval).
+	final := int64(537)
+	for c := int64(0); c <= final; c++ {
+		if s.Due(c) {
+			fillAndRecord(s, c)
+		}
+	}
+	fillAndRecord(s, final) // the machine's final flush
+	tl := s.Timeline()
+	if want := int((final + 99) / 100); tl.Rows() != want {
+		t.Fatalf("rows = %d, want %d", tl.Rows(), want)
+	}
+	// Boundary rows land at multiples of the interval; the flush row
+	// carries the final cycle.
+	for i := 0; i < tl.Rows()-1; i++ {
+		if tl.Cycle[i] != int64(i+1)*100 {
+			t.Errorf("row %d at cycle %d, want %d", i, tl.Cycle[i], (i+1)*100)
+		}
+	}
+	if got := tl.Cycle[tl.Rows()-1]; got != final {
+		t.Errorf("flush row at cycle %d, want %d", got, final)
+	}
+	// Interval deltas: committed grows 2/cycle, so IPC is exactly 2.
+	for i := range tl.Cycle {
+		if tl.CoreIPC[0][i] != 2 {
+			t.Errorf("row %d ipc = %v, want 2", i, tl.CoreIPC[0][i])
+		}
+	}
+	// Committed deltas sum back to the cumulative total.
+	var sum uint64
+	for _, d := range tl.CoreCommitted[1] {
+		sum += d
+	}
+	if want := uint64(final) * 2; sum != want {
+		t.Errorf("committed deltas sum to %d, want %d", sum, want)
+	}
+}
+
+func TestSamplerDropsZeroLengthInterval(t *testing.T) {
+	s := NewSampler(50)
+	s.Start([]string{"c"}, nil)
+	fillAndRecord(s, 50)
+	fillAndRecord(s, 100)
+	// A run ending exactly on a boundary flushes the same cycle again;
+	// the zero-length interval must not produce a row.
+	fillAndRecord(s, 100)
+	if got := s.Timeline().Rows(); got != 2 {
+		t.Fatalf("rows = %d, want 2 (zero-length flush must be dropped)", got)
+	}
+}
+
+func TestSamplerBoundaryAdvances(t *testing.T) {
+	s := NewSampler(64)
+	s.Start([]string{"c"}, nil)
+	if s.Boundary() != 64 {
+		t.Fatalf("initial boundary = %d, want 64", s.Boundary())
+	}
+	if s.Due(63) || !s.Due(64) {
+		t.Fatal("Due must fire exactly at the boundary")
+	}
+	fillAndRecord(s, 64)
+	if s.Boundary() != 128 {
+		t.Fatalf("boundary after record = %d, want 128", s.Boundary())
+	}
+	// An unstarted sampler is never due.
+	if NewSampler(64).Due(64) {
+		t.Fatal("unstarted sampler reported Due")
+	}
+}
+
+func TestNewSamplerDefaultInterval(t *testing.T) {
+	if got := NewSampler(0).Interval(); got != DefaultInterval {
+		t.Errorf("interval = %d, want %d", got, DefaultInterval)
+	}
+	if got := NewSampler(-5).Interval(); got != DefaultInterval {
+		t.Errorf("interval = %d, want %d", got, DefaultInterval)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{"": FormatPerfetto, "perfetto": FormatPerfetto, "ndjson": FormatNDJSON} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat accepted an unknown format")
+	}
+}
+
+func TestTimelineNDJSONAndCSV(t *testing.T) {
+	s := NewSampler(10)
+	s.SetLabel("job1")
+	s.Start([]string{"cp"}, []string{"ldq"})
+	fillAndRecord(s, 10)
+	fillAndRecord(s, 20)
+	tl := s.Timeline()
+
+	var nd bytes.Buffer
+	if err := tl.WriteNDJSON(&nd); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(nd.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON lines = %d, want 2", len(lines))
+	}
+	var row map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatalf("NDJSON row does not parse: %v", err)
+	}
+	if row["cycle"] != float64(10) || row["label"] != "job1" {
+		t.Errorf("row fields: %v", row)
+	}
+	cores, ok := row["cores"].(map[string]any)
+	if !ok || cores["cp"] == nil {
+		t.Errorf("row missing per-core block: %v", row)
+	}
+
+	var csv bytes.Buffer
+	if err := tl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if len(csvLines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows", len(csvLines))
+	}
+	head := strings.Split(csvLines[0], ",")
+	for _, want := range []string{"cycle", "label", "cp_ipc", "ldq_occ", "l1d_miss_rate", "mshr"} {
+		found := false
+		for _, h := range head {
+			if h == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("CSV header missing %q: %v", want, head)
+		}
+	}
+	for i, line := range csvLines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(head) {
+			t.Errorf("CSV row %d has %d fields, header has %d", i, got, len(head))
+		}
+	}
+}
+
+// traceSession drives a full writer+session lifecycle and returns the
+// finished output.
+func traceSession(t *testing.T, format Format) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf, format)
+	tr := w.Session("test-job")
+	inst := isa.Inst{Op: isa.ADD, Rd: isa.R1, Rs: isa.R2, Rt: isa.R3}
+	tr.SetNow(0)
+	tr.Event(cpu.TraceEvent{Cycle: 0, Core: "cp", Stage: cpu.StageDispatch, PC: 4, Seq: 9, Inst: inst})
+	tr.Event(cpu.TraceEvent{Cycle: 0, Core: "cp", Stage: cpu.StageIssue, PC: 4, Seq: 9, Inst: inst})
+	tr.SetNow(3)
+	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageCommit, PC: 4, Seq: 9, Inst: inst})
+	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageDispatch, PC: 5, Seq: 10, Inst: inst})
+	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageSquash, PC: 5, Seq: 10, Inst: inst, Note: "mispredict"})
+	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageRedirect, PC: 6, Seq: 11, Note: "token steers to 2"})
+	tr.QueuePush("ldq", 3)
+	tr.QueuePop("ldq", 2)
+	tr.CacheMiss("l1d", 0x1000, false)
+	tr.CacheMiss("l2", 0x1000, true)
+	tr.CacheFill("l1d", 0x1000, 133)
+	tr.PrefetchIssued(0x2000)
+	tr.MSHROccupancy(2)
+	if w.Events() == 0 {
+		t.Fatal("no events written")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTraceWriterPerfettoParses(t *testing.T) {
+	out := traceSession(t, FormatPerfetto)
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	phases := map[string]int{}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Errorf("event missing pid: %v", ev)
+		}
+	}
+	if phases["M"] < 2 {
+		t.Errorf("want process+thread metadata, phases = %v", phases)
+	}
+	// Commit slice, squash slice, and the fill slice.
+	if phases["X"] < 3 {
+		t.Errorf("want 3 duration slices, phases = %v", phases)
+	}
+	if phases["C"] < 3 {
+		t.Errorf("want queue+mshr counter samples, phases = %v", phases)
+	}
+	if phases["i"] == 0 {
+		t.Errorf("want instant markers, phases = %v", phases)
+	}
+	for _, want := range []string{"process_name", "thread_name", "queue ldq", "mshr", "l1d miss", "l2 prefetch miss", "l1d fill", "redirect"} {
+		if !names[want] {
+			t.Errorf("no event named %q (names: %v)", want, names)
+		}
+	}
+	labelled := false
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "process_name" {
+			if a, ok := ev["args"].(map[string]any); ok && a["name"] == "test-job" {
+				labelled = true
+			}
+		}
+	}
+	if !labelled {
+		t.Error("session label did not reach the process_name metadata")
+	}
+	squashed := false
+	for n := range names {
+		if strings.Contains(n, "(squashed)") {
+			squashed = true
+		}
+	}
+	if !squashed {
+		t.Error("squash did not close its slice with a (squashed) name")
+	}
+}
+
+func TestTraceWriterNDJSON(t *testing.T) {
+	out := traceSession(t, FormatNDJSON)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	kinds := map[string]int{}
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, line)
+		}
+		k, _ := ev["ev"].(string)
+		kinds[k]++
+	}
+	// Lossless: every pipeline stage appears, including issue.
+	if kinds["pipeline"] != 6 {
+		t.Errorf("pipeline events = %d, want 6 (%v)", kinds["pipeline"], kinds)
+	}
+	for _, k := range []string{"session", "queue", "cache", "prefetch", "mshr"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events (%v)", k, kinds)
+		}
+	}
+}
+
+func TestTraceWriterMultipleSessions(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf, FormatPerfetto)
+	a := w.Session("a")
+	b := w.Session("b")
+	a.SetNow(1)
+	a.QueuePush("q", 1)
+	b.SetNow(1)
+	b.QueuePush("q", 2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		if pid, ok := ev["pid"].(float64); ok {
+			pids[pid] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Errorf("want 2 distinct session pids, got %v", pids)
+	}
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"hidisc/internal/cpu"
+)
+
+// Trace is one machine's event sink: it implements cpu.Tracer for
+// pipeline events and the queue/mem Probe interfaces for queue and
+// memory-system events, and multiplexes everything onto its writer.
+// The machine points every component at it and advances its clock
+// (SetNow) once per visited cycle; queue and memory probes carry no
+// cycle of their own, so the clock timestamps them.
+type Trace struct {
+	w     *TraceWriter
+	pid   int
+	label string
+	now   int64
+
+	tids map[string]int
+	open map[string]map[int64]openSlice // core → seq → in-flight slice
+}
+
+// openSlice tracks a dispatched instruction until commit or squash
+// closes its duration slice.
+type openSlice struct {
+	start int64
+	name  string
+	pc    int
+}
+
+// SetNow advances the trace clock; the machine calls it once per
+// visited cycle, before any component ticks.
+func (t *Trace) SetNow(cycle int64) { t.now = cycle }
+
+// Label returns the session label.
+func (t *Trace) Label() string { return t.label }
+
+// track returns the tid for a named track, assigning the next id and
+// emitting Perfetto thread metadata on first use.
+func (t *Trace) track(name string) int {
+	if tid, ok := t.tids[name]; ok {
+		return tid
+	}
+	tid := len(t.tids) + 1
+	t.tids[name] = tid
+	if t.w.format == FormatPerfetto {
+		t.w.emit(map[string]any{
+			"ph": "M", "name": "thread_name", "pid": t.pid, "tid": tid,
+			"args": map[string]any{"name": name},
+		})
+	}
+	return tid
+}
+
+// Event receives one pipeline event (the cpu.Tracer interface). The
+// NDJSON stream records every event verbatim; the Perfetto view folds
+// dispatch→commit into duration slices per core track and renders
+// squash/redirect/push as instant markers.
+func (t *Trace) Event(ev cpu.TraceEvent) {
+	if t.w.format == FormatNDJSON {
+		m := map[string]any{
+			"ev": "pipeline", "pid": t.pid, "cycle": ev.Cycle, "core": ev.Core,
+			"stage": string(ev.Stage), "pc": ev.PC, "seq": ev.Seq, "inst": ev.Inst.String(),
+		}
+		if ev.Note != "" {
+			m["note"] = ev.Note
+		}
+		t.w.emit(m)
+		return
+	}
+	tid := t.track(ev.Core)
+	switch ev.Stage {
+	case cpu.StageDispatch:
+		if t.open == nil {
+			t.open = map[string]map[int64]openSlice{}
+		}
+		byCore := t.open[ev.Core]
+		if byCore == nil {
+			byCore = map[int64]openSlice{}
+			t.open[ev.Core] = byCore
+		}
+		byCore[ev.Seq] = openSlice{start: ev.Cycle, name: ev.Inst.String(), pc: ev.PC}
+	case cpu.StageCommit, cpu.StageSquash:
+		if sl, ok := t.open[ev.Core][ev.Seq]; ok {
+			delete(t.open[ev.Core], ev.Seq)
+			name := sl.name
+			if ev.Stage == cpu.StageSquash {
+				name += " (squashed)"
+			}
+			t.w.emit(map[string]any{
+				"ph": "X", "cat": "pipeline", "name": name,
+				"pid": t.pid, "tid": tid, "ts": sl.start, "dur": ev.Cycle - sl.start + 1,
+				"args": map[string]any{"pc": sl.pc, "seq": ev.Seq, "note": ev.Note},
+			})
+		}
+	case cpu.StageRedirect, cpu.StagePush:
+		t.w.emit(map[string]any{
+			"ph": "i", "s": "t", "cat": string(ev.Stage), "name": string(ev.Stage),
+			"pid": t.pid, "tid": tid, "ts": ev.Cycle,
+			"args": map[string]any{"pc": ev.PC, "seq": ev.Seq, "note": ev.Note},
+		})
+	}
+	// Issue and complete are implicit in the slice; the NDJSON stream
+	// keeps them for analyses that need per-stage timing.
+}
+
+// QueuePush receives one architectural-queue push (queue.Probe).
+func (t *Trace) QueuePush(name string, occupancy int) {
+	t.queueEvent("push", name, occupancy)
+}
+
+// QueuePop receives one queue storage release (queue.Probe).
+func (t *Trace) QueuePop(name string, occupancy int) {
+	t.queueEvent("pop", name, occupancy)
+}
+
+func (t *Trace) queueEvent(action, name string, occupancy int) {
+	if t.w.format == FormatNDJSON {
+		t.w.emit(map[string]any{
+			"ev": "queue", "pid": t.pid, "cycle": t.now,
+			"queue": name, "action": action, "occ": occupancy,
+		})
+		return
+	}
+	t.w.emit(map[string]any{
+		"ph": "C", "name": "queue " + name, "pid": t.pid, "ts": t.now,
+		"args": map[string]any{"entries": occupancy},
+	})
+}
+
+// CacheMiss receives one cache miss (mem.Probe).
+func (t *Trace) CacheMiss(level string, addr uint32, prefetch bool) {
+	if t.w.format == FormatNDJSON {
+		t.w.emit(map[string]any{
+			"ev": "cache", "pid": t.pid, "cycle": t.now,
+			"level": level, "action": "miss", "addr": addr, "prefetch": prefetch,
+		})
+		return
+	}
+	name := level + " miss"
+	if prefetch {
+		name = level + " prefetch miss"
+	}
+	t.w.emit(map[string]any{
+		"ph": "i", "s": "t", "cat": "cache", "name": name,
+		"pid": t.pid, "tid": t.track("mem"), "ts": t.now,
+		"args": map[string]any{"addr": addr},
+	})
+}
+
+// CacheFill receives one L1 fill reservation (mem.Probe): the miss at
+// the trace clock completes at readyAt. Rendered as a duration slice on
+// the mem track, so fill latency is visible directly.
+func (t *Trace) CacheFill(level string, addr uint32, readyAt int64) {
+	if t.w.format == FormatNDJSON {
+		t.w.emit(map[string]any{
+			"ev": "cache", "pid": t.pid, "cycle": t.now,
+			"level": level, "action": "fill", "addr": addr, "ready": readyAt,
+		})
+		return
+	}
+	t.w.emit(map[string]any{
+		"ph": "X", "cat": "cache", "name": level + " fill",
+		"pid": t.pid, "tid": t.track("mem"), "ts": t.now, "dur": readyAt - t.now,
+		"args": map[string]any{"addr": addr},
+	})
+}
+
+// PrefetchIssued receives one prefetch issue (mem.Probe).
+func (t *Trace) PrefetchIssued(addr uint32) {
+	if t.w.format == FormatNDJSON {
+		t.w.emit(map[string]any{
+			"ev": "prefetch", "pid": t.pid, "cycle": t.now, "addr": addr,
+		})
+		return
+	}
+	t.w.emit(map[string]any{
+		"ph": "i", "s": "t", "cat": "prefetch", "name": "prefetch",
+		"pid": t.pid, "tid": t.track("mem"), "ts": t.now,
+		"args": map[string]any{"addr": addr},
+	})
+}
+
+// MSHROccupancy receives the in-flight fill count after it changed
+// (mem.Probe); a counter track in the Perfetto view.
+func (t *Trace) MSHROccupancy(n int) {
+	if t.w.format == FormatNDJSON {
+		t.w.emit(map[string]any{"ev": "mshr", "pid": t.pid, "cycle": t.now, "occ": n})
+		return
+	}
+	t.w.emit(map[string]any{
+		"ph": "C", "name": "mshr", "pid": t.pid, "ts": t.now,
+		"args": map[string]any{"inflight": n},
+	})
+}

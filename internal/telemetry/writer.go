@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Format selects the trace file encoding.
+type Format string
+
+// Supported trace encodings.
+const (
+	// FormatPerfetto is the Chrome trace-event JSON form
+	// ({"traceEvents":[...]}): load the file in ui.perfetto.dev or
+	// chrome://tracing. Pipeline activity renders as per-core duration
+	// slices (dispatch→commit), queue and MSHR occupancy as counter
+	// tracks. Cycles are written as microsecond timestamps, so "1 µs"
+	// in the UI reads as one machine cycle.
+	FormatPerfetto Format = "perfetto"
+	// FormatNDJSON is a lossless event stream: one JSON object per
+	// event per line, for ad-hoc analysis with jq or a dataframe.
+	FormatNDJSON Format = "ndjson"
+)
+
+// ParseFormat resolves a -trace-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatPerfetto, FormatNDJSON:
+		return Format(s), nil
+	case "":
+		return FormatPerfetto, nil
+	}
+	return "", fmt.Errorf("unknown trace format %q (want %q or %q)", s, FormatPerfetto, FormatNDJSON)
+}
+
+// TraceWriter owns one trace output stream. It is not safe for
+// concurrent use: callers that trace multiple machines (hidisc-bench)
+// run them sequentially, each under its own Session. Close finalises
+// the file — for Perfetto output the JSON is invalid until then.
+type TraceWriter struct {
+	bw     *bufio.Writer
+	c      io.Closer
+	format Format
+	events int
+	err    error
+
+	nextPid int
+}
+
+// NewTraceWriter starts a trace stream in the given format, writing
+// the Perfetto preamble immediately. If w is an io.Closer it is closed
+// by Close.
+func NewTraceWriter(w io.Writer, format Format) *TraceWriter {
+	tw := &TraceWriter{bw: bufio.NewWriterSize(w, 1<<16), format: format}
+	if c, ok := w.(io.Closer); ok {
+		tw.c = c
+	}
+	if format == FormatPerfetto {
+		tw.writeString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	}
+	return tw
+}
+
+// Format returns the stream's encoding.
+func (w *TraceWriter) Format() Format { return w.format }
+
+// Events returns how many events have been written.
+func (w *TraceWriter) Events() int { return w.events }
+
+// Session opens a per-machine trace session. Each session is one
+// Perfetto "process" (its own pid and named track group), so a
+// multi-job trace file keeps jobs visually separate.
+func (w *TraceWriter) Session(label string) *Trace {
+	w.nextPid++
+	t := &Trace{w: w, pid: w.nextPid, label: label, tids: map[string]int{}}
+	switch w.format {
+	case FormatPerfetto:
+		w.emit(map[string]any{
+			"ph": "M", "name": "process_name", "pid": t.pid,
+			"args": map[string]any{"name": label},
+		})
+	case FormatNDJSON:
+		w.emit(map[string]any{"ev": "session", "pid": t.pid, "label": label})
+	}
+	return t
+}
+
+// emit writes one event object. Maps marshal with sorted keys, so the
+// output is deterministic for a deterministic event stream.
+func (w *TraceWriter) emit(m map[string]any) {
+	if w.err != nil {
+		return
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if w.format == FormatPerfetto && w.events > 0 {
+		w.writeString(",\n")
+	}
+	w.write(data)
+	if w.format == FormatNDJSON {
+		w.writeString("\n")
+	}
+	w.events++
+}
+
+func (w *TraceWriter) write(p []byte) {
+	if w.err == nil {
+		_, w.err = w.bw.Write(p)
+	}
+}
+
+func (w *TraceWriter) writeString(s string) {
+	if w.err == nil {
+		_, w.err = w.bw.WriteString(s)
+	}
+}
+
+// Close finalises the stream (the Perfetto array footer), flushes, and
+// closes the underlying writer when it is closable. It returns the
+// first error encountered at any point of the stream's life.
+func (w *TraceWriter) Close() error {
+	if w.format == FormatPerfetto {
+		w.writeString("\n]}\n")
+	}
+	if err := w.bw.Flush(); w.err == nil {
+		w.err = err
+	}
+	if w.c != nil {
+		if err := w.c.Close(); w.err == nil {
+			w.err = err
+		}
+	}
+	return w.err
+}
