@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json serve-smoke trace-smoke
+.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json bench-guard serve-smoke trace-smoke
 
 ci: vet build test race fuzz-smoke bench-smoke serve-smoke trace-smoke
 
@@ -17,15 +17,18 @@ test:
 	$(GO) test ./...
 
 # The parallel runner, the multi-core machine, the queue/core building
-# blocks they drive concurrently, and the job server's cache/dedup/
-# admission paths; run them under the race detector.
+# blocks they drive concurrently, the job server's cache/dedup/
+# admission paths, and the functional simulator's compiled/interpreted
+# pair; run them under the race detector.
 race:
-	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu ./internal/simserver
+	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu ./internal/simserver ./internal/fnsim
 
-# A short native-fuzz pass over the assembler: arbitrary source must
-# never panic. Deeper runs: go test -fuzz FuzzAssemble ./internal/asm
+# Short native-fuzz passes: arbitrary assembler source must never
+# panic, and the compiled fnsim fast path must stay bit-identical to
+# the interpreter on arbitrary programs. Deeper runs: drop -fuzztime.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzAssemble -fuzztime 3s ./internal/asm
+	$(GO) test -run xxx -fuzz FuzzCompiledVsInterpreted -fuzztime 3s ./internal/fnsim
 
 # One pass over every table/figure benchmark (reports simMIPS).
 bench:
@@ -60,3 +63,17 @@ trace-smoke:
 # commits; diff BENCH_fig8.json to see a change's performance effect.
 bench-json:
 	$(GO) run ./cmd/hidisc-bench -bench-json BENCH_fig8.json
+
+# Guard the committed baseline's semantics: a fresh sequential run must
+# simulate exactly the same total cycle count as BENCH_fig8.json on
+# disk. Wall time may drift with the host; cycles may not.
+bench-guard:
+	$(GO) run ./cmd/hidisc-bench -bench-json .bench-guard.json
+	@want=$$(sed -n 's/.*"totalSimCycles": \([0-9]*\).*/\1/p' BENCH_fig8.json); \
+	got=$$(sed -n 's/.*"totalSimCycles": \([0-9]*\).*/\1/p' .bench-guard.json); \
+	rm -f .bench-guard.json; \
+	if [ "$$want" != "$$got" ]; then \
+		echo "bench-guard: totalSimCycles drifted: baseline $$want, got $$got" >&2; exit 1; \
+	else \
+		echo "bench-guard: totalSimCycles $$got matches baseline"; \
+	fi

@@ -80,6 +80,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort wedged simulations after this long (0 = no limit)")
 	dumpDir := flag.String("dump-on-fault", "", "write fault snapshots as JSON into this directory")
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle-cycle skipping (tick every cycle)")
+	noCompile := flag.Bool("no-compile", false, "run the functional reference and cache profile on the pure interpreter instead of the compiled fast path")
 	traceFile := flag.String("trace", "", "write a machine-wide event trace of every simulation to FILE (forces -j 1)")
 	traceFormat := flag.String("trace-format", "", "trace encoding: perfetto (default) or ndjson")
 	timelineFile := flag.String("timeline", "", "write per-job interval time series as NDJSON to FILE (forces -j 1)")
@@ -117,6 +118,7 @@ func main() {
 
 	r := experiments.NewRunner(sc)
 	r.Workers = *jobs
+	r.NoCompile = *noCompile
 	if *noSkip {
 		r.Configure = func(c *machine.Config) { c.NoSkip = true }
 	}
@@ -189,7 +191,7 @@ func main() {
 	start := time.Now()
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(r, *scale, *noSkip, *benchJSON); err != nil {
+		if err := writeBenchJSON(r, *scale, *noSkip, *noCompile, *benchJSON); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "bench timings written to %s in %v\n",
@@ -349,6 +351,7 @@ type benchEntry struct {
 type benchReport struct {
 	Scale              string       `json:"scale"`
 	NoSkip             bool         `json:"noSkip,omitempty"`
+	NoCompile          bool         `json:"noCompile,omitempty"`
 	TotalWallSeconds   float64      `json:"totalWallSeconds"`
 	TotalSimCycles     int64        `json:"totalSimCycles"`
 	TotalMCyclesPerSec float64      `json:"totalMCyclesPerSec"`
@@ -358,8 +361,8 @@ type benchReport struct {
 // writeBenchJSON runs the Figure 8 matrix sequentially — one
 // simulation at a time, compile time excluded — so per-run wall times
 // are not polluted by scheduling, and writes the report to path.
-func writeBenchJSON(r *experiments.Runner, scale string, noSkip bool, path string) error {
-	rep := benchReport{Scale: scale, NoSkip: noSkip}
+func writeBenchJSON(r *experiments.Runner, scale string, noSkip, noCompile bool, path string) error {
+	rep := benchReport{Scale: scale, NoSkip: noSkip, NoCompile: noCompile}
 	for _, name := range workloads.Names() {
 		if _, err := r.Compile(name); err != nil {
 			return err

@@ -47,6 +47,7 @@ func main() {
 	timelineInterval := flag.Int64("timeline-interval", 0, "sampling interval in cycles (default 1024)")
 	compare := flag.Bool("compare", false, "run all four architectures and print a comparison table")
 	noSkip := flag.Bool("no-skip", false, "disable event-driven idle-cycle skipping (tick every cycle)")
+	noCompile := flag.Bool("no-compile", false, "run the functional reference and cache profile on the pure interpreter instead of the compiled fast path")
 	timeout := flag.Duration("timeout", 0, "abort a wedged simulation after this long (0 = no limit)")
 	dumpDir := flag.String("dump-on-fault", "", "write fault snapshots as JSON into this directory")
 	flag.Parse()
@@ -96,7 +97,11 @@ func main() {
 		hier.MemLatency = *memlat
 	}
 
-	ref, err := fnsim.RunProgram(p, *maxInsts)
+	runRef, runProf := fnsim.RunProgram, profile.CacheProfile
+	if *noCompile {
+		runRef, runProf = fnsim.RunProgramInterp, profile.CacheProfileInterp
+	}
+	ref, err := runRef(p, *maxInsts)
 	if err != nil {
 		fatal(fmt.Errorf("reference run: %w", err))
 	}
@@ -104,7 +109,7 @@ func main() {
 	opts := slicer.Options{}
 	a := machine.Arch(*arch)
 	if *compare || a == machine.CPCMP || a == machine.HiDISC {
-		prof, perr := profile.CacheProfile(p, hier, *maxInsts)
+		prof, perr := runProf(p, hier, *maxInsts)
 		if perr != nil {
 			fatal(perr)
 		}

@@ -38,6 +38,16 @@ func Build(p *isa.Program) (*Graph, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("cfg: empty program %q", p.Name)
 	}
+	if p.Entry < 0 || p.Entry >= n {
+		return nil, fmt.Errorf("cfg: %q: entry %d out of range", p.Name, p.Entry)
+	}
+	for i, in := range p.Insts {
+		if in.Op.IsDirectControl() {
+			if t := in.Target(); t < 0 || t >= n {
+				return nil, fmt.Errorf("cfg: %q: pc %d: control target %d out of range", p.Name, i, t)
+			}
+		}
+	}
 
 	// Return points for indirect jumps.
 	var returnPoints []int

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"hidisc/internal/asm"
-	"hidisc/internal/fnsim"
 	"hidisc/internal/isa"
 )
 
@@ -241,65 +240,6 @@ main:   add  $r0, $r1, $r1
 	}
 	if uses := df.Uses(0); len(uses) != 0 {
 		t.Errorf("r0 def has uses: %v", uses)
-	}
-}
-
-// TestReachingDefsSoundOnExecution executes a branchy looped program
-// in the functional simulator, tracking the actual dynamic writer of
-// each register, and asserts the analysis covers every observed
-// (use, def) pair.
-func TestReachingDefsSoundOnExecution(t *testing.T) {
-	src := `
-main:   li   $r1, 20
-        li   $r2, 0
-        li   $r3, 0
-loop:   andi $r4, $r1, 1
-        beq  $r4, $r0, even
-        add  $r2, $r2, $r1
-        j    next
-even:   add  $r3, $r3, $r1
-next:   addi $r1, $r1, -1
-        bgtz $r1, loop
-        out  $r2
-        out  $r3
-        halt
-`
-	p := mustAssemble(t, "t", src)
-	g, err := Build(p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	df := ReachingDefs(g)
-
-	writer := map[isa.Reg]int{}
-	sim := fnsim.New(p)
-	sim.Observer = func(ev fnsim.Event) {
-		for _, src := range ev.Inst.Sources() {
-			if !src.IsArch() || src == isa.R0 {
-				continue
-			}
-			d, wrote := writer[src]
-			if !wrote {
-				d = EntryDef
-			}
-			found := false
-			for _, cand := range df.Defs(ev.PC, src) {
-				if cand == d {
-					found = true
-					break
-				}
-			}
-			if !found {
-				t.Errorf("inst %d use of %v: dynamic def %d not in static set %v",
-					ev.PC, src, d, df.Defs(ev.PC, src))
-			}
-		}
-		if d := ev.Inst.Dest(); d.IsArch() && d != isa.R0 {
-			writer[d] = ev.PC
-		}
-	}
-	if err := sim.Run(10000); err != nil {
-		t.Fatal(err)
 	}
 }
 

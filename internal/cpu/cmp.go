@@ -191,8 +191,11 @@ func (e *CMPEngine) ActiveContexts() int {
 
 // Fork starts (or restarts) the CMAS thread for id with the given
 // architectural context. A trigger that arrives while the thread is
-// still running is ignored — the running slice is already ahead.
-func (e *CMPEngine) Fork(id int, ir [isa.NumIntRegs]uint32, fr [isa.NumFPRegs]float64) {
+// still running is ignored — the running slice is already ahead. The
+// register arrays are passed by pointer (triggers fire on the
+// dispatch hot path) and copied here once the fork is accepted; the
+// caller's arrays are not retained.
+func (e *CMPEngine) Fork(id int, ir *[isa.NumIntRegs]uint32, fr *[isa.NumFPRegs]float64) {
 	if id < 0 || id >= len(e.progs) {
 		return
 	}
@@ -204,7 +207,7 @@ func (e *CMPEngine) Fork(id int, ir [isa.NumIntRegs]uint32, fr [isa.NumFPRegs]fl
 		e.stats.ForksIgnored++
 		return
 	}
-	e.ctxs[id] = &cmpCtx{active: true, intR: ir, fpR: fr}
+	e.ctxs[id] = &cmpCtx{active: true, intR: *ir, fpR: *fr}
 	if id < len(e.scq) && e.scq[id] != nil {
 		// Retire the previous slip-control queue generation and start a
 		// fresh one in the shared slice. Claims still in flight against

@@ -123,46 +123,42 @@ type srcOperand struct {
 	qseq     int64
 }
 
+// entry fields are ordered so the scalars the per-cycle scans touch
+// (issue, writeback, commit) share the first cache line; the large
+// srcsBuf array and the cold slices sit at the end.
 type entry struct {
 	seq int64
 	pc  int
 	// inst points into the (immutable) program's instruction slice —
 	// holding the Inst by value made every dispatch copy it twice.
-	inst *isa.Inst
-
-	// srcs aliases srcsBuf so that building the operand list never
-	// allocates; entries are always handled by pointer, which keeps the
-	// alias valid.
-	srcs    []srcOperand
-	srcsBuf [isa.MaxSources + 1]srcOperand // +1 for GETSCQ's hidden credit
-	dest    isa.Reg
-
-	result     uint64
-	execErr    error
-	issued     bool
-	completed  bool
+	inst       *isa.Inst
 	completeAt int64
-
-	// control
-	isCtl      bool
-	taken      bool
-	predNext   int
-	actualNext int
+	result     uint64
 
 	// memory
+	addr uint32
+
+	// Pool bookkeeping (see Core.retireEntry): refs counts younger
+	// in-window consumers still holding this entry as an operand
+	// producer; pinned marks membership in the not-yet-passed segment
+	// of the push-release list; dead marks departure from the window.
+	refs int32
+
+	dest      isa.Reg
+	issued    bool
+	completed bool
+
+	// control
+	isCtl bool
+	taken bool
+
 	isLoad, isStore bool
-	addr            uint32
 	addrReady       bool
 
 	// queue production
 	pushed   bool // queue pushes already released at completion
 	squashed bool
 
-	// Pool bookkeeping (see Core.retireEntry): refs counts younger
-	// in-window consumers still holding this entry as an operand
-	// producer; pinned marks membership in the not-yet-passed segment
-	// of the push-release list; dead marks departure from the window.
-	refs   int32
 	pinned bool
 	dead   bool
 
@@ -178,30 +174,35 @@ type entry struct {
 	// entry as an operand producer. A stale pointer to a squashed (and
 	// possibly recycled) consumer is harmless: the wake scan matches on
 	// src.producer, which the squash already cleared.
-	qpend   int8
+	qpend int8
+
+	predNext   int
+	actualNext int
+	execErr    error
+
+	// srcs aliases srcsBuf so that building the operand list never
+	// allocates; entries are always handled by pointer, which keeps the
+	// alias valid.
+	srcs    []srcOperand
 	waiters []*entry
+	srcsBuf [isa.MaxSources + 1]srcOperand // +1 for GETSCQ's hidden credit
 }
 
-// reset clears every entry field except srcsBuf: zeroing the operand
-// buffer is the bulk of a whole-struct clear and is pointless — srcs
-// re-slices it to length zero and dispatch overwrites what it appends.
+// reset clears the entry state that dispatch does not overwrite.
+// srcsBuf is skipped (srcs re-slices it to zero and dispatch rewrites
+// what it appends), and so are the fields dispatchInsts assigns
+// unconditionally for every entry: seq, pc, inst, dest, predNext,
+// actualNext, isCtl, isLoad and isStore. result must be zeroed: FP
+// compares only set it when true, so a recycled entry would otherwise
+// leak a stale value into a false compare.
 func (e *entry) reset() {
-	e.seq = 0
-	e.pc = 0
-	e.inst = nil
 	e.srcs = e.srcsBuf[:0]
-	e.dest = 0
 	e.result = 0
 	e.execErr = nil
 	e.issued = false
 	e.completed = false
 	e.completeAt = 0
-	e.isCtl = false
 	e.taken = false
-	e.predNext = 0
-	e.actualNext = 0
-	e.isLoad = false
-	e.isStore = false
 	e.addr = 0
 	e.addrReady = false
 	e.pushed = false
@@ -236,6 +237,18 @@ func (f *fuPool) acquire(now int64, occupy int64) bool {
 	return false
 }
 
+// nextFree returns the earliest cycle a unit comes free; only
+// meaningful right after a failed acquire (every unit busy past now).
+func (f *fuPool) nextFree() int64 {
+	t := int64(math.MaxInt64)
+	for _, b := range f.busyUntil {
+		if b < t {
+			t = b
+		}
+	}
+	return t
+}
+
 // dec caches every Op-derived predicate the per-cycle stages need for
 // one static instruction. The program never changes after construction,
 // so decoding each dispatched instance again (SourceList, IsMem, Dest,
@@ -244,16 +257,32 @@ func (f *fuPool) acquire(now int64, occupy int64) bool {
 type dec struct {
 	src     [isa.MaxSources]isa.Reg
 	nsrc    uint8
-	pool    int8 // functional-unit pool id (poolNone..poolMem)
+	pool    int8  // functional-unit pool id (poolNone..poolMem)
+	ctlKind uint8 // fetch steering kind (ctlNone..ctlCond)
+	commit  uint8 // commit side effect (ckNone..ckHalt)
 	isMem   bool
 	isCtl   bool
 	isLoad  bool
 	isStore bool
 	hasPush bool // pushes to any architectural queue at commit/release
 	hasQSrc bool // claims a queue operand (incl. GETSCQ's hidden credit)
-	dest    isa.Reg
-	lat     int64 // result latency in cycles
-	occupy  int64 // pool reservation in cycles (latency if unpipelined)
+
+	// Commit/dispatch predicates that were re-derived from the Op and
+	// annotation bits on every committed instance.
+	updatesPred bool // conditional branch trained into the predictor
+	updatesBTB  bool // indirect jump recorded in the BTB
+	isGetSCQ    bool
+	consumeSCQ  bool  // AnnConsumeSCQ (or GETSCQ in non-blocking mode)
+	trigger     bool  // AnnTrigger
+	noExec      bool  // NOP/HALT: completed at dispatch
+	isCQCtl     bool  // BCQ/JCQ: control-queue steered
+	scqID       int32 // slip-control queue id for consumeSCQ/isGetSCQ
+
+	dest   isa.Reg
+	target int    // direct-control target
+	msize  uint32 // memory access width in bytes
+	lat    int64  // result latency in cycles
+	occupy int64  // pool reservation in cycles (latency if unpipelined)
 }
 
 // Functional-unit pool ids in dec.pool.
@@ -266,7 +295,32 @@ const (
 	poolMem
 )
 
-// decodeProg builds the static decode table for a program.
+// Fetch steering kinds in dec.ctlKind.
+const (
+	ctlNone     = uint8(iota)
+	ctlHalt     // stop fetching
+	ctlJ        // unconditional direct jump
+	ctlJAL      // direct call: push return address
+	ctlCQBranch // BCQ: steer by a peeked control-queue token
+	ctlCQJump   // JCQ: steer by a peeked control-queue token
+	ctlJR       // indirect jump: BTB
+	ctlJRRA     // return: RAS, then BTB
+	ctlJALR     // indirect call: BTB, push return address
+	ctlCond     // conditional branch: predictor
+)
+
+// Commit side effects in dec.commit.
+const (
+	ckNone = uint8(iota)
+	ckOut
+	ckOutf
+	ckHalt
+)
+
+// decodeProg builds the static decode table for a program: every
+// Op- or annotation-derived fact the per-cycle stages need, resolved
+// once, so fetch, dispatch and commit never re-derive predicates per
+// dispatched instance.
 func decodeProg(insts []isa.Inst) []dec {
 	t := make([]dec, len(insts))
 	for i, in := range insts {
@@ -279,6 +333,7 @@ func decodeProg(insts []isa.Inst) []dec {
 		d.isLoad = in.Op.IsLoad() || in.Op == isa.PREF
 		d.isStore = in.Op.IsStore()
 		d.dest = in.Dest()
+		d.msize = uint32(memSize(in.Op))
 		d.hasPush = d.dest.IsQueue() || in.Op == isa.PUTSCQ ||
 			in.Ann.Has(isa.AnnTapLDQ) || in.Ann.Has(isa.AnnTapSDQ) || in.Ann.Has(isa.AnnPushCQ)
 		d.hasQSrc = in.Op == isa.GETSCQ
@@ -286,6 +341,52 @@ func decodeProg(insts []isa.Inst) []dec {
 			if src[si].IsQueue() {
 				d.hasQSrc = true
 			}
+		}
+		d.updatesPred = in.Op.IsCondBranch() && in.Op != isa.BCQ
+		d.updatesBTB = in.Op.IsIndirect()
+		d.isGetSCQ = in.Op == isa.GETSCQ
+		d.consumeSCQ = in.Ann.Has(isa.AnnConsumeSCQ)
+		d.trigger = in.Ann.Has(isa.AnnTrigger)
+		d.noExec = in.Op == isa.NOP || in.Op == isa.HALT
+		d.isCQCtl = in.Op == isa.BCQ || in.Op == isa.JCQ
+		if d.isGetSCQ {
+			d.scqID = in.Imm
+		} else if d.consumeSCQ {
+			d.scqID = int32(in.Ann.CMASID())
+		}
+		if in.Op.IsDirectControl() {
+			d.target = in.Target()
+		}
+		switch in.Op {
+		case isa.HALT:
+			d.ctlKind = ctlHalt
+		case isa.J:
+			d.ctlKind = ctlJ
+		case isa.JAL:
+			d.ctlKind = ctlJAL
+		case isa.BCQ:
+			d.ctlKind = ctlCQBranch
+		case isa.JCQ:
+			d.ctlKind = ctlCQJump
+		case isa.JR:
+			d.ctlKind = ctlJR
+			if in.Rs == isa.RA {
+				d.ctlKind = ctlJRRA
+			}
+		case isa.JALR:
+			d.ctlKind = ctlJALR
+		default:
+			if in.Op.IsCondBranch() {
+				d.ctlKind = ctlCond
+			}
+		}
+		switch in.Op {
+		case isa.OUT:
+			d.commit = ckOut
+		case isa.OUTF:
+			d.commit = ckOutf
+		case isa.HALT:
+			d.commit = ckHalt
 		}
 		cl := in.Op.Class()
 		d.lat = int64(cl.Latency())
@@ -357,9 +458,37 @@ type Core struct {
 	// can stop as soon as it has visited all of them instead of walking
 	// the issued-waiting-commit tail of the window every cycle.
 	// nInflight counts issued-but-incomplete entries the same way for
-	// the writeback scan.
+	// the writeback scan. issueHead is the window index of the first
+	// unissued entry (entries never revert to unissued in the window),
+	// so the issue scan also skips the issued prefix stuck behind a
+	// blocked head.
 	nUnissued int
 	nInflight int
+	issueHead int
+
+	// stat and due mirror the per-entry scheduling state (issued,
+	// completed, control kind and completion time) in dense arrays
+	// parallel to window. The per-cycle issue, writeback and wakeup
+	// scans mostly *skip* entries; testing a packed byte avoids
+	// dereferencing a cold *entry just to read two booleans. The
+	// arrays shift with compactWindow and truncate with squashAfter,
+	// so index i always describes window[i].
+	stat []uint8
+	due  []int64
+
+	// Issue-scan gate. A cycle's issue scan can only make progress if
+	// something changed since the last one: a register operand arrived
+	// (writeback completion), a queue mutated anywhere (machine epoch),
+	// an entry was dispatched or squashed, a store left the LSQ at
+	// commit, or a busy functional unit / cache port came free (the
+	// scan records the earliest such time in issueRetryAt when an
+	// acquire fails). issueClean is true only when the previous scan
+	// issued nothing, so a skipped scan is provably a no-op — it would
+	// have mutated nothing and issued nothing. Gating requires the
+	// machine epoch (fastIdle); the NoSkip reference loop always scans.
+	issueClean   bool
+	issueEpoch   int64
+	issueRetryAt int64
 	// nCtlPending counts unresolved control entries so releasePushes can
 	// skip its oldest-unresolved-branch scan when no branch is in flight.
 	nCtlPending int
@@ -423,8 +552,10 @@ type Core struct {
 
 	// OnTrigger, when set, is invoked at dispatch of a trigger-
 	// annotated instruction with the CMAS id and the committed
-	// architectural register context.
-	OnTrigger func(id int, ir [isa.NumIntRegs]uint32, fr [isa.NumFPRegs]float64)
+	// architectural register context. The arrays are passed by
+	// pointer to keep the dispatch path copy-free; the callee must
+	// copy what it keeps and not retain the pointers.
+	OnTrigger func(id int, ir *[isa.NumIntRegs]uint32, fr *[isa.NumFPRegs]float64)
 }
 
 // New builds a core executing prog against the shared memory image and
@@ -484,6 +615,11 @@ func (c *Core) Halted() bool { return c.halted }
 // Stats returns the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
 
+// CommittedCount returns the committed-instruction counter alone. The
+// machine watchdog polls it every visited cycle; returning the whole
+// Stats struct there copied ~136 bytes per core per cycle.
+func (c *Core) CommittedCount() uint64 { return c.stats.Committed }
+
 // Output returns values printed by OUT/OUTF at commit, in order.
 func (c *Core) Output() []string { return c.output }
 
@@ -502,6 +638,13 @@ func (c *Core) IntReg(r isa.Reg) uint32 { return c.intR[r] }
 // most once each per cycle). An idle cycle changes nothing else, so
 // later idle cycles with unchanged inputs bump exactly the same set —
 // which is what makes crediting a fast-forwarded span exact.
+// Flags packed into Core.stat, one byte per window slot.
+const (
+	stIssued uint8 = 1 << iota
+	stCompleted
+	stCtl
+)
+
 type idleStalls struct {
 	fetch       int64
 	dispatch    int64
@@ -557,7 +700,17 @@ func (c *Core) CycleEv(now int64) (int64, error) {
 		}
 		c.idleValid = false
 	}
-	fs := c.stats
+	// Snapshot only the counters the idle-delta computation and the
+	// self-healing guard below compare — copying the whole Stats
+	// struct per ticked cycle was measurable.
+	fs := struct {
+		fetch, dispatch, queueWait, memWait, commitQueue int64
+		committed, mispredicts, squashed, redirects      uint64
+	}{
+		c.stats.FetchStalls, c.stats.DispatchStalls, c.stats.QueueWaitCycles,
+		c.stats.MemWaitCycles, c.stats.CommitQueueStall,
+		c.stats.Committed, c.stats.Mispredicts, c.stats.Squashed, c.stats.DispatchRedirects,
+	}
 	c.worked = false
 	c.stats.Cycles++
 	if err := c.commit(now); err != nil {
@@ -577,8 +730,8 @@ func (c *Core) CycleEv(now int64) (int64, error) {
 		// Self-healing guard: architectural progress must imply worked.
 		// If a mark site is ever missed the core degrades to per-cycle
 		// ticking instead of skipping incorrectly.
-		if c.stats.Committed != fs.Committed || c.stats.Mispredicts != fs.Mispredicts ||
-			c.stats.Squashed != fs.Squashed || c.stats.DispatchRedirects != fs.DispatchRedirects {
+		if c.stats.Committed != fs.committed || c.stats.Mispredicts != fs.mispredicts ||
+			c.stats.Squashed != fs.squashed || c.stats.DispatchRedirects != fs.redirects {
 			c.worked = true
 		}
 	}
@@ -586,11 +739,11 @@ func (c *Core) CycleEv(now int64) (int64, error) {
 		return now + 1, nil
 	}
 	c.idleDelta = idleStalls{
-		fetch:       c.stats.FetchStalls - fs.FetchStalls,
-		dispatch:    c.stats.DispatchStalls - fs.DispatchStalls,
-		queueWait:   c.stats.QueueWaitCycles - fs.QueueWaitCycles,
-		memWait:     c.stats.MemWaitCycles - fs.MemWaitCycles,
-		commitQueue: c.stats.CommitQueueStall - fs.CommitQueueStall,
+		fetch:       c.stats.FetchStalls - fs.fetch,
+		dispatch:    c.stats.DispatchStalls - fs.dispatch,
+		queueWait:   c.stats.QueueWaitCycles - fs.queueWait,
+		memWait:     c.stats.MemWaitCycles - fs.memWait,
+		commitQueue: c.stats.CommitQueueStall - fs.commitQueue,
 	}
 	wake := c.nextWake(now)
 	if c.fastIdle {
@@ -609,9 +762,17 @@ func (c *Core) CycleEv(now int64) (int64, error) {
 // producing core's wakeup drives them — so they contribute MaxInt64.
 func (c *Core) nextWake(now int64) int64 {
 	wake := int64(math.MaxInt64)
-	for _, e := range c.window {
-		if e.issued && !e.completed && e.completeAt > now && e.completeAt < wake {
-			wake = e.completeAt
+	remaining := c.nInflight
+	for i, s := range c.stat {
+		if remaining == 0 {
+			break
+		}
+		if s&(stIssued|stCompleted) != stIssued {
+			continue
+		}
+		remaining--
+		if d := c.due[i]; d > now && d < wake {
+			wake = d
 		}
 	}
 	for _, p := range [...]*fuPool{&c.intALU, &c.intMulDv, &c.fpALU, &c.fpMulDv, &c.memPorts} {
@@ -653,6 +814,14 @@ func (c *Core) compactWindow() {
 	if c.winHead > 0 {
 		n := copy(c.window, c.window[c.winHead:])
 		c.window = c.window[:n]
+		copy(c.stat, c.stat[c.winHead:])
+		c.stat = c.stat[:n]
+		copy(c.due, c.due[c.winHead:])
+		c.due = c.due[:n]
+		c.issueHead -= c.winHead
+		if c.issueHead < 0 {
+			c.issueHead = 0
+		}
 		c.winHead = 0
 	}
 	if c.lsqHead > 0 {
@@ -671,17 +840,20 @@ func (c *Core) commitInsts(now int64) error {
 		if e.execErr != nil {
 			return fmt.Errorf("pc %d (%v): %w", e.pc, e.inst, e.execErr)
 		}
+		d := &c.deco[e.pc]
 		// Queue-operand values must have arrived (claims satisfied).
-		for i := range e.srcs {
-			s := &e.srcs[i]
-			if s.qref != nil && !s.qref.Ready(s.qseq) {
-				return nil
+		if d.hasQSrc {
+			for i := range e.srcs {
+				s := &e.srcs[i]
+				if s.qref != nil && !s.qref.Ready(s.qseq) {
+					return nil
+				}
 			}
 		}
 		// Output-queue space for every push this instruction performs
 		// (usually released already at non-speculative completion).
 		var pushes []pushOp
-		if !e.pushed && c.deco[e.pc].hasPush {
+		if !e.pushed && d.hasPush {
 			pushes = c.pushPlan(e)
 			if !queuesHaveSpace(pushes) {
 				c.stats.CommitQueueStall++
@@ -716,7 +888,7 @@ func (c *Core) commitInsts(now int64) error {
 			c.trace(now, StagePush, e, "")
 		}
 		e.pushed = true // the release list must not push this entry again
-		if c.deco[e.pc].hasQSrc {
+		if d.hasQSrc {
 			for i := range e.srcs {
 				if e.srcs[i].qref != nil {
 					e.srcs[i].qref.Free(e.srcs[i].qseq)
@@ -725,28 +897,23 @@ func (c *Core) commitInsts(now int64) error {
 		}
 		if e.isCtl {
 			c.stats.CommittedBranch++
-			if e.inst.Op.IsCondBranch() && e.inst.Op != isa.BCQ {
+			if d.updatesPred {
 				c.pred.Update(e.pc, e.taken)
 			}
-			if e.inst.Op.IsIndirect() {
+			if d.updatesBTB {
 				c.btb.Update(e.pc, e.actualNext)
 			}
 		}
-		switch e.inst.Op {
-		case isa.OUT:
+		switch d.commit {
+		case ckOut:
 			c.output = append(c.output, fmt.Sprintf("%d", int32(uint32(e.result))))
-		case isa.OUTF:
+		case ckOutf:
 			c.output = append(c.output, fmt.Sprintf("%g", math.Float64frombits(e.result)))
-		case isa.HALT:
+		case ckHalt:
 			c.halted = true
 		}
-		if e.inst.Ann.Has(isa.AnnConsumeSCQ) ||
-			(e.inst.Op == isa.GETSCQ && !c.cfg.BlockingSCQ) {
-			id := e.inst.Ann.CMASID()
-			if e.inst.Op == isa.GETSCQ {
-				id = int(e.inst.Imm)
-			}
-			if id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
+		if d.consumeSCQ || (d.isGetSCQ && !c.cfg.BlockingSCQ) {
+			if id := int(d.scqID); id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
 				c.qs.SCQ[id].PopCommitted() // non-blocking credit consume
 			}
 		}
@@ -755,6 +922,7 @@ func (c *Core) commitInsts(now int64) error {
 		}
 		if e.isStore {
 			c.stats.CommittedStores++
+			c.issueClean = false // leaving the LSQ can unblock younger loads
 		}
 		c.stats.Committed++
 		c.recentPCs[c.recentLen%recentPCDepth] = int32(e.pc)
@@ -870,9 +1038,9 @@ func queuesHaveSpace(pushes []pushOp) bool {
 func (c *Core) releasePushes(now int64) {
 	oldestUnresolved := int64(math.MaxInt64)
 	if c.nCtlPending > 0 {
-		for _, w := range c.window {
-			if w.isCtl && !w.completed {
-				oldestUnresolved = w.seq
+		for i, s := range c.stat {
+			if s&(stCtl|stCompleted) == stCtl {
+				oldestUnresolved = c.window[i].seq
 				break
 			}
 		}
@@ -997,44 +1165,48 @@ func (c *Core) writeback(now int64) {
 	}
 	pending := int64(math.MaxInt64)
 	remaining := c.nInflight
-	for _, e := range c.window {
+	for i, s := range c.stat {
 		if remaining == 0 {
 			break // every in-flight entry has been visited
 		}
-		if e.issued && !e.completed {
-			remaining--
-			if e.completeAt > now {
-				if e.completeAt < pending {
-					pending = e.completeAt
-				}
-				continue
+		if s&(stIssued|stCompleted) != stIssued {
+			continue
+		}
+		remaining--
+		if d := c.due[i]; d > now {
+			if d < pending {
+				pending = d
 			}
-			e.completed = true
-			c.nInflight--
-			if e.isCtl {
-				c.nCtlPending--
-			}
-			c.worked = true
-			if len(e.waiters) > 0 {
-				c.wakeWaiters(e)
-			}
+			continue
+		}
+		e := c.window[i]
+		e.completed = true
+		c.stat[i] = s | stCompleted
+		c.issueClean = false // a completion delivers operands / resolves stores
+		c.nInflight--
+		if e.isCtl {
+			c.nCtlPending--
+		}
+		c.worked = true
+		if len(e.waiters) > 0 {
+			c.wakeWaiters(e)
+		}
+		if c.cfg.Tracer != nil {
+			c.trace(now, StageComplete, e, "")
+		}
+		if e.isCtl && e.actualNext != e.predNext {
+			c.stats.Mispredicts++
 			if c.cfg.Tracer != nil {
-				c.trace(now, StageComplete, e, "")
+				c.trace(now, StageSquash, e, fmt.Sprintf("mispredict: %d not %d", e.actualNext, e.predNext))
 			}
-			if e.isCtl && e.actualNext != e.predNext {
-				c.stats.Mispredicts++
-				if c.cfg.Tracer != nil {
-					c.trace(now, StageSquash, e, fmt.Sprintf("mispredict: %d not %d", e.actualNext, e.predNext))
-				}
-				// The squash may drop pending entries and the scan stops
-				// early; reset the bound so the next cycle rescans.
-				c.minComplete = 0
-				c.squashAfter(e)
-				c.pc = e.actualNext
-				c.fetchStopped = false
-				c.flushIFQ()
-				return // window changed; stop scanning
-			}
+			// The squash may drop pending entries and the scan stops
+			// early; reset the bound so the next cycle rescans.
+			c.minComplete = 0
+			c.squashAfter(e)
+			c.pc = e.actualNext
+			c.fetchStopped = false
+			c.flushIFQ()
+			return // window changed; stop scanning
 		}
 	}
 	c.minComplete = pending
@@ -1043,9 +1215,10 @@ func (c *Core) writeback(now int64) {
 // squashAfter removes every entry younger than e, rewinding queue
 // claims and rebuilding the rename table.
 func (c *Core) squashAfter(e *entry) {
-	cut := len(c.window)
-	for i, w := range c.window {
-		if w.seq > e.seq {
+	oldLen := len(c.window)
+	cut := oldLen
+	for i := c.winHead; i < oldLen; i++ {
+		if c.window[i].seq > e.seq {
 			cut = i
 			break
 		}
@@ -1070,6 +1243,12 @@ func (c *Core) squashAfter(e *entry) {
 		c.window[i] = nil
 	}
 	c.window = c.window[:cut]
+	c.stat = c.stat[:cut]
+	c.due = c.due[:cut]
+	c.issueClean = false
+	if c.issueHead > cut {
+		c.issueHead = cut
+	}
 	// Rebuild LSQ, rename table, and the scan counters from survivors.
 	c.lsq = c.lsq[:0]
 	c.nUnissued = 0
@@ -1097,15 +1276,30 @@ func (c *Core) squashAfter(e *entry) {
 // --- issue/execute ---
 
 func (c *Core) issue(now int64) error {
+	if c.issueClean && c.fastIdle && *c.epoch == c.issueEpoch && now < c.issueRetryAt {
+		// Provably fruitless scan: the last one issued nothing, and no
+		// event since could have unblocked an entry (see field comment).
+		return nil
+	}
+	if c.fastIdle {
+		c.issueEpoch = *c.epoch
+	}
+	retryAt := int64(math.MaxInt64)
 	issued := 0
 	remaining := c.nUnissued
-	for _, e := range c.window {
+	i := c.issueHead
+	for i < len(c.window) && c.stat[i]&stIssued != 0 {
+		i++
+	}
+	c.issueHead = i
+	for ; i < len(c.window); i++ {
 		if remaining == 0 || issued >= c.cfg.IssueWidth {
 			break
 		}
-		if e.issued {
+		if c.stat[i]&stIssued != 0 {
 			continue
 		}
+		e := c.window[i]
 		remaining--
 		if e.qpend > 0 {
 			c.refreshOperands(e)
@@ -1122,6 +1316,8 @@ func (c *Core) issue(now int64) error {
 			}
 			if e.addrReady && e.srcs[1].ready && !e.issued {
 				e.issued = true
+				c.stat[i] |= stIssued
+				c.due[i] = now + 1
 				c.nUnissued--
 				c.nInflight++
 				e.completed = false
@@ -1153,6 +1349,8 @@ func (c *Core) issue(now int64) error {
 					e.execErr = err
 				}
 				e.issued = true
+				c.stat[i] |= stIssued
+				c.due[i] = now + 1
 				c.nUnissued--
 				c.nInflight++
 				e.completeAt = now + 1
@@ -1164,11 +1362,16 @@ func (c *Core) issue(now int64) error {
 				continue
 			}
 			if !c.memPorts.acquire(now, 1) {
+				if t := c.memPorts.nextFree(); t < retryAt {
+					retryAt = t
+				}
 				continue
 			}
 			done := c.hier.Access(now, e.addr, false, c.cfg.Prefetching || e.inst.Op == isa.PREF)
 			c.loadValue(e)
 			e.issued = true
+			c.stat[i] |= stIssued
+			c.due[i] = done
 			c.nUnissued--
 			c.nInflight++
 			e.completeAt = done
@@ -1185,11 +1388,21 @@ func (c *Core) issue(now int64) error {
 		}
 		d := &c.deco[e.pc]
 		if pool := c.poolByID(d.pool); pool != nil && !pool.acquire(now, d.occupy) {
+			if t := pool.nextFree(); t < retryAt {
+				retryAt = t
+			}
 			continue
 		}
 		c.execute(now, e, d.lat)
+		c.stat[i] |= stIssued
+		c.due[i] = e.completeAt
 		issued++
 	}
+	// A scan that issued anything may have unblocked entries it already
+	// passed (or was truncated by the issue width); only a fully
+	// fruitless scan arms the gate.
+	c.issueClean = issued == 0
+	c.issueRetryAt = retryAt
 	return nil
 }
 
@@ -1240,9 +1453,9 @@ func (c *Core) wakeWaiters(e *entry) {
 // store with an identical address range and ready data forwards; any
 // other overlap waits.
 func (c *Core) loadDisambiguate(e *entry) (ok bool, fwd *entry, wait bool) {
-	lo, hi := e.addr, e.addr+uint32(memSize(e.inst.Op))
+	lo, hi := e.addr, e.addr+c.deco[e.pc].msize
 	var newestFwd *entry
-	for _, s := range c.lsq {
+	for _, s := range c.lsq[c.lsqHead:] {
 		if s.seq >= e.seq {
 			break
 		}
@@ -1252,7 +1465,7 @@ func (c *Core) loadDisambiguate(e *entry) (ok bool, fwd *entry, wait bool) {
 		if !s.addrReady {
 			return false, nil, true
 		}
-		slo, shi := s.addr, s.addr+uint32(memSize(s.inst.Op))
+		slo, shi := s.addr, s.addr+c.deco[s.pc].msize
 		if hi <= slo || shi <= lo {
 			continue // disjoint
 		}
@@ -1305,29 +1518,6 @@ func memSize(op isa.Op) int {
 	default:
 		return 4
 	}
-}
-
-// poolFor maps an operation to its functional unit pool and occupancy.
-func (c *Core) poolFor(op isa.Op) (*fuPool, int64) {
-	cl := op.Class()
-	lat := int64(cl.Latency())
-	occupy := int64(1)
-	if !cl.Pipelined() {
-		occupy = lat
-	}
-	switch cl {
-	case isa.ClassIntALU, isa.ClassBranch, isa.ClassQueue:
-		return &c.intALU, occupy
-	case isa.ClassIntMul, isa.ClassIntDiv:
-		return &c.intMulDv, occupy
-	case isa.ClassFPAdd:
-		return &c.fpALU, occupy
-	case isa.ClassFPMul, isa.ClassFPDiv:
-		return &c.fpMulDv, occupy
-	case isa.ClassLoad, isa.ClassStore:
-		return &c.memPorts, occupy
-	}
-	return nil, 0
 }
 
 // poolByID maps a dec.pool id to the core's functional-unit pool.
@@ -1467,7 +1657,7 @@ func (c *Core) dispatch(now int64) {
 
 func (c *Core) dispatchInsts(now int64) {
 	for n := 0; n < c.cfg.IssueWidth && c.ifqLen() > 0; n++ {
-		if len(c.window) >= c.cfg.WindowSize {
+		if len(c.window)-c.winHead >= c.cfg.WindowSize {
 			c.stats.DispatchStalls++
 			return
 		}
@@ -1475,13 +1665,13 @@ func (c *Core) dispatchInsts(now int64) {
 		in := &c.prog.Insts[f.pc]
 		d := &c.deco[f.pc]
 		isMem := d.isMem
-		if isMem && len(c.lsq) >= c.cfg.LSQSize {
+		if isMem && len(c.lsq)-c.lsqHead >= c.cfg.LSQSize {
 			c.stats.DispatchStalls++
 			return
 		}
 		c.ifqHead++
 		c.worked = true
-		if (in.Op == isa.BCQ || in.Op == isa.JCQ) && c.fetchCQPeek > 0 {
+		if d.isCQCtl && c.fetchCQPeek > 0 {
 			c.fetchCQPeek--
 		}
 
@@ -1508,7 +1698,15 @@ func (c *Core) dispatchInsts(now int64) {
 		for si := 0; si < nsrc; si++ {
 			r := d.src[si]
 			s := &e.srcsBuf[si]
-			*s = srcOperand{reg: r}
+			// Field-by-field initialization: a whole-struct composite
+			// assignment copies the 40-byte srcOperand through a
+			// temporary on every operand of every dispatch. qseq may
+			// stay stale — it is only read when qref is non-nil.
+			s.reg = r
+			s.ready = false
+			s.val = 0
+			s.producer = nil
+			s.qref = nil
 			switch {
 			case r.IsQueue():
 				q := c.popQ[r]
@@ -1545,7 +1743,7 @@ func (c *Core) dispatchInsts(now int64) {
 		// In blocking mode GETSCQ consumes a slip-control credit as a
 		// hidden operand (in non-blocking mode the credit, if present,
 		// is consumed at commit).
-		if in.Op == isa.GETSCQ && c.cfg.BlockingSCQ {
+		if d.isGetSCQ && c.cfg.BlockingSCQ {
 			id := int(in.Imm)
 			if id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
 				q := c.qs.SCQ[id]
@@ -1557,7 +1755,7 @@ func (c *Core) dispatchInsts(now int64) {
 		if e.dest.IsArch() && e.dest != isa.R0 {
 			c.rename[e.dest] = e
 		}
-		if in.Op == isa.NOP || in.Op == isa.HALT {
+		if d.noExec {
 			e.issued = true
 			e.completed = true
 			e.completeAt = now
@@ -1574,8 +1772,8 @@ func (c *Core) dispatchInsts(now int64) {
 			c.pushList = append(c.pushList, e)
 		}
 
-		if c.cfg.EnableTriggers && in.Ann.Has(isa.AnnTrigger) && c.OnTrigger != nil {
-			c.OnTrigger(in.Ann.CMASID(), c.intR, c.fpR)
+		if c.cfg.EnableTriggers && d.trigger && c.OnTrigger != nil {
+			c.OnTrigger(in.Ann.CMASID(), &c.intR, &c.fpR)
 		}
 
 		// Control-queue branches resolve at dispatch when their token
@@ -1584,7 +1782,7 @@ func (c *Core) dispatchInsts(now int64) {
 		// fetch queue — no window squash, no mispredict penalty. This
 		// is the hardware benefit of an *architectural* control queue
 		// over prediction.
-		if (in.Op == isa.BCQ || in.Op == isa.JCQ) && len(e.srcs) == 1 &&
+		if d.isCQCtl && len(e.srcs) == 1 &&
 			e.srcs[0].qref != nil && e.srcs[0].qref.Ready(e.srcs[0].qseq) {
 			v := e.srcs[0].qref.ValueAt(e.srcs[0].qseq)
 			e.srcs[0].val = v
@@ -1606,12 +1804,24 @@ func (c *Core) dispatchInsts(now int64) {
 			}
 		}
 
-		if !e.issued {
+		var s uint8
+		if e.issued {
+			s |= stIssued
+		} else {
 			c.nUnissued++
 		}
-		if e.isCtl && !e.completed {
-			c.nCtlPending++
+		if e.completed {
+			s |= stCompleted
 		}
+		if e.isCtl {
+			s |= stCtl
+			if !e.completed {
+				c.nCtlPending++
+			}
+		}
+		c.stat = append(c.stat, s)
+		c.due = append(c.due, e.completeAt)
+		c.issueClean = false // the new entry is an issue candidate
 	}
 }
 
@@ -1672,23 +1882,24 @@ func (c *Core) fetch(now int64) {
 			c.worked = true
 			return
 		}
-		in := &c.prog.Insts[c.pc]
+		d := &c.deco[c.pc]
 		next := c.pc + 1
 		taken := false
-		switch {
-		case in.Op == isa.HALT:
+		switch d.ctlKind {
+		case ctlNone:
+		case ctlHalt:
 			c.ifq = append(c.ifq, fetched{pc: c.pc, predNext: next})
 			c.fetchStopped = true
 			c.worked = true
 			return
-		case in.Op == isa.J:
-			next = in.Target()
+		case ctlJ:
+			next = d.target
 			taken = true
-		case in.Op == isa.JAL:
+		case ctlJAL:
 			c.ras.Push(c.pc + 1)
-			next = in.Target()
+			next = d.target
 			taken = true
-		case in.Op == isa.BCQ, in.Op == isa.JCQ:
+		case ctlCQBranch, ctlCQJump:
 			// Steer fetch down the queued control token when it is
 			// already present: the architectural queue replaces
 			// prediction. The dispatch-time claim verifies the
@@ -1696,9 +1907,9 @@ func (c *Core) fetch(now int64) {
 			steered := false
 			if q := c.popQ[isa.RegCQ]; q != nil {
 				if v, ok := q.PeekFuture(c.fetchCQPeek); ok {
-					if in.Op == isa.BCQ {
+					if d.ctlKind == ctlCQBranch {
 						if v != 0 {
-							next = in.Target()
+							next = d.target
 							taken = true
 						}
 					} else if t, ok := c.translateJCQ(v); ok {
@@ -1709,9 +1920,9 @@ func (c *Core) fetch(now int64) {
 				}
 			}
 			if !steered {
-				if in.Op == isa.BCQ {
+				if d.ctlKind == ctlCQBranch {
 					if c.predictTaken(now) {
-						next = in.Target()
+						next = d.target
 						taken = true
 					}
 				} else if t, ok := c.btb.Lookup(c.pc); ok {
@@ -1720,24 +1931,28 @@ func (c *Core) fetch(now int64) {
 				}
 			}
 			c.fetchCQPeek++
-		case in.Op == isa.JR, in.Op == isa.JALR:
-			if in.Op == isa.JR && in.Rs == isa.RA {
-				if t, ok := c.ras.Pop(); ok {
-					next = t
-					taken = true
-					break
-				}
+		case ctlJRRA:
+			if t, ok := c.ras.Pop(); ok {
+				next = t
+				taken = true
+			} else if t, ok := c.btb.Lookup(c.pc); ok {
+				next = t
+				taken = true
 			}
+		case ctlJR:
 			if t, ok := c.btb.Lookup(c.pc); ok {
 				next = t
 				taken = true
 			}
-			if in.Op == isa.JALR {
-				c.ras.Push(c.pc + 1)
+		case ctlJALR:
+			if t, ok := c.btb.Lookup(c.pc); ok {
+				next = t
+				taken = true
 			}
-		case in.Op.IsCondBranch():
+			c.ras.Push(c.pc + 1)
+		case ctlCond:
 			if c.predictTaken(now) {
-				next = in.Target()
+				next = d.target
 				taken = true
 			}
 		}
@@ -1769,6 +1984,9 @@ func (c *Core) StallMemPorts(until int64) {
 			c.memPorts.busyUntil[i] = until
 		}
 	}
+	// A recorded issue retry time may now be stale-early; rescanning is
+	// always safe, so just disarm the gate.
+	c.issueClean = false
 }
 
 // recentPCDepth is the committed-PC ring buffer depth kept per core
@@ -1840,10 +2058,10 @@ func (c *Core) FaultState() simfault.CoreState {
 // DescribeHead reports the oldest window entry's state for deadlock
 // diagnostics.
 func (c *Core) DescribeHead() string {
-	if len(c.window) == 0 {
+	if c.winHead >= len(c.window) {
 		return fmt.Sprintf("%s: window empty, pc=%d fetchStopped=%v ifq=%d", c.cfg.Name, c.pc, c.fetchStopped, c.ifqLen())
 	}
-	e := c.window[0]
+	e := c.window[c.winHead]
 	s := fmt.Sprintf("%s head: pc=%d %q issued=%v completed=%v completeAt=%d addrReady=%v",
 		c.cfg.Name, e.pc, e.inst.String(), e.issued, e.completed, e.completeAt, e.addrReady)
 	for i := range e.srcs {
@@ -1863,10 +2081,10 @@ func (c *Core) DescribeHead() string {
 // accountStalls attributes head-of-window wait reasons for the LOD
 // analysis.
 func (c *Core) accountStalls(now int64) {
-	if len(c.window) == 0 {
+	if c.winHead >= len(c.window) {
 		return
 	}
-	e := c.window[0]
+	e := c.window[c.winHead]
 	if e.completed {
 		return
 	}

@@ -348,7 +348,7 @@ func TestCMPPrefetchesAndCloses(t *testing.T) {
 	e, _, h := newCMPTestEngine(t, 256)
 	var ir [isa.NumIntRegs]uint32
 	ir[isa.R2] = 0x1000_0000
-	e.Fork(0, ir, [isa.NumFPRegs]float64{})
+	e.Fork(0, &ir, &[isa.NumFPRegs]float64{})
 	scq := e.SCQ(0) // forking starts a fresh queue generation
 	for now := int64(0); now < 100000 && e.ActiveContexts() > 0; now++ {
 		if err := e.Cycle(now); err != nil {
@@ -380,7 +380,7 @@ func TestCMPThrottledBySCQ(t *testing.T) {
 	e, _, _ := newCMPTestEngine(t, 4)
 	var ir [isa.NumIntRegs]uint32
 	ir[isa.R2] = 0x1000_0000
-	e.Fork(0, ir, [isa.NumFPRegs]float64{})
+	e.Fork(0, &ir, &[isa.NumFPRegs]float64{})
 	scq := e.SCQ(0)
 	for now := int64(0); now < 5000; now++ {
 		if err := e.Cycle(now); err != nil {
@@ -414,8 +414,8 @@ func TestCMPThrottledBySCQ(t *testing.T) {
 func TestCMPForkIgnoredWhileRunning(t *testing.T) {
 	e, _, _ := newCMPTestEngine(t, 256)
 	var ir [isa.NumIntRegs]uint32
-	e.Fork(0, ir, [isa.NumFPRegs]float64{})
-	e.Fork(0, ir, [isa.NumFPRegs]float64{})
+	e.Fork(0, &ir, &[isa.NumFPRegs]float64{})
+	e.Fork(0, &ir, &[isa.NumFPRegs]float64{})
 	if e.Stats().Forks != 1 || e.Stats().ForksIgnored != 1 {
 		t.Errorf("forks %d ignored %d", e.Stats().Forks, e.Stats().ForksIgnored)
 	}
@@ -423,7 +423,7 @@ func TestCMPForkIgnoredWhileRunning(t *testing.T) {
 
 func TestCMPShutdown(t *testing.T) {
 	e, _, _ := newCMPTestEngine(t, 256)
-	e.Fork(0, [isa.NumIntRegs]uint32{}, [isa.NumFPRegs]float64{})
+	e.Fork(0, &[isa.NumIntRegs]uint32{}, &[isa.NumFPRegs]float64{})
 	scq := e.SCQ(0)
 	e.Shutdown()
 	if e.ActiveContexts() != 0 {
@@ -442,7 +442,7 @@ func TestCMPStoreRejected(t *testing.T) {
 	h, _ := mem.NewHierarchy(mem.DefaultHierConfig())
 	prog := []isa.Inst{{Op: isa.SW, Rs: isa.R2, Rt: isa.R3}, {Op: isa.HALT}}
 	e := NewCMP(CMPConfig{}, [][]isa.Inst{prog}, m, h, []*queue.Queue{queue.New("s", 4)})
-	e.Fork(0, [isa.NumIntRegs]uint32{}, [isa.NumFPRegs]float64{})
+	e.Fork(0, &[isa.NumIntRegs]uint32{}, &[isa.NumFPRegs]float64{})
 	var err error
 	for now := int64(0); now < 10 && err == nil; now++ {
 		err = e.Cycle(now)
@@ -458,7 +458,7 @@ func TestCMPRunawayGuard(t *testing.T) {
 	prog := []isa.Inst{{Op: isa.J, Imm: 0}} // infinite loop
 	scq := queue.New("s", 4)
 	e := NewCMP(CMPConfig{MaxInstsPerThread: 100}, [][]isa.Inst{prog}, m, h, []*queue.Queue{scq})
-	e.Fork(0, [isa.NumIntRegs]uint32{}, [isa.NumFPRegs]float64{})
+	e.Fork(0, &[isa.NumIntRegs]uint32{}, &[isa.NumFPRegs]float64{})
 	scq = e.SCQ(0)
 	for now := int64(0); now < 10000 && e.ActiveContexts() > 0; now++ {
 		if err := e.Cycle(now); err != nil {
@@ -492,7 +492,7 @@ func TestCMPDynamicDistanceGrows(t *testing.T) {
 	var ir [isa.NumIntRegs]uint32
 	ir[isa.R1] = 400
 	ir[isa.R2] = 0x1000_0000
-	e.Fork(0, ir, [isa.NumFPRegs]float64{})
+	e.Fork(0, &ir, &[isa.NumFPRegs]float64{})
 	for now := int64(0); now < 100000 && e.ActiveContexts() > 0; now++ {
 		if err := e.Cycle(now); err != nil {
 			t.Fatal(err)
@@ -525,7 +525,7 @@ func TestCMPDynamicDistanceIdleWhenFilling(t *testing.T) {
 	var ir [isa.NumIntRegs]uint32
 	ir[isa.R1] = 300
 	ir[isa.R2] = 0x1000_0000
-	e.Fork(0, ir, [isa.NumFPRegs]float64{})
+	e.Fork(0, &ir, &[isa.NumFPRegs]float64{})
 	for now := int64(0); now < 100000 && e.ActiveContexts() > 0; now++ {
 		if err := e.Cycle(now); err != nil {
 			t.Fatal(err)

@@ -78,6 +78,11 @@ type Runner struct {
 	// own bounded cache — the hidisc-serve LRU — set this so a runner
 	// serving an unbounded job stream cannot grow without bound.
 	NoMemo bool
+	// NoCompile forces the functional reference run and the cache
+	// profile onto the pure fnsim interpreter instead of the
+	// basic-block-compiled fast path. Both paths are bit-identical by
+	// contract; the differential tests set this to prove it.
+	NoCompile bool
 
 	mu       sync.Mutex
 	compiled map[string]*compileEntry
@@ -136,7 +141,11 @@ func (r *Runner) compile(name string) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, err := fnsim.RunProgram(p, w.MaxInsts)
+	runRef, runProf := fnsim.RunProgram, profile.CacheProfile
+	if r.NoCompile {
+		runRef, runProf = fnsim.RunProgramInterp, profile.CacheProfileInterp
+	}
+	ref, err := runRef(p, w.MaxInsts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: reference run: %w", name, err)
 	}
@@ -144,7 +153,7 @@ func (r *Runner) compile(name string) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: separate: %w", name, err)
 	}
-	prof, err := profile.CacheProfile(p, r.Hier, w.MaxInsts)
+	prof, err := runProf(p, r.Hier, w.MaxInsts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: profile: %w", name, err)
 	}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/workloads"
+)
+
+// TestNoCompileMachineParity is the machine-level differential test
+// for the compiled fnsim fast path: a runner whose reference run and
+// cache profile come from the basic-block-compiled simulator must
+// produce measurements bit-identical to a NoCompile (pure interpreter)
+// runner — same cycles, same stats, same machine.Result — for every
+// workload x architecture. The paper-scale matrix is skipped in short
+// mode and under the race detector (see raceEnabled); the test-scale
+// matrix always runs.
+func TestNoCompileMachineParity(t *testing.T) {
+	scales := []workloads.Scale{workloads.ScaleTest}
+	if !testing.Short() && !raceEnabled {
+		scales = append(scales, workloads.ScalePaper)
+	}
+	for _, sc := range scales {
+		fast := NewRunner(sc)
+		interp := NewRunner(sc)
+		interp.NoCompile = true
+		label := "test"
+		if sc == workloads.ScalePaper {
+			label = "paper"
+		}
+		t.Run(label, func(t *testing.T) {
+			for _, name := range workloads.Names() {
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					cf, err := fast.Compile(name)
+					if err != nil {
+						t.Fatalf("compiled-path compile: %v", err)
+					}
+					ci, err := interp.Compile(name)
+					if err != nil {
+						t.Fatalf("interp-path compile: %v", err)
+					}
+					if cf.SeqInsts != ci.SeqInsts {
+						t.Errorf("SeqInsts: compiled %d, interp %d", cf.SeqInsts, ci.SeqInsts)
+					}
+					for _, arch := range machine.Arches {
+						mf, err := fast.Run(name, arch, fast.Hier)
+						if err != nil {
+							t.Fatalf("%s compiled-path run: %v", arch, err)
+						}
+						mi, err := interp.Run(name, arch, interp.Hier)
+						if err != nil {
+							t.Fatalf("%s interp-path run: %v", arch, err)
+						}
+						if !reflect.DeepEqual(mf, mi) {
+							t.Errorf("%s: measurement diverges between compiled and interpreted reference paths:\ncompiled: %+v\ninterp:   %+v", arch, mf, mi)
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled gates the paper-scale differential matrix out of the
+// race gate: the detector's ~10x slowdown on two full Figure 8 passes
+// would dominate CI, and the memory-model interleavings it probes are
+// already exercised by the test-scale pass.
+const raceEnabled = true

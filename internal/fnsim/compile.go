@@ -1,0 +1,562 @@
+// Compiled simulation: instead of re-interpreting an immutable program
+// one Step at a time, each basic block (cfg.Build) is pre-translated
+// into a chain of specialized closures — one func(*Sim) error per
+// instruction with operand registers, immediates and successor PCs
+// resolved at translate time. Blocks execute straight-line with a
+// single PC update at the block edge, and the per-instruction queue /
+// annotation checks of the interpreter are elided entirely for the
+// (overwhelmingly common) queue-free block.
+//
+// The fallback contract: any instruction the translator cannot
+// specialize — queue operations (pops, pushes, taps, BCQ/JCQ,
+// GETSCQ/PUTSCQ), OUT/OUTF/HALT, statically invalid operand classes,
+// unknown ops — marks its whole block as interp, and Run executes that
+// block through the ordinary Step interpreter. Fallback therefore
+// happens only at block boundaries, the interpreter and the compiled
+// chain observe identical architectural state at every boundary, and
+// Step-level co-simulation (internal/slicer) is untouched. Results are
+// bit-identical to the interpreter — registers, memory, output,
+// instruction counts, error strings and the Sim state at an error —
+// pinned by the differential and fuzz tests.
+//
+// A second, MemObserver-aware translation of every block serves the
+// cache profiler without putting an observer nil-check in the plain
+// fast path; the two translations share the closures of non-memory
+// instructions.
+package fnsim
+
+import (
+	"fmt"
+	"math"
+
+	"hidisc/internal/cfg"
+	"hidisc/internal/isa"
+)
+
+// cop is one translated instruction. Intermediate closures of a block
+// never touch s.pc; the block's last closure performs the single PC
+// update. A closure that fails rewinds s.pc to its own instruction
+// first, so the Sim is left exactly as the interpreter would leave it.
+type cop func(*Sim) error
+
+// cblock is the translation of one basic block.
+type cblock struct {
+	start, end int
+	interp     bool  // execute through Step (fallback contract above)
+	ops        []cop // plain translation
+	obsOps     []cop // MemObserver-aware translation
+}
+
+// code is the compiled form of one program.
+type code struct {
+	blocks  []cblock
+	blockOf []int // pc -> block index
+}
+
+// compile translates p. It returns nil when no control-flow graph can
+// be built at all (empty program, control target or entry outside the
+// instruction range); the caller then runs the whole program on the
+// interpreter, which reports such conditions lazily and only if
+// actually executed.
+func compile(p *isa.Program) *code {
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil
+	}
+	c := &code{blocks: make([]cblock, len(g.Blocks)), blockOf: g.BlockOf}
+	qfree := queueFree(p)
+	for i, b := range g.Blocks {
+		cb := &c.blocks[i]
+		cb.start, cb.end = b.Start, b.End
+		cb.ops = make([]cop, 0, b.End-b.Start)
+		cb.obsOps = make([]cop, 0, b.End-b.Start)
+		for pc := b.Start; pc < b.End; pc++ {
+			plain, obs := translate(p, pc, b.End, qfree)
+			if plain == nil {
+				cb.interp = true
+				cb.ops, cb.obsOps = nil, nil
+				break
+			}
+			cb.ops = append(cb.ops, plain)
+			cb.obsOps = append(cb.obsOps, obs)
+		}
+	}
+	return c
+}
+
+// queueFree reports, per pc, that the instruction touches no
+// architectural queue in any way (operands, destination, taps or
+// control-queue annotations) — the same derivation New caches in usesQ.
+func queueFree(p *isa.Program) []bool {
+	out := make([]bool, len(p.Insts))
+	for i, in := range p.Insts {
+		uses := in.Dest().IsQueue() ||
+			in.Ann.Has(isa.AnnTapLDQ) || in.Ann.Has(isa.AnnTapSDQ) || in.Ann.Has(isa.AnnPushCQ)
+		src, n := in.SourceList()
+		for j := 0; j < n; j++ {
+			if src[j].IsQueue() {
+				uses = true
+			}
+		}
+		out[i] = !uses
+	}
+	return out
+}
+
+// translate builds the plain and MemObserver-aware closures for the
+// instruction at pc inside a block ending at end. A nil plain closure
+// means the instruction is unspecializable and its block must fall
+// back to the interpreter.
+func translate(p *isa.Program, pc, end int, qfree []bool) (plain, obs cop) {
+	in := p.Insts[pc]
+	if !qfree[pc] {
+		return nil, nil
+	}
+	last := pc == end-1
+	rd, rs, rt := in.Rd, in.Rs, in.Rt
+
+	// seal attaches the block-edge PC update to the last closure of a
+	// block ending in a non-control instruction.
+	seal := func(op cop) cop {
+		if op == nil || !last {
+			return op
+		}
+		return func(s *Sim) error {
+			if err := op(s); err != nil {
+				return err
+			}
+			s.pc = end
+			return nil
+		}
+	}
+	// sealed finalises an op whose plain and observer translations are
+	// identical (everything except memory instructions).
+	sealed := func(op cop) (cop, cop) {
+		sp := seal(op)
+		return sp, sp
+	}
+	sealMem := func(plainOp, obsOp cop) (cop, cop) {
+		return seal(plainOp), seal(obsOp)
+	}
+
+	switch in.Op {
+	case isa.NOP:
+		return sealed(func(s *Sim) error { s.instCount++; return nil })
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
+		isa.NOR, isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU:
+		if !rs.IsInt() || !rt.IsInt() || !rd.IsInt() {
+			return nil, nil
+		}
+		return sealed(genIntALU3(in.Op, rd, rs, rt, pc))
+
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI, isa.SLTI:
+		if !rs.IsInt() || !rd.IsInt() {
+			return nil, nil
+		}
+		return sealed(genIntALUImm(in.Op, rd, rs, in.Imm))
+
+	case isa.LI:
+		if !rd.IsInt() {
+			return nil, nil
+		}
+		v := uint32(in.Imm)
+		return sealed(func(s *Sim) error {
+			if rd != isa.R0 {
+				s.intR[rd] = v
+			}
+			s.instCount++
+			return nil
+		})
+	case isa.LUI:
+		if !rd.IsInt() {
+			return nil, nil
+		}
+		v := uint32(in.Imm) << 16
+		return sealed(func(s *Sim) error {
+			if rd != isa.R0 {
+				s.intR[rd] = v
+			}
+			s.instCount++
+			return nil
+		})
+
+	case isa.LW, isa.LBU, isa.LFD, isa.SW, isa.SB, isa.SFD, isa.PREF:
+		return sealMem(genMem(in, pc))
+
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+		if !rs.IsFP() || !rt.IsFP() || !rd.IsFP() {
+			return nil, nil
+		}
+		return sealed(genFP3(in.Op, rd.FPIndex(), rs.FPIndex(), rt.FPIndex()))
+
+	case isa.FMOV, isa.FNEG, isa.FABS:
+		if !rs.IsFP() || !rd.IsFP() {
+			return nil, nil
+		}
+		return sealed(genFP2(in.Op, rd.FPIndex(), rs.FPIndex()))
+
+	case isa.CVTIF:
+		if !rs.IsInt() || !rd.IsFP() {
+			return nil, nil
+		}
+		rdi := rd.FPIndex()
+		return sealed(func(s *Sim) error {
+			s.fpR[rdi] = float64(int32(s.intR[rs]))
+			s.instCount++
+			return nil
+		})
+	case isa.CVTFI:
+		if !rs.IsFP() || !rd.IsInt() {
+			return nil, nil
+		}
+		rsi := rs.FPIndex()
+		return sealed(func(s *Sim) error {
+			if rd != isa.R0 {
+				s.intR[rd] = uint32(int32(math.Trunc(s.fpR[rsi])))
+			}
+			s.instCount++
+			return nil
+		})
+
+	case isa.FLT, isa.FLE, isa.FEQ:
+		if !rs.IsFP() || !rt.IsFP() || !rd.IsInt() {
+			return nil, nil
+		}
+		return sealed(genFPCmp(in.Op, rd, rs.FPIndex(), rt.FPIndex()))
+
+	case isa.BEQ, isa.BNE, isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ,
+		isa.J, isa.JAL, isa.JR, isa.JALR:
+		if !last {
+			return nil, nil // control always ends a block; be defensive
+		}
+		op := genControl(in, pc, end)
+		return op, op
+
+	default:
+		// HALT, OUT, OUTF, GETSCQ, PUTSCQ, BCQ, JCQ (the last two are
+		// already rejected by the queue-free gate) and anything unknown:
+		// interpreter territory.
+		return nil, nil
+	}
+}
+
+// genIntALU3 translates the three-register integer ALU group. DIV and
+// REM capture pc for the division-by-zero error, which must leave the
+// Sim exactly as the interpreter does (pc at the faulting instruction,
+// instruction not counted).
+func genIntALU3(op isa.Op, rd, rs, rt isa.Reg, pc int) cop {
+	set := func(s *Sim, v uint32) {
+		if rd != isa.R0 {
+			s.intR[rd] = v
+		}
+		s.instCount++
+	}
+	switch op {
+	case isa.ADD:
+		return func(s *Sim) error { set(s, s.intR[rs]+s.intR[rt]); return nil }
+	case isa.SUB:
+		return func(s *Sim) error { set(s, s.intR[rs]-s.intR[rt]); return nil }
+	case isa.MUL:
+		return func(s *Sim) error { set(s, uint32(int32(s.intR[rs])*int32(s.intR[rt]))); return nil }
+	case isa.DIV:
+		return func(s *Sim) error {
+			b := s.intR[rt]
+			if b == 0 {
+				s.pc = pc
+				return fmt.Errorf("fnsim: pc %d: integer division by zero", pc)
+			}
+			set(s, uint32(int32(s.intR[rs])/int32(b)))
+			return nil
+		}
+	case isa.REM:
+		return func(s *Sim) error {
+			b := s.intR[rt]
+			if b == 0 {
+				s.pc = pc
+				return fmt.Errorf("fnsim: pc %d: integer remainder by zero", pc)
+			}
+			set(s, uint32(int32(s.intR[rs])%int32(b)))
+			return nil
+		}
+	case isa.AND:
+		return func(s *Sim) error { set(s, s.intR[rs]&s.intR[rt]); return nil }
+	case isa.OR:
+		return func(s *Sim) error { set(s, s.intR[rs]|s.intR[rt]); return nil }
+	case isa.XOR:
+		return func(s *Sim) error { set(s, s.intR[rs]^s.intR[rt]); return nil }
+	case isa.NOR:
+		return func(s *Sim) error { set(s, ^(s.intR[rs] | s.intR[rt])); return nil }
+	case isa.SLL:
+		return func(s *Sim) error { set(s, s.intR[rs]<<(s.intR[rt]&31)); return nil }
+	case isa.SRL:
+		return func(s *Sim) error { set(s, s.intR[rs]>>(s.intR[rt]&31)); return nil }
+	case isa.SRA:
+		return func(s *Sim) error { set(s, uint32(int32(s.intR[rs])>>(s.intR[rt]&31))); return nil }
+	case isa.SLT:
+		return func(s *Sim) error { set(s, b2u(int32(s.intR[rs]) < int32(s.intR[rt]))); return nil }
+	case isa.SLTU:
+		return func(s *Sim) error { set(s, b2u(s.intR[rs] < s.intR[rt])); return nil }
+	}
+	return nil
+}
+
+// genIntALUImm translates the immediate integer ALU group.
+func genIntALUImm(op isa.Op, rd, rs isa.Reg, imm int32) cop {
+	b := uint32(imm)
+	set := func(s *Sim, v uint32) {
+		if rd != isa.R0 {
+			s.intR[rd] = v
+		}
+		s.instCount++
+	}
+	switch op {
+	case isa.ADDI:
+		return func(s *Sim) error { set(s, s.intR[rs]+b); return nil }
+	case isa.ANDI:
+		return func(s *Sim) error { set(s, s.intR[rs]&b); return nil }
+	case isa.ORI:
+		return func(s *Sim) error { set(s, s.intR[rs]|b); return nil }
+	case isa.XORI:
+		return func(s *Sim) error { set(s, s.intR[rs]^b); return nil }
+	case isa.SLLI:
+		return func(s *Sim) error { set(s, s.intR[rs]<<(b&31)); return nil }
+	case isa.SRLI:
+		return func(s *Sim) error { set(s, s.intR[rs]>>(b&31)); return nil }
+	case isa.SRAI:
+		return func(s *Sim) error { set(s, uint32(int32(s.intR[rs])>>(b&31))); return nil }
+	case isa.SLTI:
+		return func(s *Sim) error { set(s, b2u(int32(s.intR[rs]) < imm)); return nil }
+	}
+	return nil
+}
+
+// genMem translates loads, stores and PREF, returning the plain and
+// MemObserver-aware variants. The observer fires after the instruction
+// has executed and been counted, so InstCount() inside the callback is
+// the same per-instruction clock the interpreter's post-step observer
+// sees (the Sim's PC is unspecified during the callback).
+func genMem(in isa.Inst, pc int) (plain, obs cop) {
+	rd, rs, rt := in.Rd, in.Rs, in.Rt
+	if !rs.IsInt() {
+		return nil, nil
+	}
+	uimm := uint32(in.Imm)
+	switch in.Op {
+	case isa.LW:
+		if !rd.IsInt() {
+			return nil, nil
+		}
+		load := func(s *Sim) uint32 {
+			a := s.intR[rs] + uimm
+			if rd != isa.R0 {
+				s.intR[rd] = s.Mem.Read32(a)
+			}
+			s.instCount++
+			return a
+		}
+		return func(s *Sim) error { load(s); return nil },
+			func(s *Sim) error { s.MemObserver(pc, load(s), true, false); return nil }
+	case isa.LBU:
+		if !rd.IsInt() {
+			return nil, nil
+		}
+		load := func(s *Sim) uint32 {
+			a := s.intR[rs] + uimm
+			if rd != isa.R0 {
+				s.intR[rd] = uint32(s.Mem.Read8(a))
+			}
+			s.instCount++
+			return a
+		}
+		return func(s *Sim) error { load(s); return nil },
+			func(s *Sim) error { s.MemObserver(pc, load(s), true, false); return nil }
+	case isa.LFD:
+		if !rd.IsFP() {
+			return nil, nil
+		}
+		rdi := rd.FPIndex()
+		load := func(s *Sim) uint32 {
+			a := s.intR[rs] + uimm
+			s.fpR[rdi] = s.Mem.ReadFloat64(a)
+			s.instCount++
+			return a
+		}
+		return func(s *Sim) error { load(s); return nil },
+			func(s *Sim) error { s.MemObserver(pc, load(s), true, false); return nil }
+	case isa.SW, isa.SB:
+		if !rt.IsInt() {
+			return nil, nil
+		}
+		byteWide := in.Op == isa.SB
+		store := func(s *Sim) uint32 {
+			a := s.intR[rs] + uimm
+			if byteWide {
+				s.Mem.Write8(a, byte(s.intR[rt]))
+			} else {
+				s.Mem.Write32(a, s.intR[rt])
+			}
+			s.instCount++
+			return a
+		}
+		return func(s *Sim) error { store(s); return nil },
+			func(s *Sim) error { s.MemObserver(pc, store(s), false, false); return nil }
+	case isa.SFD:
+		if !rt.IsFP() {
+			return nil, nil
+		}
+		rti := rt.FPIndex()
+		store := func(s *Sim) uint32 {
+			a := s.intR[rs] + uimm
+			s.Mem.WriteFloat64(a, s.fpR[rti])
+			s.instCount++
+			return a
+		}
+		return func(s *Sim) error { store(s); return nil },
+			func(s *Sim) error { s.MemObserver(pc, store(s), false, false); return nil }
+	case isa.PREF:
+		// No architectural effect: the plain translation only counts.
+		return func(s *Sim) error { s.instCount++; return nil },
+			func(s *Sim) error {
+				a := s.intR[rs] + uimm
+				s.instCount++
+				s.MemObserver(pc, a, false, true)
+				return nil
+			}
+	}
+	return nil, nil
+}
+
+// genFP3 translates the three-register FP arithmetic group.
+func genFP3(op isa.Op, rdi, rsi, rti int) cop {
+	switch op {
+	case isa.FADD:
+		return func(s *Sim) error { s.fpR[rdi] = s.fpR[rsi] + s.fpR[rti]; s.instCount++; return nil }
+	case isa.FSUB:
+		return func(s *Sim) error { s.fpR[rdi] = s.fpR[rsi] - s.fpR[rti]; s.instCount++; return nil }
+	case isa.FMUL:
+		return func(s *Sim) error { s.fpR[rdi] = s.fpR[rsi] * s.fpR[rti]; s.instCount++; return nil }
+	case isa.FDIV:
+		return func(s *Sim) error { s.fpR[rdi] = s.fpR[rsi] / s.fpR[rti]; s.instCount++; return nil }
+	}
+	return nil
+}
+
+// genFP2 translates the two-register FP group.
+func genFP2(op isa.Op, rdi, rsi int) cop {
+	switch op {
+	case isa.FMOV:
+		return func(s *Sim) error { s.fpR[rdi] = s.fpR[rsi]; s.instCount++; return nil }
+	case isa.FNEG:
+		return func(s *Sim) error { s.fpR[rdi] = -s.fpR[rsi]; s.instCount++; return nil }
+	case isa.FABS:
+		return func(s *Sim) error { s.fpR[rdi] = math.Abs(s.fpR[rsi]); s.instCount++; return nil }
+	}
+	return nil
+}
+
+// genFPCmp translates the FP compares (integer 0/1 destination).
+func genFPCmp(op isa.Op, rd isa.Reg, rsi, rti int) cop {
+	set := func(s *Sim, cond bool) {
+		if rd != isa.R0 {
+			s.intR[rd] = b2u(cond)
+		}
+		s.instCount++
+	}
+	switch op {
+	case isa.FLT:
+		return func(s *Sim) error { set(s, s.fpR[rsi] < s.fpR[rti]); return nil }
+	case isa.FLE:
+		return func(s *Sim) error { set(s, s.fpR[rsi] <= s.fpR[rti]); return nil }
+	case isa.FEQ:
+		return func(s *Sim) error { set(s, s.fpR[rsi] == s.fpR[rti]); return nil }
+	}
+	return nil
+}
+
+// genControl translates the block-terminating control instructions:
+// the closure performs the block's PC update itself (taken target or
+// the fall-through successor, which is the block end).
+func genControl(in isa.Inst, pc, end int) cop {
+	rd, rs, rt := in.Rd, in.Rs, in.Rt
+	target := in.Target()
+	switch in.Op {
+	case isa.BEQ, isa.BNE:
+		if !rs.IsInt() || !rt.IsInt() {
+			return nil
+		}
+		wantEq := in.Op == isa.BEQ
+		return func(s *Sim) error {
+			s.instCount++
+			if (s.intR[rs] == s.intR[rt]) == wantEq {
+				s.pc = target
+			} else {
+				s.pc = end
+			}
+			return nil
+		}
+	case isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ:
+		if !rs.IsInt() {
+			return nil
+		}
+		cond := genZeroCmp(in.Op)
+		return func(s *Sim) error {
+			s.instCount++
+			if cond(int32(s.intR[rs])) {
+				s.pc = target
+			} else {
+				s.pc = end
+			}
+			return nil
+		}
+	case isa.J:
+		return func(s *Sim) error { s.instCount++; s.pc = target; return nil }
+	case isa.JAL:
+		link := uint32(pc + 1)
+		return func(s *Sim) error {
+			s.intR[isa.RA] = link
+			s.instCount++
+			s.pc = target
+			return nil
+		}
+	case isa.JR:
+		if !rs.IsInt() {
+			return nil
+		}
+		return func(s *Sim) error {
+			t := s.intR[rs]
+			s.instCount++
+			s.pc = int(t)
+			return nil
+		}
+	case isa.JALR:
+		if !rs.IsInt() || !rd.IsInt() {
+			return nil
+		}
+		link := uint32(pc + 1)
+		return func(s *Sim) error {
+			t := s.intR[rs]
+			if rd != isa.R0 {
+				s.intR[rd] = link
+			}
+			s.instCount++
+			s.pc = int(t)
+			return nil
+		}
+	}
+	return nil
+}
+
+// genZeroCmp returns the compare-against-zero predicate of a
+// single-operand branch.
+func genZeroCmp(op isa.Op) func(int32) bool {
+	switch op {
+	case isa.BLEZ:
+		return func(a int32) bool { return a <= 0 }
+	case isa.BGTZ:
+		return func(a int32) bool { return a > 0 }
+	case isa.BLTZ:
+		return func(a int32) bool { return a < 0 }
+	}
+	return func(a int32) bool { return a >= 0 } // BGEZ
+}

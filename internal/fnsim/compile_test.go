@@ -1,0 +1,247 @@
+package fnsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hidisc/internal/asm"
+	"hidisc/internal/isa"
+	"hidisc/internal/workloads"
+)
+
+// diffRun executes p on the compiled and interpreted paths and fails
+// unless every piece of observable state matches bit-for-bit: error,
+// PC, halted flag, instruction count, all integer and FP registers
+// (compared as bits, so NaNs count), memory checksum and output.
+func diffRun(tb testing.TB, p *isa.Program, maxInsts uint64) {
+	tb.Helper()
+	comp := New(p)
+	interp := New(p)
+	interp.NoCompile = true
+	errC := comp.Run(maxInsts)
+	errI := interp.Run(maxInsts)
+	if (errC == nil) != (errI == nil) || (errC != nil && errC.Error() != errI.Error()) {
+		tb.Fatalf("error mismatch: compiled=%v interpreted=%v", errC, errI)
+	}
+	if comp.PC() != interp.PC() {
+		tb.Fatalf("pc mismatch: compiled=%d interpreted=%d", comp.PC(), interp.PC())
+	}
+	if comp.Halted() != interp.Halted() {
+		tb.Fatalf("halted mismatch: compiled=%v interpreted=%v", comp.Halted(), interp.Halted())
+	}
+	if comp.InstCount() != interp.InstCount() {
+		tb.Fatalf("instCount mismatch: compiled=%d interpreted=%d", comp.InstCount(), interp.InstCount())
+	}
+	for r := isa.Reg(0); r < isa.Reg(isa.NumIntRegs); r++ {
+		if comp.IntReg(r) != interp.IntReg(r) {
+			tb.Fatalf("%v mismatch: compiled=%#x interpreted=%#x", r, comp.IntReg(r), interp.IntReg(r))
+		}
+	}
+	for i := 0; i < isa.NumFPRegs; i++ {
+		r := isa.F0 + isa.Reg(i)
+		c, v := math.Float64bits(comp.FPReg(r)), math.Float64bits(interp.FPReg(r))
+		if c != v {
+			tb.Fatalf("%v mismatch: compiled=%#x interpreted=%#x", r, c, v)
+		}
+	}
+	if c, i := comp.Mem.Checksum(), interp.Mem.Checksum(); c != i {
+		tb.Fatalf("memory checksum mismatch: compiled=%#x interpreted=%#x", c, i)
+	}
+	if !reflect.DeepEqual(comp.Output(), interp.Output()) {
+		tb.Fatalf("output mismatch: compiled=%q interpreted=%q", comp.Output(), interp.Output())
+	}
+}
+
+// TestCompiledMatchesInterpreterOnWorkloads pins bit-identity of the
+// two execution paths over every workload at both scales.
+func TestCompiledMatchesInterpreterOnWorkloads(t *testing.T) {
+	for _, scale := range []workloads.Scale{workloads.ScaleTest, workloads.ScalePaper} {
+		ws := append(workloads.All(scale), workloads.Extra(scale)...)
+		for _, w := range ws {
+			w := w
+			name := "test/" + w.Name
+			if scale == workloads.ScalePaper {
+				name = "paper/" + w.Name
+			}
+			t.Run(name, func(t *testing.T) {
+				p, err := w.Program()
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffRun(t, p, w.MaxInsts)
+			})
+		}
+	}
+}
+
+// TestCompiledErrorParity pins the failure contract: errors must fire
+// at the same instruction with the same message, leaving the same pc
+// and instruction count on both paths.
+func TestCompiledErrorParity(t *testing.T) {
+	cases := map[string]string{
+		"div-zero-mid-block": `
+main:   li   $r1, 5
+        li   $r2, 0
+        div  $r3, $r1, $r2
+        add  $r4, $r3, $r3
+        halt`,
+		"rem-zero": `
+main:   li   $r1, 7
+        rem  $r3, $r1, $r0
+        halt`,
+		"jr-out-of-range": `
+main:   li   $r1, 1000
+        jr   $r1`,
+		"scq-in-sequential": `
+main:   getscq 0
+        halt`,
+		"queue-src-in-sequential": `
+main:   add  $r1, $LDQ, $r0
+        halt`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			diffRun(t, mustAssemble(t, name, src), 10_000)
+		})
+	}
+}
+
+// TestCompiledRunawayMidBlock forces the instruction budget to expire
+// in the middle of a compiled block; Run must fall back to
+// single-stepping so the runaway error fires at the exact same
+// instruction as the interpreter's per-instruction check.
+func TestCompiledRunawayMidBlock(t *testing.T) {
+	p := mustAssemble(t, "runaway", `
+main:   li   $r1, 1
+loop:   add  $r2, $r2, $r1
+        add  $r3, $r3, $r1
+        add  $r4, $r4, $r1
+        j    loop`)
+	for max := uint64(0); max < 12; max++ {
+		diffRun(t, p, max)
+	}
+}
+
+// TestCompiledMidBlockEntry jumps into the middle of a translated
+// block (an indirect jump to a non-leader pc): execution must resume
+// from the right closure offset.
+func TestCompiledMidBlockEntry(t *testing.T) {
+	p := mustAssemble(t, "midblock", `
+main:   li   $r1, 4
+        jr   $r1
+        addi $r2, $r2, 1
+        addi $r2, $r2, 2
+        addi $r2, $r2, 4
+        bgtz $r0, end
+end:    out  $r2
+        halt`)
+	diffRun(t, p, 10_000)
+	s := New(p)
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Output(); len(got) != 1 || got[0] != "4" {
+		t.Fatalf("output = %q, want [4]: mid-block entry must skip the block prefix", got)
+	}
+}
+
+// TestNoCompileFlagForcesInterpreter pins that NoCompile leaves the
+// compiled code unbuilt.
+func TestNoCompileFlagForcesInterpreter(t *testing.T) {
+	p := mustAssemble(t, "nc", `
+main:   li   $r1, 3
+        out  $r1
+        halt`)
+	s := New(p)
+	s.NoCompile = true
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.compileTried || s.code != nil {
+		t.Error("NoCompile run still compiled the program")
+	}
+}
+
+// TestMemObserverParity pins that the compiled observer translation
+// sees the same (pc, addr, isLoad, isPref, InstCount) stream as the
+// interpreter's MemObserver.
+func TestMemObserverParity(t *testing.T) {
+	p := mustAssemble(t, "obs", `
+        .data
+buf:    .space 256
+        .text
+main:   la   $r2, buf
+        li   $r1, 16
+loop:   lw   $r3, 0($r2)
+        sw   $r3, 128($r2)
+        pref 64($r2)
+        lbu  $r4, 1($r2)
+        addi $r2, $r2, 4
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        halt`)
+	type rec struct {
+		pc     int
+		addr   uint32
+		isLoad bool
+		isPref bool
+		count  uint64
+	}
+	trace := func(noCompile bool) []rec {
+		s := New(p)
+		s.NoCompile = noCompile
+		var out []rec
+		s.MemObserver = func(pc int, addr uint32, isLoad, isPref bool) {
+			out = append(out, rec{pc, addr, isLoad, isPref, s.InstCount()})
+		}
+		if err := s.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	compiled, interpreted := trace(false), trace(true)
+	if len(compiled) == 0 {
+		t.Fatal("no memory events observed")
+	}
+	if !reflect.DeepEqual(compiled, interpreted) {
+		t.Fatalf("event streams differ:\ncompiled:    %v\ninterpreted: %v", compiled, interpreted)
+	}
+}
+
+// FuzzCompiledVsInterpreted feeds arbitrary assembler source to both
+// execution paths and asserts bit-identity. Seeded from the
+// FuzzAssemble corpus so the interesting ISA corners are covered from
+// the first run. Run the smoke pass with `make fuzz-smoke`, or dig
+// deeper with
+// `go test -fuzz FuzzCompiledVsInterpreted -fuzztime 60s ./internal/fnsim`.
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	seeds := []string{
+		"",
+		"main: halt",
+		"main: add $r1, $r2, $r3\nhalt",
+		"main: lw $r1, 0($r2)\n sw $r1, 4($r2)\n halt",
+		"main: add $r1, $LDQ, $r0\n halt",
+		".data\nx: .word 1, 2, 3\n.text\nmain: la $r1, x\n halt",
+		"loop: addi $r1, $r1, -1\n bgtz $r1, loop\n out $r1\n halt",
+		"main: trigger 0, 9\n getscq 0\n putscq 0\n halt",
+		"main: li $f1, 1.5\n add.d $f2, $f1, $f1\n halt",
+		".data\ns: .space 64\n.text\nmain: jal sub\n halt\nsub: jr $ra",
+		"main: .word",
+		"main: lw $r1, 0x10000000($r2",
+		": :\n\t,,,\n\"",
+		".data\nx: .word 99999999999999999999",
+		"main: li $r1, 4\n jr $r1\n addi $r2, $r2, 1\n addi $r2, $r2, 2\n bgtz $r0, main\n halt",
+		"main: li $r1, 1\n div $r2, $r1, $r0\n halt",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Assemble("fuzz", src)
+		if err != nil {
+			t.Skip()
+		}
+		diffRun(t, p, 10_000)
+	})
+}

@@ -63,8 +63,30 @@ type Sim struct {
 	output    []string
 
 	// Observer, when non-nil, is invoked after each executed
-	// instruction; used by the profiler.
+	// instruction. It forces the per-instruction interpreter: Run will
+	// not use the compiled fast path while an Observer is attached.
 	Observer func(Event)
+
+	// MemObserver, when non-nil, is invoked after each executed memory
+	// instruction (loads, stores and PREF) with the instruction's pc,
+	// its effective address, whether it was a load, and whether it was
+	// a PREF. Unlike Observer it is supported on the compiled fast path
+	// through a dedicated translation (used by the cache profiler). The
+	// Sim's PC is unspecified during the callback; InstCount() counts
+	// the observed instruction.
+	MemObserver func(pc int, addr uint32, isLoad, isPref bool)
+
+	// NoCompile forces Run onto the pure per-instruction interpreter.
+	// The compiled and interpreted paths are bit-identical (pinned by
+	// the differential tests); the flag keeps the interpreter reachable
+	// from CI and -no-compile.
+	NoCompile bool
+
+	// code is the lazily built compiled form of the program (nil until
+	// first Run, and permanently nil when the program is untranslatable
+	// as a whole).
+	code         *code
+	compileTried bool
 
 	// Queues, when non-nil, enables the HiDISC queue operations so the
 	// Sim can execute one stream of a separated program.
@@ -143,7 +165,58 @@ func (s *Sim) SetIntReg(r isa.Reg, v uint32) {
 // Run executes until HALT or maxInsts instructions, whichever first.
 // It returns an error for invalid executions (queue operands in a
 // sequential program, division by zero, PC out of range).
+//
+// Runs execute on the compiled fast path (see compile.go) unless
+// NoCompile is set or an Observer is attached; the two paths are
+// bit-identical in registers, memory, output, instruction counts and
+// error behaviour.
 func (s *Sim) Run(maxInsts uint64) error {
+	if s.NoCompile || s.Observer != nil {
+		return s.runInterp(maxInsts)
+	}
+	if !s.compileTried {
+		s.compileTried = true
+		s.code = compile(s.prog)
+	}
+	if s.code == nil {
+		return s.runInterp(maxInsts)
+	}
+	nInsts := len(s.prog.Insts)
+	observed := s.MemObserver != nil
+	for !s.halted {
+		if s.instCount >= maxInsts {
+			return fmt.Errorf("fnsim: %q exceeded %d instructions (runaway?)", s.prog.Name, maxInsts)
+		}
+		if s.pc < 0 || s.pc >= nInsts {
+			return fmt.Errorf("fnsim: pc %d out of range", s.pc)
+		}
+		b := &s.code.blocks[s.code.blockOf[s.pc]]
+		// Fallback contract: untranslatable blocks run on the
+		// interpreter, as does any block that could overrun the
+		// instruction budget mid-chain (the interpreter checks the
+		// budget before every instruction, and the runaway error must
+		// fire at the exact same instruction on both paths).
+		if b.interp || maxInsts-s.instCount < uint64(b.end-s.pc) {
+			if err := s.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		ops := b.ops
+		if observed {
+			ops = b.obsOps
+		}
+		for _, op := range ops[s.pc-b.start:] {
+			if err := op(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runInterp is the per-instruction interpreter loop.
+func (s *Sim) runInterp(maxInsts uint64) error {
 	for !s.halted {
 		if s.instCount >= maxInsts {
 			return fmt.Errorf("fnsim: %q exceeded %d instructions (runaway?)", s.prog.Name, maxInsts)
@@ -267,8 +340,12 @@ func (s *Sim) Step() error {
 			return err
 		}
 	}
-	ev := Event{PC: s.pc, Inst: in}
+	pc := s.pc
 	next := s.pc + 1
+	var (
+		isMem, isLoad, taken bool
+		addr                 uint32
+	)
 
 	switch in.Op {
 	case isa.NOP:
@@ -320,8 +397,8 @@ func (s *Sim) Step() error {
 		if err != nil {
 			return err
 		}
-		addr := base + uint32(in.Imm)
-		ev.IsMem, ev.IsLoad, ev.Addr = true, true, addr
+		addr = base + uint32(in.Imm)
+		isMem, isLoad = true, true
 		switch in.Op {
 		case isa.LW:
 			err = s.setInt(in.Rd, s.Mem.Read32(addr))
@@ -339,8 +416,8 @@ func (s *Sim) Step() error {
 		if err != nil {
 			return err
 		}
-		addr := base + uint32(in.Imm)
-		ev.IsMem, ev.Addr = true, addr
+		addr = base + uint32(in.Imm)
+		isMem = true
 		switch in.Op {
 		case isa.SW:
 			v, err := s.getInt(in.Rt)
@@ -367,7 +444,7 @@ func (s *Sim) Step() error {
 		if err != nil {
 			return err
 		}
-		ev.IsMem, ev.Addr = true, base+uint32(in.Imm)
+		isMem, addr = true, base+uint32(in.Imm)
 		// No architectural effect.
 
 	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
@@ -449,20 +526,20 @@ func (s *Sim) Step() error {
 		}
 
 	case isa.BEQ, isa.BNE, isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ:
-		taken, err := s.evalBranch(in)
+		t, err := s.evalBranch(in)
 		if err != nil {
 			return err
 		}
-		ev.Taken = taken
+		taken = t
 		if taken {
 			next = in.Target()
 		}
 
 	case isa.J:
-		ev.Taken = true
+		taken = true
 		next = in.Target()
 	case isa.JAL:
-		ev.Taken = true
+		taken = true
 		if err := s.setInt(isa.RA, uint32(s.pc+1)); err != nil {
 			return err
 		}
@@ -472,7 +549,7 @@ func (s *Sim) Step() error {
 		if err != nil {
 			return err
 		}
-		ev.Taken = true
+		taken = true
 		next = int(t)
 	case isa.JALR:
 		t, err := s.getInt(in.Rs)
@@ -482,7 +559,7 @@ func (s *Sim) Step() error {
 		if err := s.setInt(in.Rd, uint32(s.pc+1)); err != nil {
 			return err
 		}
-		ev.Taken = true
+		taken = true
 		next = int(t)
 
 	case isa.OUT:
@@ -500,13 +577,13 @@ func (s *Sim) Step() error {
 
 	case isa.BCQ:
 		token := s.Queues.Pop(isa.RegCQ)
-		ev.Taken = token != 0
-		if ev.Taken {
+		taken = token != 0
+		if taken {
 			next = in.Target()
 		}
 	case isa.JCQ:
 		v := int(s.Queues.Pop(isa.RegCQ))
-		ev.Taken = true
+		taken = true
 		if s.JCQMap != nil {
 			if v < 0 || v >= len(s.JCQMap) {
 				return fmt.Errorf("fnsim: pc %d: JCQ token %d out of range", s.pc, v)
@@ -551,7 +628,7 @@ func (s *Sim) Step() error {
 			switch {
 			case in.Op.IsCondBranch():
 				token := uint64(0)
-				if ev.Taken {
+				if taken {
 					token = 1
 				}
 				s.Queues.Push(isa.RegCQ, token)
@@ -564,7 +641,10 @@ func (s *Sim) Step() error {
 	s.instCount++
 	s.pc = next
 	if s.Observer != nil {
-		s.Observer(ev)
+		s.Observer(Event{PC: pc, Inst: in, IsLoad: isLoad, IsMem: isMem, Addr: addr, Taken: taken})
+	}
+	if s.MemObserver != nil && isMem {
+		s.MemObserver(pc, addr, isLoad, in.Op == isa.PREF)
 	}
 	return nil
 }
@@ -676,6 +756,19 @@ type Result struct {
 // RunProgram executes p to completion and returns its result.
 func RunProgram(p *isa.Program, maxInsts uint64) (Result, error) {
 	s := New(p)
+	if err := s.Run(maxInsts); err != nil {
+		return Result{}, err
+	}
+	return Result{Insts: s.InstCount(), MemHash: s.Mem.Checksum(), Output: s.Output()}, nil
+}
+
+// RunProgramInterp executes p to completion on the pure interpreter,
+// bypassing the compiled fast path (the -no-compile path). It is used
+// by the differential tests and CLI flags that pin the two paths
+// bit-identical.
+func RunProgramInterp(p *isa.Program, maxInsts uint64) (Result, error) {
+	s := New(p)
+	s.NoCompile = true
 	if err := s.Run(maxInsts); err != nil {
 		return Result{}, err
 	}

@@ -411,7 +411,7 @@ func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
 
 		var committed uint64
 		for _, c := range m.cores {
-			committed += c.Stats().Committed
+			committed += c.CommittedCount()
 		}
 		if committed != lastCommitted {
 			lastCommitted = committed

@@ -25,6 +25,13 @@ const (
 // Memory is a sparse, paged, little-endian byte-addressable memory.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+
+	// Last translation, memoised: accesses have strong page locality,
+	// so most lookups skip the map probe entirely. lastPage==nil means
+	// the memo is empty (untouched pages are never cached, so a later
+	// write to the same page cannot be shadowed by a stale nil).
+	lastPN   uint32
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory image.
@@ -34,10 +41,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageBits
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }

@@ -57,43 +57,68 @@ type Profile struct {
 // per-PC load statistics. Time is approximated by the dynamic
 // instruction count, which is sufficient to exercise LRU and capacity
 // behaviour.
+//
+// The run uses the simulator's MemObserver hook: non-memory
+// instructions execute on the compiled fast path with no per-event
+// callback or Event construction at all, and the per-PC statistics
+// live in a dense array indexed by pc (the profiled program is
+// static), so the profiling pass allocates nothing per instruction.
 func CacheProfile(p *isa.Program, hcfg mem.HierConfig, maxInsts uint64) (*Profile, error) {
+	return cacheProfile(p, hcfg, maxInsts, false)
+}
+
+// CacheProfileInterp is CacheProfile on the pure interpreter (the
+// -no-compile path); used by the differential tests.
+func CacheProfileInterp(p *isa.Program, hcfg mem.HierConfig, maxInsts uint64) (*Profile, error) {
+	return cacheProfile(p, hcfg, maxInsts, true)
+}
+
+func cacheProfile(p *isa.Program, hcfg mem.HierConfig, maxInsts uint64, noCompile bool) (*Profile, error) {
 	hier, err := mem.NewHierarchy(hcfg)
 	if err != nil {
 		return nil, err
 	}
 	sim := fnsim.New(p)
-	prof := &Profile{PerPC: make(map[int]PCStats)}
-	var now int64
-	sim.Observer = func(ev fnsim.Event) {
-		now++
-		if !ev.IsMem || ev.Inst.Op == isa.PREF {
+	sim.NoCompile = noCompile
+	prof := &Profile{}
+	perPC := make([]PCStats, len(p.Insts))
+	sim.MemObserver = func(pc int, addr uint32, isLoad, isPref bool) {
+		if isPref {
 			return
 		}
+		// InstCount counts the observed instruction, so it equals the
+		// per-instruction clock the previous Observer implementation
+		// advanced — access times are bit-identical.
+		now := int64(sim.InstCount())
 		missesBefore := hier.Stats().L1D.DemandMisses
-		hier.Access(now, ev.Addr, !ev.IsLoad, false)
+		hier.Access(now, addr, !isLoad, false)
 		missed := hier.Stats().L1D.DemandMisses > missesBefore
-		st := prof.PerPC[ev.PC]
+		st := &perPC[pc]
 		if st.Accesses > 0 {
-			delta := int32(ev.Addr - st.prevAddr)
+			delta := int32(addr - st.prevAddr)
 			if delta != 0 && delta == st.lastStride {
 				st.strideHits++
 			}
 			st.lastStride = delta
 		}
-		st.prevAddr = ev.Addr
+		st.prevAddr = addr
 		st.Accesses++
 		prof.TotalAccesses++
 		if missed {
 			st.Misses++
 			prof.TotalMisses++
 		}
-		prof.PerPC[ev.PC] = st
 	}
 	if err := sim.Run(maxInsts); err != nil {
 		return nil, err
 	}
 	prof.ExecutedInsts = sim.InstCount()
+	prof.PerPC = make(map[int]PCStats, len(p.Insts))
+	for pc := range perPC {
+		if perPC[pc].Accesses > 0 {
+			prof.PerPC[pc] = perPC[pc]
+		}
+	}
 	return prof, nil
 }
 

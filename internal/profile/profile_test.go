@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"fmt"
 	"testing"
 
 	"hidisc/internal/asm"
@@ -228,4 +229,40 @@ func mustAssemble(tb testing.TB, name, src string) *isa.Program {
 		tb.Fatalf("assemble %s: %v", name, err)
 	}
 	return p
+}
+
+// loopProgram assembles a load loop of n iterations over one page, so
+// two sizes of the same static program isolate per-event cost.
+func loopProgram(tb testing.TB, n int) *isa.Program {
+	return mustAssemble(tb, "allocloop", `
+        .data
+buf:    .space 4096
+        .text
+main:   la   $r2, buf
+        li   $r1, `+fmt.Sprint(n)+`
+loop:   lw   $r3, 0($r2)
+        addi $r1, $r1, -1
+        bgtz $r1, loop
+        halt
+`)
+}
+
+// TestCacheProfileAllocsPerEvent pins the profiling pass's per-event
+// cost at zero allocations: growing the dynamic instruction count 64x
+// must not change the total allocation count of a profiling run (the
+// fixed setup — hierarchy, simulator, result map — is all there is).
+func TestCacheProfileAllocsPerEvent(t *testing.T) {
+	hier := smallHier()
+	run := func(p *isa.Program) float64 {
+		return testing.AllocsPerRun(3, func() {
+			if _, err := CacheProfile(p, hier, 10_000_000); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := run(loopProgram(t, 64))
+	long := run(loopProgram(t, 4096))
+	if long > short {
+		t.Errorf("allocs grew with instruction count: %v (64 iters) -> %v (4096 iters); the per-event path must not allocate", short, long)
+	}
 }

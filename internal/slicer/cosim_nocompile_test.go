@@ -1,0 +1,75 @@
+package slicer
+
+import (
+	"reflect"
+	"testing"
+
+	"hidisc/internal/mem"
+	"hidisc/internal/profile"
+	"hidisc/internal/workloads"
+)
+
+// TestCosimProfileCompileParity is the separated-stream leg of the
+// compiled-simulation differential suite: the cache profile computed
+// on the compiled fnsim fast path must equal the interpreter's
+// profile exactly, and the bundles sliced from each must co-simulate
+// to identical results (memory image, output, per-stream instruction
+// counts, drain state). Paper scale is skipped in short mode.
+func TestCosimProfileCompileParity(t *testing.T) {
+	scales := []workloads.Scale{workloads.ScaleTest}
+	if !testing.Short() {
+		scales = append(scales, workloads.ScalePaper)
+	}
+	hier := mem.DefaultHierConfig()
+	for _, sc := range scales {
+		label := "test"
+		if sc == workloads.ScalePaper {
+			label = "paper"
+		}
+		t.Run(label, func(t *testing.T) {
+			for _, name := range workloads.Names() {
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					w, err := workloads.ByName(name, sc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := w.Program()
+					if err != nil {
+						t.Fatal(err)
+					}
+					pc, err := profile.CacheProfile(p, hier, w.MaxInsts)
+					if err != nil {
+						t.Fatalf("compiled profile: %v", err)
+					}
+					pi, err := profile.CacheProfileInterp(p, hier, w.MaxInsts)
+					if err != nil {
+						t.Fatalf("interp profile: %v", err)
+					}
+					if !reflect.DeepEqual(pc, pi) {
+						t.Fatalf("cache profile diverges between compiled and interpreted paths:\ncompiled: %+v\ninterp:   %+v", pc, pi)
+					}
+					bc, err := Separate(p, Options{Profile: pc})
+					if err != nil {
+						t.Fatal(err)
+					}
+					bi, err := Separate(p, Options{Profile: pi})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rc, err := Cosim(bc, 100_000_000)
+					if err != nil {
+						t.Fatalf("cosim (compiled profile): %v", err)
+					}
+					ri, err := Cosim(bi, 100_000_000)
+					if err != nil {
+						t.Fatalf("cosim (interp profile): %v", err)
+					}
+					if !reflect.DeepEqual(rc, ri) {
+						t.Errorf("cosim result diverges:\ncompiled: %+v\ninterp:   %+v", rc, ri)
+					}
+				})
+			}
+		})
+	}
+}
