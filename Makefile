@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json bench-guard serve-smoke trace-smoke
+.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json bench-guard serve-smoke trace-smoke store-smoke
 
-ci: vet build test race fuzz-smoke bench-smoke serve-smoke trace-smoke
+ci: vet build test race fuzz-smoke bench-smoke serve-smoke trace-smoke store-smoke
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ test:
 
 # The parallel runner, the multi-core machine, the queue/core building
 # blocks they drive concurrently, the job server's cache/dedup/
-# admission paths, and the functional simulator's compiled/interpreted
-# pair; run them under the race detector.
+# admission paths, the functional simulator's compiled/interpreted
+# pair, and the result store's single-writer/multi-reader locking; run
+# them under the race detector.
 race:
-	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu ./internal/simserver ./internal/fnsim
+	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu ./internal/simserver ./internal/fnsim ./internal/resultstore
 
 # Short native-fuzz passes: arbitrary assembler source must never
 # panic, and the compiled fnsim fast path must stay bit-identical to
@@ -39,6 +40,14 @@ bench:
 # full measurement run.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x -timeout 10m .
+
+# End-to-end durability smoke: populate a result store through a live
+# hidisc-serve, kill -9 it mid-batch, reopen the directory and require
+# every acknowledged record byte-identical, then restart on the same
+# address with a deliberately torn tail and prove the batch completes
+# from the store (hit and recovered-record counters as the receipt).
+store-smoke:
+	$(GO) test -run TestStoreSurvivesKill9 -v ./cmd/hidisc-serve
 
 # End-to-end service smoke: start hidisc-serve on an ephemeral port,
 # run one job through the HTTP client, confirm the repeat is a cache

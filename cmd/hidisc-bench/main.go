@@ -183,7 +183,13 @@ func main() {
 	}
 	var rem *remoteRunner
 	if *remote != "" {
-		rem = &remoteRunner{c: simclient.New(*remote), ctx: ctx, scale: *scale, hier: mem.DefaultHierConfig()}
+		rc := simclient.New(*remote)
+		// Ride through server restarts and overload shedding instead of
+		// failing the figure: the server is content-addressed (and, with
+		// -store, durable), so a retried batch re-simulates nothing that
+		// already completed.
+		rc.Retry = simclient.DefaultBackoff()
+		rem = &remoteRunner{c: rc, ctx: ctx, scale: *scale, hier: mem.DefaultHierConfig()}
 		if err := rem.c.Healthz(ctx); err != nil {
 			fatal(fmt.Errorf("remote %s: %w", *remote, err))
 		}

@@ -1,0 +1,217 @@
+package main_test
+
+// The store-smoke e2e: prove the result store is a real system of
+// record by killing a live hidisc-serve with SIGKILL mid-batch — no
+// drain, no deferred Close, the process simply ceases — then reopening
+// the directory and requiring every result the server had acknowledged
+// to read back byte-identical. A deliberately torn record is then
+// appended (SIGKILL timing alone cannot be forced to land mid-append),
+// the server restarts on the same address while a retrying client is
+// already re-submitting, and the batch must complete with the store
+// answering everything that survived: the hit counters are the proof
+// that nothing durable was re-simulated.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"hidisc/internal/resultstore"
+	"hidisc/internal/simclient"
+	"hidisc/internal/simserver"
+)
+
+// buildServe compiles the hidisc-serve binary once for the test.
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hidisc-serve")
+	out, err := exec.Command("go", "build", "-o", bin, "hidisc/cmd/hidisc-serve").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building hidisc-serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServe launches the binary and returns the process plus the URL
+// parsed from its structured "listening" log line.
+func startServe(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting hidisc-serve: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			var line struct {
+				Msg string `json:"msg"`
+				URL string `json:"url"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Msg == "listening" {
+				urlCh <- line.URL
+			}
+			// Keep draining so the child never blocks on a full pipe.
+		}
+	}()
+	select {
+	case url := <-urlCh:
+		return cmd, url
+	case <-time.After(30 * time.Second):
+		t.Fatal("hidisc-serve never logged its listening URL")
+		return nil, ""
+	}
+}
+
+// freeAddr reserves an address the restarted server can reuse, so the
+// client's retry loop has a stable target across the two generations.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestStoreSurvivesKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	bin := buildServe(t)
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	args := []string{"-addr", addr, "-scale", "test", "-store", filepath.Join(dir, "store"), "-drain", "5s"}
+
+	gen1, url := startServe(t, bin, args...)
+
+	// Stream the fig8 matrix and SIGKILL the server after a few items
+	// have been acknowledged. Every acknowledged item was appended (and
+	// fsynced — the default policy) before its NDJSON line was written,
+	// so each one is a durability promise the reopened store must keep.
+	c := simclient.New(url)
+	acked := map[string][]byte{}
+	const killAfter = 3
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	err := c.BatchStream(ctx, simserver.BatchRequest{Matrix: "fig8"}, func(it simserver.BatchItem) error {
+		if it.Error != nil {
+			t.Fatalf("batch item %d failed: %+v", it.Index, it.Error)
+		}
+		acked[it.Key] = append([]byte(nil), it.Measurement...)
+		if len(acked) == killAfter {
+			if err := gen1.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatalf("SIGKILL: %v", err)
+			}
+		}
+		return nil
+	})
+	gen1.Wait()
+	if err == nil && len(acked) < killAfter {
+		t.Fatalf("stream ended cleanly after only %d items; kill never fired", len(acked))
+	}
+	if len(acked) < killAfter {
+		t.Fatalf("only %d items acknowledged before the stream died", len(acked))
+	}
+
+	// Reopen the directory the dead process left behind. SIGKILL ran no
+	// cleanup: recovery alone must account for every acknowledged
+	// record, byte-identical.
+	st, rep, err := resultstore.Open(filepath.Join(dir, "store"), resultstore.Options{})
+	if err != nil {
+		t.Fatalf("reopening store after kill -9: %v", err)
+	}
+	if rep.Records < killAfter {
+		t.Fatalf("recovered %d records, want >= %d acknowledged before the kill", rep.Records, killAfter)
+	}
+	for key, want := range acked {
+		got, ok, err := st.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("acknowledged record %s lost by kill -9 (ok=%v err=%v)", key, ok, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("record %s not byte-identical after kill -9", key)
+		}
+	}
+	durable := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL timing can't be steered onto the narrow append window, so
+	// tear the tail deliberately: a record whose length prefix promises
+	// more bytes than follow. The restarted server must truncate it on
+	// open and report the recovery, not refuse to start.
+	log, err := os.OpenFile(filepath.Join(dir, "store", "results.log"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Write([]byte{0x80, 0x00, 0x00, 0x00, 'd', 'e', 'a', 'd'}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	// Restart on the same address and immediately re-submit the whole
+	// matrix through a retrying client. The early attempts race the
+	// restart — connection refused until the new process binds — which
+	// is exactly what the backoff policy exists to absorb.
+	_, url2 := startServe(t, bin, args...)
+	if url2 != url {
+		t.Fatalf("restarted server at %s, want the original %s", url2, url)
+	}
+	rc := simclient.New(url)
+	rc.Retry = simclient.DefaultBackoff()
+	items, errs, err := rc.Batch(ctx, simserver.BatchRequest{Matrix: "fig8"})
+	if err != nil {
+		t.Fatalf("re-submitting batch after restart: %v", err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("job %d failed after restart: %v", i, e)
+		}
+	}
+	for _, it := range items {
+		if want, ok := acked[it.Key]; ok && string(it.Measurement) != string(want) {
+			t.Errorf("job %s differs across the restart", it.Key)
+		}
+	}
+
+	// The counters are the receipt: every record that survived the kill
+	// was served from the store (zero re-simulation of durable work),
+	// recovery saw them all, and the torn tail was measured, not hidden.
+	m, err := rc.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Store.State != "ok" {
+		t.Errorf("store state %q after recovery, want ok", m.Store.State)
+	}
+	if m.Store.Hits < int64(durable) {
+		t.Errorf("store hits %d, want >= %d: durable results were re-simulated", m.Store.Hits, durable)
+	}
+	if m.Store.RecoveredRecords != durable {
+		t.Errorf("recovered %d records, want %d", m.Store.RecoveredRecords, durable)
+	}
+	if !m.Store.TornTail || m.Store.TruncatedBytes == 0 {
+		t.Errorf("torn tail not reported: tornTail=%v truncatedBytes=%d", m.Store.TornTail, m.Store.TruncatedBytes)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	hidisc-serve [-addr HOST:PORT] [-scale test|paper] [-j N]
 //	             [-queue N] [-cache N] [-job-timeout D] [-drain D]
+//	             [-store DIR] [-store-sync always|never]
 //
 //	curl -s localhost:8080/v1/jobs -d '{"workload":"Pointer","arch":"hidisc"}'
 //	curl -s localhost:8080/v1/batch -d '{"matrix":"fig8"}'
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"hidisc/internal/machine"
+	"hidisc/internal/resultstore"
 	"hidisc/internal/simclient"
 	"hidisc/internal/simserver"
 	"hidisc/internal/workloads"
@@ -52,6 +54,8 @@ func main() {
 	cacheN := flag.Int("cache", 1024, "result cache entries (0 disables caching)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job simulation budget (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline after SIGTERM")
+	storeDir := flag.String("store", "", "durable result-store directory (the system of record; empty disables persistence)")
+	storeSync := flag.String("store-sync", "always", "store fsync policy: always (every append is durable) or never (OS writeback; crash loses the unsynced tail)")
 	smoke := flag.Bool("smoke", false, "self-test: serve, run one job via the client, SIGTERM, verify clean drain")
 	flag.Parse()
 
@@ -74,6 +78,23 @@ func main() {
 	if *smoke {
 		*addr = "127.0.0.1:0"
 		cfg.Scale = workloads.ScaleTest
+	}
+	if *storeDir != "" {
+		policy, err := resultstore.ParseSyncPolicy(*storeSync)
+		if err != nil {
+			fatal(err)
+		}
+		st, rep, err := resultstore.Open(*storeDir, resultstore.Options{Sync: policy})
+		if err != nil {
+			// A corrupt system of record is an operator decision, not
+			// something to repair silently; refuse to start.
+			fatal(fmt.Errorf("opening result store: %w", err))
+		}
+		logger.Info("result store open",
+			"dir", *storeDir, "sync", policy.String(),
+			"records", rep.Records, "bytes", rep.Bytes,
+			"tornTail", rep.TornTail, "truncatedBytes", rep.TruncatedBytes)
+		cfg.Store = st
 	}
 
 	srv := simserver.New(cfg)
@@ -107,15 +128,29 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	go func() {
-		// A second signal forces the issue immediately.
+		// A second signal forces the issue immediately. Closing the
+		// store here too is safe: CloseStore is once-guarded, so this
+		// and the main drain path cannot double-close it.
 		<-sigs
 		logger.Warn("second signal: cancelling in-flight jobs")
 		srv.ForceCancel()
+		if err := srv.CloseStore(); err != nil {
+			logger.Error("closing result store", "err", err.Error())
+		}
 	}()
 	drainErr := srv.Drain(ctx)
 	if drainErr != nil {
 		logger.Error("drain failed", "err", drainErr.Error())
 		srv.ForceCancel()
+	}
+	// Flush and close the system of record exactly once — CloseStore is
+	// idempotent, so the force-cancel path above racing a second signal
+	// cannot double-close it.
+	if err := srv.CloseStore(); err != nil {
+		logger.Error("closing result store", "err", err.Error())
+		if drainErr == nil {
+			drainErr = err
+		}
 	}
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()

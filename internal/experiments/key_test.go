@@ -34,6 +34,21 @@ func TestJobKeyDeterministic(t *testing.T) {
 	}
 }
 
+// TestJobKeyGolden pins the exact digest for one known job. The key is
+// an on-disk contract: hidisc-serve's result store addresses records by
+// it, so any drift in the preimage — field order, separator, a renamed
+// arch — silently orphans every persisted result. If this test breaks,
+// either revert the change or bump the "hidisc-job-v1" version string
+// so old stores are recognisably incompatible rather than quietly
+// missed.
+func TestJobKeyGolden(t *testing.T) {
+	j := Job{Workload: "Pointer", Arch: machine.HiDISC, Hier: mem.DefaultHierConfig(), Scale: workloads.ScalePaper}
+	const want = "58fae46b130923fdaf83489fdd355f9a6e3c531e52a80862034977b7e1f0c245"
+	if got := j.Key(); got != want {
+		t.Fatalf("canonical key drifted:\n got %s\nwant %s\nexisting result stores are now unreadable under this key scheme", got, want)
+	}
+}
+
 func TestJobKeyDistinctness(t *testing.T) {
 	base := Job{Workload: "Pointer", Arch: machine.HiDISC, Hier: mem.DefaultHierConfig(), Scale: workloads.ScalePaper}
 	mutations := map[string]func(*Job){

@@ -1,0 +1,151 @@
+package resultstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The sidecar index (results.idx) is derived data: a flat list of
+// (key, frame offset, value length, CRC) entries that lets a reader
+// locate records without scanning the log. This process never trusts
+// it — Open always rebuilds it from the log (write-temp, fsync,
+// rename, fsync-dir, so a crash leaves either the old index or the new
+// one, never a hybrid) — but external tooling and future read-only
+// openers can.
+//
+//	header: magic "hidiscix" | u32 version (=1) | u32 reserved (=0)
+//	entry:  u16 keyLen | key | u64 frameOff | u32 valueLen | u32 crc
+
+var idxMagic = [8]byte{'h', 'i', 'd', 'i', 's', 'c', 'i', 'x'}
+
+const idxVersion = 1
+
+// writeIndex atomically replaces the sidecar with the current
+// in-memory index and leaves s.idx open for appending.
+func (s *Store) writeIndex() error {
+	tmp, err := os.CreateTemp(s.dir, idxName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	var hdr [headerLen]byte
+	copy(hdr[:8], idxMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], idxVersion)
+	if _, err := w.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Entries in log order, so the sidecar is reproducible bytewise.
+	keys := s.Keys()
+	sort.Slice(keys, func(i, j int) bool { return s.index[keys[i]].frame < s.index[keys[j]].frame })
+	for _, k := range keys {
+		if err := writeIndexEntry(w, k, s.index[k]); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, idxName)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	if err := fsyncDir(s.dir); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(final, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	s.idx = f
+	return nil
+}
+
+func writeIndexEntry(w io.Writer, key string, ent indexEntry) error {
+	buf := make([]byte, 2+len(key)+8+4+4)
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(key)))
+	copy(buf[2:], key)
+	p := 2 + len(key)
+	binary.LittleEndian.PutUint64(buf[p:], uint64(ent.frame))
+	binary.LittleEndian.PutUint32(buf[p+8:], uint32(ent.length))
+	binary.LittleEndian.PutUint32(buf[p+12:], ent.crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendIndexEntry keeps the sidecar current as records land. Best
+// effort by design: the sidecar is derived data this process never
+// reads back (Open rebuilds it from the log), so a failed append can
+// cost external tooling freshness but can never cost a record.
+func (s *Store) appendIndexEntry(key string) {
+	if s.idx == nil {
+		return
+	}
+	_ = writeIndexEntry(s.idx, key, s.index[key])
+}
+
+// IndexEntry is one decoded sidecar entry (external-tool view).
+type IndexEntry struct {
+	Key      string
+	FrameOff int64
+	ValueLen int32
+	CRC      uint32
+}
+
+// ReadIndex decodes a sidecar index file. Tools and tests use it to
+// check the sidecar against the log; the store itself never reads it.
+func ReadIndex(dir string) ([]IndexEntry, error) {
+	f, err := os.Open(filepath.Join(dir, idxName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("resultstore: reading index header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != idxMagic {
+		return nil, errors.New("resultstore: bad index magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != idxVersion {
+		return nil, fmt.Errorf("resultstore: index version %d, want %d", v, idxVersion)
+	}
+	var out []IndexEntry
+	for {
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		keyLen := int(binary.LittleEndian.Uint16(lenBuf[:]))
+		rest := make([]byte, keyLen+16)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, err
+		}
+		out = append(out, IndexEntry{
+			Key:      string(rest[:keyLen]),
+			FrameOff: int64(binary.LittleEndian.Uint64(rest[keyLen:])),
+			ValueLen: int32(binary.LittleEndian.Uint32(rest[keyLen+8:])),
+			CRC:      binary.LittleEndian.Uint32(rest[keyLen+12:]),
+		})
+	}
+}

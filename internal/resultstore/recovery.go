@@ -1,0 +1,176 @@
+package resultstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// recover scans the whole log, verifying every record CRC, and leaves
+// the store's in-memory index and size describing the valid prefix.
+//
+// The algorithm (see the package comment for the failure taxonomy):
+//
+//  1. An empty file gets a fresh header. A non-empty file must begin
+//     with the magic and a supported version.
+//  2. Records are walked sequentially. Each is valid iff its length
+//     prefix is sane, the full frame+CRC fits in the file, and the CRC
+//     matches.
+//  3. The first invalid record ends the scan. If its claimed extent
+//     reaches (or overruns) EOF it is a torn write: everything from
+//     its offset on is truncated and reported. If bytes exist beyond
+//     its extent, truncating would also discard those later records —
+//     that is mid-log corruption, and recover fails loudly instead.
+func (s *Store) recover() error {
+	path := filepath.Join(s.dir, logName)
+	fi, err := s.log.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+
+	if size == 0 {
+		var hdr [headerLen]byte
+		copy(hdr[:8], logMagic[:])
+		binary.LittleEndian.PutUint32(hdr[8:12], logVersion)
+		if _, err := s.log.WriteAt(hdr[:], 0); err != nil {
+			return fmt.Errorf("resultstore: writing log header: %w", err)
+		}
+		if err := s.log.Sync(); err != nil {
+			return err
+		}
+		s.size = headerLen
+		s.report = RecoveryReport{Bytes: headerLen}
+		return nil
+	}
+	if size < headerLen {
+		// Even the header is torn: only possible on a crash during the
+		// very first open, before any record existed. Rewrite it.
+		var hdr [headerLen]byte
+		copy(hdr[:8], logMagic[:])
+		binary.LittleEndian.PutUint32(hdr[8:12], logVersion)
+		if _, err := s.log.WriteAt(hdr[:], 0); err != nil {
+			return fmt.Errorf("resultstore: rewriting torn log header: %w", err)
+		}
+		if err := s.log.Truncate(headerLen); err != nil {
+			return err
+		}
+		if err := s.log.Sync(); err != nil {
+			return err
+		}
+		s.size = headerLen
+		s.report = RecoveryReport{Bytes: headerLen, TornTail: true, TruncatedBytes: size, TornReason: "torn log header"}
+		return nil
+	}
+
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(io.NewSectionReader(s.log, 0, headerLen), hdr[:]); err != nil {
+		return err
+	}
+	if [8]byte(hdr[:8]) != logMagic {
+		return &CorruptLogError{Path: path, Offset: 0, Reason: "bad magic (not a hidisc result log)"}
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != logVersion {
+		return fmt.Errorf("resultstore: %s is log version %d, this build reads version %d", path, v, logVersion)
+	}
+
+	// Walk the records.
+	off := int64(headerLen)
+	var lenBuf [4]byte
+	for off < size {
+		tear := func(reason string) error { return s.truncateTail(off, size, reason) }
+		if size-off < 4 {
+			return tear("short length prefix")
+		}
+		if _, err := s.log.ReadAt(lenBuf[:], off); err != nil {
+			return err
+		}
+		frameLen := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		extent := off + 4 + frameLen + 4
+		if frameLen < minFrame || frameLen > maxFrame {
+			// A garbage length prefix. If nothing follows the prefix
+			// itself it is a torn write of the prefix; otherwise the
+			// bytes after it are unaccounted for either way — with an
+			// unparseable length there is no "next record" to protect,
+			// so any tail this short is treated as torn only when it
+			// is plausibly one partial append (≤ a max record),
+			// corruption otherwise.
+			if size-off <= 4+maxFrame+4 {
+				return tear(fmt.Sprintf("implausible frame length %d", frameLen))
+			}
+			return &CorruptLogError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("implausible frame length %d with %d bytes following", frameLen, size-off)}
+		}
+		if extent > size {
+			return tear(fmt.Sprintf("record extends past EOF (needs %d bytes, %d remain)", extent-off, size-off))
+		}
+		frame := make([]byte, frameLen)
+		if _, err := s.log.ReadAt(frame, off+4); err != nil {
+			return err
+		}
+		var crcBuf [4]byte
+		if _, err := s.log.ReadAt(crcBuf[:], off+4+frameLen); err != nil {
+			return err
+		}
+		stored := binary.LittleEndian.Uint32(crcBuf[:])
+		if crc := crc32.Checksum(frame, castagnoli); crc != stored {
+			if extent == size {
+				return tear(fmt.Sprintf("CRC mismatch on final record (stored %08x, computed %08x)", stored, crc))
+			}
+			return &CorruptLogError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("CRC mismatch (stored %08x, computed %08x) with %d bytes following", stored, crc, size-extent)}
+		}
+		keyLen := int64(binary.LittleEndian.Uint16(frame[0:2]))
+		if 2+keyLen > frameLen {
+			return &CorruptLogError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("key length %d exceeds frame %d", keyLen, frameLen)}
+		}
+		key := string(frame[2 : 2+keyLen])
+		if _, dup := s.index[key]; !dup { // first write wins
+			s.index[key] = indexEntry{
+				off:    off + 4 + 2 + keyLen,
+				length: int32(frameLen - 2 - keyLen),
+				crc:    stored,
+				keyLen: int32(keyLen),
+				frame:  off + 4,
+			}
+		}
+		off = extent
+	}
+	s.size = off
+	s.report.Records = len(s.index)
+	s.report.Bytes = off
+	return nil
+}
+
+// truncateTail discards a torn write at off, records it in the report,
+// and finishes recovery at the last valid record.
+func (s *Store) truncateTail(off, size int64, reason string) error {
+	if err := s.log.Truncate(off); err != nil {
+		return fmt.Errorf("resultstore: truncating torn tail: %w", err)
+	}
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	s.size = off
+	s.report.Records = len(s.index)
+	s.report.Bytes = off
+	s.report.TornTail = true
+	s.report.TruncatedBytes = size - off
+	s.report.TornReason = reason
+	return nil
+}
+
+// fsyncDir syncs a directory so a just-renamed file inside it is
+// durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

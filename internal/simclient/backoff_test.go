@@ -1,0 +1,223 @@
+package simclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hidisc/internal/simserver"
+)
+
+// fixedRand pins the jitter source.
+func fixedRand(v float64) func() float64 { return func() float64 { return v } }
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second, rnd: fixedRand(0)}
+	// rnd=0 → no jitter subtracted: pure Base·2ⁿ clamped to Cap.
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second, 2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	b := &Backoff{Base: time.Second, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := b.Delay(0)
+		if d < 500*time.Millisecond || d > time.Second {
+			t.Fatalf("jittered Delay(0) = %v, want within [500ms, 1s]", d)
+		}
+	}
+	// Full jitter reaches further down; zero-ish jitter stays put.
+	none := &Backoff{Base: time.Second, Jitter: -1, rnd: fixedRand(0.99)}
+	if got := none.Delay(0); got != time.Second {
+		t.Errorf("Jitter<0 Delay(0) = %v, want exactly 1s", got)
+	}
+}
+
+func TestRetryAfterOverridesSchedule(t *testing.T) {
+	b := &Backoff{Base: time.Millisecond, Cap: 10 * time.Millisecond, rnd: fixedRand(0)}
+	err := &APIError{Status: 429, RetryAfter: 42 * time.Second}
+	if got := b.DelayFor(0, err); got != 42*time.Second {
+		t.Errorf("DelayFor(429 + Retry-After) = %v, want the server's 42s", got)
+	}
+	// Jitter only extends the server's ask, never undercuts it.
+	bj := &Backoff{Base: time.Millisecond, rnd: fixedRand(0.999)}
+	if got := bj.DelayFor(0, err); got < 42*time.Second {
+		t.Errorf("jittered Retry-After %v undercuts the server's 42s", got)
+	}
+	// Without the header, the computed schedule applies (and the Cap
+	// still bounds it).
+	if got := b.DelayFor(9, &APIError{Status: 503}); got != 10*time.Millisecond {
+		t.Errorf("DelayFor(503, attempt 9) = %v, want cap 10ms", got)
+	}
+}
+
+func TestRetryableTable(t *testing.T) {
+	b := DefaultBackoff()
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("dial tcp 127.0.0.1:1: connect: connection refused"), true},
+		{fmt.Errorf("reading stream: %w", errors.New("unexpected EOF")), true},
+		{&APIError{Status: 429}, true},
+		{&APIError{Status: 502}, true},
+		{&APIError{Status: 503}, true},
+		{&APIError{Status: 400}, false},
+		{&APIError{Status: 404}, false},
+		{&APIError{Status: 422}, false},
+		{&APIError{Status: 500}, false},
+		{&APIError{Status: 504}, false},
+		{context.Canceled, false},
+		{fmt.Errorf("request: %w", context.DeadlineExceeded), false},
+	}
+	for _, c := range cases {
+		if got := b.Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	b := &Backoff{Base: time.Millisecond, rnd: fixedRand(0),
+		sleep: func(ctx context.Context, d time.Duration) error { slept = append(slept, d); return nil }}
+	calls := 0
+	err := b.Do(context.Background(), func() error {
+		calls++
+		if calls < 4 {
+			return &APIError{Status: 503}
+		}
+		return nil
+	})
+	if err != nil || calls != 4 || len(slept) != 3 {
+		t.Fatalf("Do: err=%v calls=%d sleeps=%v", err, calls, slept)
+	}
+	if slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond || slept[2] != 4*time.Millisecond {
+		t.Errorf("sleep schedule %v, want 1ms 2ms 4ms", slept)
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	b := &Backoff{Base: time.Millisecond,
+		sleep: func(context.Context, time.Duration) error { t.Fatal("slept on a non-retryable error"); return nil }}
+	calls := 0
+	fatal := &APIError{Status: 422}
+	if err := b.Do(context.Background(), func() error { calls++; return fatal }); !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("Do: err=%v calls=%d, want the 422 after one call", err, calls)
+	}
+}
+
+func TestDoBoundedAttempts(t *testing.T) {
+	b := &Backoff{Base: time.Nanosecond, Attempts: 3,
+		sleep: func(context.Context, time.Duration) error { return nil }}
+	calls := 0
+	transient := &APIError{Status: 503}
+	if err := b.Do(context.Background(), func() error { calls++; return transient }); !errors.Is(err, transient) || calls != 3 {
+		t.Fatalf("Do: err=%v calls=%d, want 3 attempts then the last error", err, calls)
+	}
+}
+
+func TestDoHonoursContextDuringSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &Backoff{Base: time.Minute,
+		sleep: func(ctx context.Context, d time.Duration) error { cancel(); return ctx.Err() }}
+	err := b.Do(ctx, func() error { return &APIError{Status: 503} })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+// TestClientRidesThroughFailures drives a real Client against a
+// handler that sheds, drains, and dies mid-stream before recovering —
+// the restart choreography the retrying client must absorb.
+func TestClientRidesThroughFailures(t *testing.T) {
+	meas := json.RawMessage(`{"Workload":"Pointer","Cycles":123}`)
+	var runCalls, batchCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch runCalls.Add(1) {
+		case 1: // overloaded, with a hint
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(429)
+			json.NewEncoder(w).Encode(simserver.ErrorBody{Err: simserver.WireError{Status: 429, Kind: "overloaded"}})
+		case 2: // draining ahead of a restart
+			w.WriteHeader(503)
+			json.NewEncoder(w).Encode(simserver.ErrorBody{Err: simserver.WireError{Status: 503, Kind: "draining"}})
+		default:
+			json.NewEncoder(w).Encode(simserver.JobResponse{Key: "k", Measurement: meas})
+		}
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		if batchCalls.Add(1) == 1 {
+			// First attempt dies after one item: a kill -9 mid-batch.
+			enc.Encode(simserver.BatchItem{Index: 0, Measurement: meas})
+			panic(http.ErrAbortHandler)
+		}
+		enc.Encode(simserver.BatchItem{Index: 1, Measurement: meas})
+		enc.Encode(simserver.BatchItem{Index: 0, Stored: true, Measurement: meas})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = &Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond, rnd: fixedRand(0),
+		sleep: func(ctx context.Context, d time.Duration) error { return nil }}
+
+	resp, err := c.Run(context.Background(), simserver.JobRequest{Workload: "Pointer", Arch: "hidisc"})
+	if err != nil {
+		t.Fatalf("Run through 429+503: %v", err)
+	}
+	if string(resp.Measurement) != string(meas) || runCalls.Load() != 3 {
+		t.Fatalf("Run resp %+v after %d calls", resp, runCalls.Load())
+	}
+
+	items, errs, err := c.Batch(context.Background(), simserver.BatchRequest{
+		Jobs: []simserver.JobRequest{{Workload: "Pointer", Arch: "hidisc"}, {Workload: "Update", Arch: "hidisc"}},
+	})
+	if err != nil {
+		t.Fatalf("Batch through mid-stream death: %v", err)
+	}
+	if len(items) != 2 || errs[0] != nil || errs[1] != nil {
+		t.Fatalf("Batch items %+v errs %v", items, errs)
+	}
+	if !items[0].Stored {
+		t.Error("replayed item 0 did not overwrite the first attempt's copy")
+	}
+	if batchCalls.Load() != 2 {
+		t.Errorf("batch handler called %d times, want 2", batchCalls.Load())
+	}
+}
+
+// TestNoRetryByDefault pins the zero-value behaviour: without a
+// policy, the first failure surfaces immediately.
+func TestNoRetryByDefault(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(503)
+		json.NewEncoder(w).Encode(simserver.ErrorBody{Err: simserver.WireError{Status: 503, Kind: "draining"}})
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.Run(context.Background(), simserver.JobRequest{Workload: "Pointer", Arch: "hidisc"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 503 || calls.Load() != 1 {
+		t.Fatalf("Run = %v after %d calls, want one immediate 503", err, calls.Load())
+	}
+}

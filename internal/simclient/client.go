@@ -1,7 +1,10 @@
 // Package simclient is the Go client for the hidisc-serve API: submit
 // single jobs or batch matrices, stream NDJSON batch results, and
 // decode the server's structured error bodies (including Retry-After
-// backoff hints and fault snapshots) into typed errors.
+// backoff hints and fault snapshots) into typed errors. Setting
+// Client.Retry to a Backoff policy makes the client ride through
+// server restarts, 429 shedding, and 503 drains instead of failing
+// the caller's figure.
 package simclient
 
 import (
@@ -29,11 +32,28 @@ type Client struct {
 	// for minutes, so the default carries no overall timeout; bound
 	// requests with a context instead.
 	HTTPClient *http.Client
+	// Retry, when non-nil, makes Run, Batch, Measurements, Healthz,
+	// and Metrics ride through transient failures — server restarts,
+	// 429 shedding (Retry-After honoured), 503 drains — under the
+	// policy's bounded, jittered schedule (see Backoff for the full
+	// retryable-status table). Safe because the API is idempotent:
+	// simulations are deterministic and content-addressed, and a
+	// restarted server answers completed jobs from its result store.
+	// Nil means every failure surfaces immediately.
+	Retry *Backoff
 }
 
 // New returns a client for the given base URL.
 func New(base string) *Client {
 	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+// withRetry runs op under the client's retry policy, if any.
+func (c *Client) withRetry(ctx context.Context, op func() error) error {
+	if c.Retry == nil {
+		return op()
+	}
+	return c.Retry.Do(ctx, op)
 }
 
 func (c *Client) httpc() *http.Client {
@@ -104,16 +124,25 @@ func decodeError(resp *http.Response) error {
 }
 
 // Run submits one job and returns the server's response with the
-// measurement still in its canonical raw encoding.
+// measurement still in its canonical raw encoding. With Retry set, the
+// whole submission — connection, response, body — is retried per the
+// policy, so a server restart mid-request costs a delay, not the job.
 func (c *Client) Run(ctx context.Context, jr simserver.JobRequest) (simserver.JobResponse, error) {
-	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", jr)
+	var out simserver.JobResponse
+	err := c.withRetry(ctx, func() error {
+		resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", jr)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		out = simserver.JobResponse{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("decoding job response: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
 		return simserver.JobResponse{}, err
-	}
-	defer resp.Body.Close()
-	var out simserver.JobResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return simserver.JobResponse{}, fmt.Errorf("decoding job response: %w", err)
 	}
 	return out, nil
 }
@@ -121,6 +150,10 @@ func (c *Client) Run(ctx context.Context, jr simserver.JobRequest) (simserver.Jo
 // BatchStream submits a batch and invokes fn for every NDJSON item as
 // it arrives (completion order, not submission order). fn returning an
 // error aborts the stream.
+//
+// BatchStream is deliberately single-shot even with Retry set: a
+// retried stream would replay items fn has already seen. Use Batch (or
+// Measurements), which absorbs replays by index, for retry semantics.
 func (c *Client) BatchStream(ctx context.Context, br simserver.BatchRequest, fn func(simserver.BatchItem) error) error {
 	resp, err := c.do(ctx, http.MethodPost, "/v1/batch", br)
 	if err != nil {
@@ -149,13 +182,27 @@ func (c *Client) BatchStream(ctx context.Context, br simserver.BatchRequest, fn 
 // submission order. Per-job failures are returned as *APIError values
 // in errs (indexed like items); the call itself fails only on
 // transport or protocol errors.
+//
+// With Retry set, a failed attempt re-submits the whole batch: the
+// server is content-addressed, so jobs that completed before a crash
+// are answered from its cache or durable store instead of being
+// re-simulated, and replayed items simply overwrite by index (results
+// are deterministic, so a replay is byte-identical). That makes a
+// kill -9 mid-batch cost one backoff delay plus only the unfinished
+// jobs' simulation time.
 func (c *Client) Batch(ctx context.Context, br simserver.BatchRequest) (items []simserver.BatchItem, errs []error, err error) {
-	err = c.BatchStream(ctx, br, func(it simserver.BatchItem) error {
-		items = append(items, it)
-		return nil
+	got := map[int]simserver.BatchItem{}
+	err = c.withRetry(ctx, func() error {
+		return c.BatchStream(ctx, br, func(it simserver.BatchItem) error {
+			got[it.Index] = it
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	for _, it := range got {
+		items = append(items, it)
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].Index < items[j].Index })
 	errs = make([]error, len(items))
@@ -187,25 +234,32 @@ func (c *Client) Measurements(ctx context.Context, br simserver.BatchRequest) ([
 	return ms, items, nil
 }
 
-// Healthz probes liveness.
+// Healthz probes liveness (retried under the client's policy, so it
+// doubles as "wait for the server to come back").
 func (c *Client) Healthz(ctx context.Context) error {
-	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil)
-	if err != nil {
-		return err
-	}
-	resp.Body.Close()
-	return nil
+	return c.withRetry(ctx, func() error {
+		resp, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	})
 }
 
 // Metrics fetches the server counters.
 func (c *Client) Metrics(ctx context.Context) (simserver.MetricsSnapshot, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
-	if err != nil {
-		return simserver.MetricsSnapshot{}, err
-	}
-	defer resp.Body.Close()
 	var m simserver.MetricsSnapshot
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+	err := c.withRetry(ctx, func() error {
+		resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		m = simserver.MetricsSnapshot{}
+		return json.NewDecoder(resp.Body).Decode(&m)
+	})
+	if err != nil {
 		return simserver.MetricsSnapshot{}, err
 	}
 	return m, nil

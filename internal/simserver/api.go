@@ -77,8 +77,11 @@ type BatchRequest struct {
 type JobResponse struct {
 	// Key is the job's canonical content hash (the cache key).
 	Key string `json:"key"`
-	// Cached is true when the measurement came from the result cache.
+	// Cached is true when the measurement came from the in-memory
+	// result cache; Stored when it came from the durable result store
+	// (the system of record) below it.
 	Cached bool `json:"cached,omitempty"`
+	Stored bool `json:"stored,omitempty"`
 	// Deduped is true when this submission shared a concurrent
 	// identical simulation instead of starting its own.
 	Deduped bool `json:"deduped,omitempty"`
@@ -110,6 +113,7 @@ type BatchItem struct {
 	Index       int             `json:"index"`
 	Key         string          `json:"key,omitempty"`
 	Cached      bool            `json:"cached,omitempty"`
+	Stored      bool            `json:"stored,omitempty"`
 	Deduped     bool            `json:"deduped,omitempty"`
 	Measurement json.RawMessage `json:"measurement,omitempty"`
 	Error       *WireError      `json:"error,omitempty"`
@@ -225,6 +229,8 @@ type MetricsSnapshot struct {
 	// queued); CacheEntries is the current result-cache population.
 	InFlight     int64 `json:"inFlight"`
 	CacheEntries int   `json:"cacheEntries"`
+	// Store describes the durable system-of-record tier.
+	Store StoreMetrics `json:"store"`
 	// Aggregate simulation throughput since the server started, via
 	// stats.Throughput over the runners' SimTotals.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
@@ -233,6 +239,25 @@ type MetricsSnapshot struct {
 	MCyclesPerSec float64 `json:"mcyclesPerSec"`
 	SimMIPS       float64 `json:"simMIPS"`
 	Throughput    string  `json:"throughput"`
+}
+
+// StoreMetrics is the system-of-record slice of the metrics payload.
+// State is "off" (no -store), "ok", or "degraded" (a store read/write
+// failed since startup; serving continues from the LRU and by
+// re-simulating). The Recovered* fields report what open-time recovery
+// found in the log: RecoveredRecords counts records proven valid by
+// the CRC scan, and a true TornTail means a torn write from a crash
+// mid-append was truncated away (TruncatedBytes of it).
+type StoreMetrics struct {
+	State            string `json:"state"`
+	Hits             int64  `json:"hits"`
+	Misses           int64  `json:"misses"`
+	Puts             int64  `json:"puts"`
+	Errors           int64  `json:"errors"`
+	Records          int    `json:"records"`
+	RecoveredRecords int    `json:"recoveredRecords"`
+	TornTail         bool   `json:"tornTail"`
+	TruncatedBytes   int64  `json:"truncatedBytes"`
 }
 
 // retryAfter estimates how long a rejected client should back off:

@@ -125,6 +125,13 @@ func TestMetricsContentNegotiation(t *testing.T) {
 			"hidisc_sim_cycles_total":      snap.SimCycles,
 			"hidisc_sim_insts_total":       snap.SimInsts,
 			"hidisc_jobs_in_flight":        snap.InFlight,
+
+			"hidisc_store_hits_total":              snap.Store.Hits,
+			"hidisc_store_misses_total":            snap.Store.Misses,
+			"hidisc_store_appends_total":           snap.Store.Puts,
+			"hidisc_store_errors_total":            snap.Store.Errors,
+			"hidisc_store_recovered_records_total": int64(snap.Store.RecoveredRecords),
+			"hidisc_store_records":                 int64(snap.Store.Records),
 		}
 		for name, want := range counters {
 			got, ok := vals[name]

@@ -65,6 +65,13 @@ func (h *histogram) write(w io.Writer, name, help string) {
 
 func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
 
+func boolGauge(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // writePrometheus renders the full metric set — the same counters the
@@ -86,8 +93,16 @@ func (s *Server) writePrometheus(w io.Writer) {
 	counter("hidisc_jobs_failed_total", "Jobs that finished with a fault.", m.Failed)
 	counter("hidisc_sim_cycles_total", "Machine cycles simulated since startup.", m.SimCycles)
 	counter("hidisc_sim_insts_total", "Instructions committed by simulations since startup.", m.SimInsts)
+	counter("hidisc_store_hits_total", "Submissions answered from the durable result store.", m.Store.Hits)
+	counter("hidisc_store_misses_total", "Store lookups that fell through to simulation.", m.Store.Misses)
+	counter("hidisc_store_appends_total", "Results appended to the durable result store.", m.Store.Puts)
+	counter("hidisc_store_errors_total", "Store reads/writes that failed (tier degraded).", m.Store.Errors)
+	counter("hidisc_store_recovered_records_total", "Records proven valid by open-time log recovery.", int64(m.Store.RecoveredRecords))
+	counter("hidisc_store_truncated_bytes_total", "Torn-tail bytes truncated by open-time log recovery.", m.Store.TruncatedBytes)
 	gauge("hidisc_jobs_in_flight", "Jobs admitted and not yet finished.", strconv.FormatInt(m.InFlight, 10))
 	gauge("hidisc_cache_entries", "Result-cache population.", strconv.Itoa(m.CacheEntries))
+	gauge("hidisc_store_records", "Records in the durable result store.", strconv.Itoa(m.Store.Records))
+	gauge("hidisc_store_degraded", "1 when the store tier has seen an error, else 0 (absent store: 0).", boolGauge(m.Store.State == "degraded"))
 	gauge("hidisc_uptime_seconds", "Seconds since the server started.", formatFloat(m.UptimeSeconds))
 	s.jobSeconds.write(w, "hidisc_job_seconds", "Wall time of executed simulation jobs.")
 	s.queueWaitSeconds.write(w, "hidisc_job_queue_wait_seconds", "Time jobs waited for a worker slot.")

@@ -16,6 +16,7 @@ import (
 	"hidisc/internal/experiments"
 	"hidisc/internal/machine"
 	"hidisc/internal/mem"
+	"hidisc/internal/resultstore"
 	"hidisc/internal/simfault"
 	"hidisc/internal/stats"
 	"hidisc/internal/workloads"
@@ -40,6 +41,12 @@ type Config struct {
 	// Logger receives structured request/job logs. Nil logs nowhere
 	// (handy for tests); hidisc-serve passes a JSON handler on stderr.
 	Logger *slog.Logger
+	// Store, when non-nil, is the durable system of record for
+	// results. Lookup order becomes LRU → store → simulate-and-append,
+	// so completed jobs survive a process restart and are never
+	// re-simulated. The server takes ownership: CloseStore (idempotent)
+	// flushes and closes it on the drain path.
+	Store *resultstore.Store
 }
 
 // DefaultConfig returns production-shaped defaults at the given scale.
@@ -83,6 +90,17 @@ type Server struct {
 	failed    atomic.Int64
 	avgJobNs  atomic.Int64 // EWMA of executed-job wall time
 
+	// System-of-record tier (nil store leaves these zero and the
+	// store state "off").
+	store         *resultstore.Store
+	storeHits     atomic.Int64
+	storeMisses   atomic.Int64
+	storePuts     atomic.Int64
+	storeErrors   atomic.Int64
+	storeDegraded atomic.Bool
+	storeClose    sync.Once
+	storeCloseErr error
+
 	logger *slog.Logger
 	reqSeq atomic.Int64 // request-ID source
 
@@ -118,6 +136,7 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		cancelJobs: cancel,
 		runners:    map[workloads.Scale]*experiments.Runner{},
+		store:      cfg.Store,
 
 		logger:           logger,
 		jobSeconds:       newHistogram(jobLatencyBounds),
@@ -169,6 +188,93 @@ func (s *Server) ForceCancel() { s.cancelJobs() }
 // InFlight returns the number of admitted, unfinished jobs.
 func (s *Server) InFlight() int { return s.adm.InFlight() }
 
+// CloseStore flushes and closes the result store, exactly once no
+// matter how many shutdown paths race to call it (graceful drain,
+// drain-deadline force-cancel, second-signal force-cancel). Without a
+// store it is a no-op. Every call returns the one close's error.
+func (s *Server) CloseStore() error {
+	if s.store == nil {
+		return nil
+	}
+	s.storeClose.Do(func() {
+		s.storeCloseErr = s.store.Close()
+		s.logger.Info("result store closed",
+			"records", s.store.Len(), "err", errString(s.storeCloseErr))
+	})
+	return s.storeCloseErr
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// storeState names the store tier's health for healthz and metrics:
+// "off" (no store configured), "ok", or "degraded" (a store read or
+// write has failed since startup; the server keeps serving from the
+// LRU and by re-simulating, but durability is impaired).
+func (s *Server) storeState() string {
+	switch {
+	case s.store == nil:
+		return "off"
+	case s.storeDegraded.Load():
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
+// storeGet consults the system of record below the LRU. A read error
+// degrades the store tier but does not fail the job — the result can
+// be re-simulated.
+func (s *Server) storeGet(reqCtx context.Context, key string) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	enc, ok, err := s.store.Get(key)
+	if err != nil {
+		if !errors.Is(err, resultstore.ErrClosed) {
+			// Read-after-close is a shutdown artefact (the drain path
+			// closed the store under an in-flight job), not damage.
+			s.storeErrors.Add(1)
+			s.storeDegraded.Store(true)
+		}
+		s.logger.Error("store read failed",
+			"requestId", RequestIDFrom(reqCtx), "key", key, "err", err.Error())
+		return nil, false
+	}
+	if !ok {
+		s.storeMisses.Add(1)
+		return nil, false
+	}
+	s.storeHits.Add(1)
+	return enc, true
+}
+
+// storePut appends a completed result to the system of record. A
+// write error degrades the store tier but never fails the job: the
+// measurement is already in hand (and in the LRU).
+func (s *Server) storePut(reqCtx context.Context, key string, enc []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(key, enc); err != nil {
+		if !errors.Is(err, resultstore.ErrClosed) {
+			// Put-after-close only happens when a job completes while
+			// the drain path is closing the store; the job's client
+			// still gets its result, and the next run re-simulates.
+			s.storeErrors.Add(1)
+			s.storeDegraded.Store(true)
+		}
+		s.logger.Error("store append failed",
+			"requestId", RequestIDFrom(reqCtx), "key", key, "err", err.Error())
+		return
+	}
+	s.storePuts.Add(1)
+}
+
 // Drain enters drain mode and waits until every admitted job has
 // finished or ctx expires (ErrDrainTimeout).
 func (s *Server) Drain(ctx context.Context) error {
@@ -194,6 +300,7 @@ type outcome struct {
 	key     string
 	enc     []byte
 	cached  bool
+	stored  bool
 	deduped bool
 	err     error
 }
@@ -243,19 +350,32 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 		return outcome{key: key, enc: enc}
 	}
 
+	// Lookup order: LRU cache, then the durable system of record, then
+	// simulate-and-append. A store hit is promoted into the LRU so the
+	// next lookup is memory-speed.
 	if enc, ok := s.cache.Get(key); ok {
 		s.cacheHits.Add(1)
 		return outcome{key: key, enc: enc, cached: true}
 	}
+	if enc, ok := s.storeGet(reqCtx, key); ok {
+		s.cache.Put(key, enc)
+		return outcome{key: key, enc: enc, stored: true}
+	}
 
+	var fromStore bool
 	_, enc, err, shared := s.flight.Do(reqCtx, key, func() (experiments.Measurement, []byte, error) {
 		if s.leadGate != nil {
 			s.leadGate(key)
 		}
-		// Double-check the cache: a previous flight for this key may
-		// have completed between our Get miss and Do.
+		// Double-check cache and store: a previous flight for this key
+		// may have completed between our misses and Do.
 		if enc, ok := s.cache.Get(key); ok {
 			s.cacheHits.Add(1)
+			return experiments.Measurement{}, enc, nil
+		}
+		if enc, ok := s.storeGet(reqCtx, key); ok {
+			fromStore = true
+			s.cache.Put(key, enc)
 			return experiments.Measurement{}, enc, nil
 		}
 		m, err := s.simulate(reqCtx, jr, job, scale)
@@ -267,6 +387,7 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 			return experiments.Measurement{}, nil, err
 		}
 		s.cache.Put(key, enc)
+		s.storePut(reqCtx, key, enc)
 		return m, enc, nil
 	})
 	if shared {
@@ -275,7 +396,7 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 	if err != nil {
 		return outcome{key: key, err: err}
 	}
-	return outcome{key: key, enc: enc, deduped: shared}
+	return outcome{key: key, enc: enc, stored: fromStore && !shared, deduped: shared}
 }
 
 // simulate acquires a worker slot and runs one job under its time
@@ -382,7 +503,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, JobResponse{
-		Key: out.key, Cached: out.cached, Deduped: out.deduped, Measurement: out.enc,
+		Key: out.key, Cached: out.cached, Stored: out.stored, Deduped: out.deduped, Measurement: out.enc,
 	})
 }
 
@@ -435,7 +556,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			} else {
 				out = s.execute(r.Context(), jobs[i], jscale)
 			}
-			it := BatchItem{Index: i, Key: out.key, Cached: out.cached, Deduped: out.deduped, Measurement: out.enc}
+			it := BatchItem{Index: i, Key: out.key, Cached: out.cached, Stored: out.stored, Deduped: out.deduped, Measurement: out.enc}
 			if out.err != nil {
 				we := wireError(out.err)
 				we.RequestID = RequestIDFrom(r.Context())
@@ -500,11 +621,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]string{"status": "ok", "store": s.storeState()}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
 }
 
 // Metrics snapshots the server counters.
@@ -519,6 +642,19 @@ func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Unlock()
 	wall := time.Since(s.start)
 	tp := stats.Throughput{SimCycles: cycles, SimInsts: insts, Wall: wall}
+	var st StoreMetrics
+	st.State = s.storeState()
+	if s.store != nil {
+		rep := s.store.Recovery()
+		st.Hits = s.storeHits.Load()
+		st.Misses = s.storeMisses.Load()
+		st.Puts = s.storePuts.Load()
+		st.Errors = s.storeErrors.Load()
+		st.Records = s.store.Len()
+		st.RecoveredRecords = rep.Records
+		st.TornTail = rep.TornTail
+		st.TruncatedBytes = rep.TruncatedBytes
+	}
 	return MetricsSnapshot{
 		Accepted:      s.accepted.Load(),
 		Rejected:      s.rejected.Load(),
@@ -528,6 +664,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Failed:        s.failed.Load(),
 		InFlight:      int64(s.adm.InFlight()),
 		CacheEntries:  s.cache.Len(),
+		Store:         st,
 		UptimeSeconds: wall.Seconds(),
 		SimCycles:     cycles,
 		SimInsts:      insts,

@@ -1,0 +1,235 @@
+package simserver_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hidisc/internal/machine"
+	"hidisc/internal/resultstore"
+	"hidisc/internal/simclient"
+	"hidisc/internal/simfault"
+	"hidisc/internal/simserver"
+)
+
+// storeConfig is testConfig plus an open result store in dir.
+func storeConfig(t *testing.T, dir string) simserver.Config {
+	t.Helper()
+	st, _, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Store = st
+	return cfg
+}
+
+// TestStoreServesAcrossRestart is the system-of-record contract: a
+// second server generation over the same store directory must answer
+// every previously completed job from the store, byte-identical,
+// without simulating anything.
+func TestStoreServesAcrossRestart(t *testing.T) {
+	jobs, want := localFig8(t)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// Generation 1 simulates the whole matrix and persists it.
+	s1, c1 := newTestServer(t, storeConfig(t, dir))
+	br := simserver.BatchRequest{Matrix: "fig8", Scale: "test"}
+	items, errs, err := c1.Batch(ctx, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("gen1 job %d: %v", i, e)
+		}
+	}
+	m1 := s1.Metrics()
+	if m1.Store.Puts != int64(len(jobs)) {
+		t.Fatalf("gen1 store puts = %d, want %d", m1.Store.Puts, len(jobs))
+	}
+	if m1.Store.State != "ok" {
+		t.Fatalf("gen1 store state %q, want ok", m1.Store.State)
+	}
+	if err := s1.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: the second close (a racing shutdown path) is a no-op.
+	if err := s1.CloseStore(); err != nil {
+		t.Fatalf("second CloseStore: %v", err)
+	}
+
+	// Generation 2: a fresh process image (new server, new empty LRU)
+	// over the same directory.
+	s2, c2 := newTestServer(t, storeConfig(t, dir))
+	items2, errs2, err := c2.Batch(ctx, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items2 {
+		if errs2[i] != nil {
+			t.Fatalf("gen2 job %d: %v", i, errs2[i])
+		}
+		if !it.Stored && !it.Cached {
+			t.Errorf("gen2 job %d (%s on %s) was not served from the store",
+				i, jobs[i].Workload, jobs[i].Arch)
+		}
+		if !bytes.Equal(it.Measurement, want[i]) {
+			t.Errorf("gen2 job %d differs from the local reference", i)
+		}
+		if !bytes.Equal(it.Measurement, items[i].Measurement) {
+			t.Errorf("gen2 job %d differs from gen1's response", i)
+		}
+	}
+	m2 := s2.Metrics()
+	if m2.Completed != 0 {
+		t.Errorf("gen2 re-simulated %d jobs; the store should have served all of them", m2.Completed)
+	}
+	if m2.Store.Hits == 0 || m2.Store.Hits+m2.CacheHits != int64(len(jobs)) {
+		t.Errorf("gen2 storeHits=%d cacheHits=%d, want them to cover all %d jobs",
+			m2.Store.Hits, m2.CacheHits, len(jobs))
+	}
+	if m2.Store.RecoveredRecords != len(jobs) {
+		t.Errorf("gen2 recovered %d records, want %d", m2.Store.RecoveredRecords, len(jobs))
+	}
+}
+
+// TestHealthzStoreState pins the liveness body's store field: "off"
+// without a store, "ok" with one, "degraded" after the store tier sees
+// an error — while the job itself still succeeds by re-simulating.
+func TestHealthzStoreState(t *testing.T) {
+	healthz := func(t *testing.T, url string) (int, map[string]string) {
+		t.Helper()
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		out := map[string]string{}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("healthz body %q: %v", body, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	t.Run("off", func(t *testing.T) {
+		_, url := rawTestServer(t, testConfig())
+		code, body := healthz(t, url)
+		if code != http.StatusOK || body["store"] != "off" {
+			t.Fatalf("healthz = %d %v, want 200 store=off", code, body)
+		}
+	})
+
+	t.Run("ok then degraded", func(t *testing.T) {
+		dir := t.TempDir()
+		// A one-entry LRU so a second job evicts the first: the repeat
+		// lookup must then reach the store and find the bitrot.
+		cfg := storeConfig(t, dir)
+		cfg.CacheEntries = 1
+		s, url := rawTestServer(t, cfg)
+		c := simclient.New(url)
+		if code, body := healthz(t, url); code != http.StatusOK || body["store"] != "ok" {
+			t.Fatalf("healthz = %d %v, want 200 store=ok", code, body)
+		}
+
+		// Complete one job so a record exists, then rot it on disk
+		// behind the open store.
+		ctx := context.Background()
+		jr := simserver.JobRequest{Workload: "Pointer", Arch: machine.HiDISC, Scale: "test"}
+		first, err := c.Run(ctx, jr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logPath := filepath.Join(dir, "results.log")
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := bytes.Index(data, []byte(`"Workload"`))
+		if i < 0 {
+			t.Fatal("encoded measurement not found in log")
+		}
+		f, err := os.OpenFile(logPath, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte{0xff}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		// Evict the rotten key from the LRU, then resubmit it: the
+		// store read fails its CRC check, the tier degrades, and the
+		// job still succeeds by re-simulating.
+		if _, err := c.Run(ctx, simserver.JobRequest{Workload: "Pointer", Arch: machine.Superscalar, Scale: "test"}); err != nil {
+			t.Fatal(err)
+		}
+		again, err := c.Run(ctx, jr)
+		if err != nil {
+			t.Fatalf("job over rotten record must re-simulate, got %v", err)
+		}
+		if !bytes.Equal(again.Measurement, first.Measurement) {
+			t.Error("re-simulated measurement differs from the original")
+		}
+		if again.Stored || again.Cached {
+			t.Errorf("rotten record served as a hit: %+v", again)
+		}
+		code, body := healthz(t, url)
+		if code != http.StatusOK || body["store"] != "degraded" {
+			t.Fatalf("healthz after bitrot = %d %v, want 200 store=degraded", code, body)
+		}
+		m := s.Metrics()
+		if m.Store.State != "degraded" || m.Store.Errors == 0 {
+			t.Errorf("metrics after bitrot: %+v", m.Store)
+		}
+	})
+}
+
+// TestFaultedJobsBypassStore mirrors the cache-bypass contract: a
+// perturbed job must neither read from nor append to the system of
+// record.
+func TestFaultedJobsBypassStore(t *testing.T) {
+	dir := t.TempDir()
+	s, c := newTestServer(t, storeConfig(t, dir))
+	ctx := context.Background()
+	inj := &simfault.Injector{Seed: 7}
+	if _, err := c.Run(ctx, simserver.JobRequest{
+		Workload: "Pointer", Arch: machine.HiDISC, Scale: "test", Fault: inj,
+	}); err != nil {
+		t.Fatalf("faulted job: %v", err)
+	}
+	m := s.Metrics()
+	if m.Store.Puts != 0 || m.Store.Hits != 0 || m.Store.Misses != 0 || m.Store.Records != 0 {
+		t.Errorf("faulted job touched the store: %+v", m.Store)
+	}
+}
+
+// TestStoreClosedMidFlight pins the drain race: a job finishing after
+// CloseStore still answers its client and must not mark the tier
+// degraded (ErrClosed is an expected shutdown artefact, not damage).
+func TestStoreClosedMidFlight(t *testing.T) {
+	dir := t.TempDir()
+	s, c := newTestServer(t, storeConfig(t, dir))
+	if err := s.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Run(context.Background(), simserver.JobRequest{
+		Workload: "Pointer", Arch: machine.Superscalar, Scale: "test",
+	})
+	if err != nil {
+		t.Fatalf("job after store close: %v", err)
+	}
+	if len(resp.Measurement) == 0 {
+		t.Fatal("empty measurement")
+	}
+	if st := s.Metrics().Store; st.State == "degraded" {
+		t.Errorf("ErrClosed degraded the store tier: %+v", st)
+	}
+}
