@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json bench-guard serve-smoke trace-smoke store-smoke
+.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json bench-ab bench-guard serve-smoke trace-smoke store-smoke
 
 ci: vet build test race fuzz-smoke bench-smoke serve-smoke trace-smoke store-smoke
 
@@ -68,16 +68,28 @@ trace-smoke:
 	rm -rf .smoke
 
 # Regenerate the committed per-run timing baseline. The Figure 8 matrix
-# runs sequentially at paper scale so wall times are comparable across
-# commits; diff BENCH_fig8.json to see a change's performance effect.
+# runs sequentially at paper scale, repeated 3 times interleaved; each
+# entry commits its minimum wall time (the least-noisy estimator on a
+# shared host). Diff BENCH_fig8.json to see a change's performance
+# effect; reps and host info are recorded in the file.
 bench-json:
 	$(GO) run ./cmd/hidisc-bench -bench-json BENCH_fig8.json
 
+# Honest A/B: build this tree's hidisc-bench and the one at OLD=<ref>,
+# interleave them min-of-3, and print the per-binary totals and delta.
+# Usage: make bench-ab OLD=HEAD~1
+bench-ab:
+	@test -n "$(OLD)" || { echo "usage: make bench-ab OLD=<git-ref>" >&2; exit 1; }
+	./scripts/bench_ab.sh "$(OLD)"
+
 # Guard the committed baseline's semantics: a fresh sequential run must
 # simulate exactly the same total cycle count as BENCH_fig8.json on
-# disk. Wall time may drift with the host; cycles may not.
+# disk (wall time may drift with the host; cycles may not), and every
+# zero-allocation steady-state pin must still hold — a hot-loop
+# allocation is a performance regression even when cycles agree.
 bench-guard:
-	$(GO) run ./cmd/hidisc-bench -bench-json .bench-guard.json
+	$(GO) test -run 'Alloc' ./internal/cpu ./internal/queue ./internal/mem ./internal/profile
+	$(GO) run ./cmd/hidisc-bench -bench-json .bench-guard.json -bench-reps 1
 	@want=$$(sed -n 's/.*"totalSimCycles": \([0-9]*\).*/\1/p' BENCH_fig8.json); \
 	got=$$(sed -n 's/.*"totalSimCycles": \([0-9]*\).*/\1/p' .bench-guard.json); \
 	rm -f .bench-guard.json; \

@@ -120,7 +120,10 @@ type CMPEngine struct {
 	mem   *mem.Memory
 	hier  *mem.Hierarchy
 	scq   []*queue.Queue
-	ctxs  []*cmpCtx
+	// ctxs holds the thread contexts by value, indexed by CMAS id: the
+	// per-cycle scan walks a flat array instead of chasing per-context
+	// pointers, and Fork recycles a slot by overwriting it in place.
+	ctxs  []cmpCtx
 	stats CMPStats
 
 	// worked / idlePutStalls mirror the Core's idle-cycle protocol (see
@@ -154,7 +157,7 @@ func NewCMP(cfg CMPConfig, progs [][]isa.Inst, m *mem.Memory, h *mem.Hierarchy, 
 		mem:   m,
 		hier:  h,
 		scq:   scq,
-		ctxs:  make([]*cmpCtx, len(progs)),
+		ctxs:  make([]cmpCtx, len(progs)),
 	}
 }
 
@@ -181,8 +184,8 @@ func (e *CMPEngine) SCQ(id int) *queue.Queue { return e.scq[id] }
 // ActiveContexts returns the number of live CMAS threads.
 func (e *CMPEngine) ActiveContexts() int {
 	n := 0
-	for _, c := range e.ctxs {
-		if c != nil && c.active {
+	for i := range e.ctxs {
+		if e.ctxs[i].active {
 			n++
 		}
 	}
@@ -199,7 +202,7 @@ func (e *CMPEngine) Fork(id int, ir *[isa.NumIntRegs]uint32, fr *[isa.NumFPRegs]
 	if id < 0 || id >= len(e.progs) {
 		return
 	}
-	if c := e.ctxs[id]; c != nil && c.active {
+	if e.ctxs[id].active {
 		e.stats.ForksIgnored++
 		return
 	}
@@ -207,18 +210,19 @@ func (e *CMPEngine) Fork(id int, ir *[isa.NumIntRegs]uint32, fr *[isa.NumFPRegs]
 		e.stats.ForksIgnored++
 		return
 	}
-	e.ctxs[id] = &cmpCtx{active: true, intR: *ir, fpR: *fr}
+	e.ctxs[id] = cmpCtx{active: true, intR: *ir, fpR: *fr}
 	if id < len(e.scq) && e.scq[id] != nil {
 		// Retire the previous slip-control queue generation and start a
 		// fresh one in the shared slice. Claims still in flight against
 		// the old (closed) generation stay trivially satisfied; simply
 		// reopening the old queue would strand them: a claim issued
 		// beyond the closed tail would become permanently not-ready
-		// once new pushes raised the tail past it.
+		// once new pushes raised the tail past it. Spawn carries the
+		// epoch pointer and the consuming core's wake callback over to
+		// the new generation.
 		old := e.scq[id]
 		old.Close()
-		e.scq[id] = queue.New(old.Name(), old.Cap())
-		e.scq[id].SetEpoch(e.epoch)
+		e.scq[id] = old.Spawn()
 	}
 	e.stats.Forks++
 	e.idleValid = false
@@ -227,8 +231,8 @@ func (e *CMPEngine) Fork(id int, ir *[isa.NumIntRegs]uint32, fr *[isa.NumFPRegs]
 // Shutdown kills every context and closes the slip-control queues;
 // called when the feeding processor halts.
 func (e *CMPEngine) Shutdown() {
-	for id, c := range e.ctxs {
-		if c != nil && c.active {
+	for id := range e.ctxs {
+		if c := &e.ctxs[id]; c.active {
 			c.active = false
 			e.stats.Killed++
 			e.closeSCQ(id)
@@ -289,8 +293,9 @@ func (e *CMPEngine) CycleEv(now int64) (int64, error) {
 // queue (no local deadline — the consuming core's wakeup drives it).
 func (e *CMPEngine) nextWake(now int64) int64 {
 	wake := int64(math.MaxInt64)
-	for id, c := range e.ctxs {
-		if c == nil || !c.active {
+	for id := range e.ctxs {
+		c := &e.ctxs[id]
+		if !c.active {
 			continue
 		}
 		prog := e.progs[id]
@@ -327,8 +332,9 @@ func (e *CMPEngine) CreditIdle(n int64) {
 
 func (e *CMPEngine) cycle(now int64) error {
 	ports := 0
-	for id, c := range e.ctxs {
-		if c == nil || !c.active {
+	for id := range e.ctxs {
+		c := &e.ctxs[id]
+		if !c.active {
 			continue
 		}
 		for n := 0; n < e.cfg.IssueWidth && c.active; n++ {

@@ -9,6 +9,7 @@ package cpu
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"hidisc/internal/bpred"
 	"hidisc/internal/isa"
@@ -114,37 +115,84 @@ type Stats struct {
 	DispatchRedirects uint64 // BCQ/JCQ resolved at dispatch against the fetch direction
 }
 
-type srcOperand struct {
-	reg      isa.Reg
-	ready    bool
-	val      uint64
-	producer *entry
-	qref     *queue.Queue
-	qseq     int64
+// Handle names a window entry without holding a pointer to it: the low
+// 16 bits are the entry's ring slot, the high 16 its generation at the
+// time the handle was taken. The slot's generation bumps whenever its
+// occupant departs the window (commit or squash), so a stale handle —
+// one taken on an occupant that has since departed — fails the
+// generation compare on dereference and reads as "gone" instead of
+// aliasing the slot's next occupant. Every cross-structure reference
+// (rename table, LSQ order, producer→consumer waiter lists, the
+// push-release list, parked queue claims) is a Handle, which is what
+// lets the window itself be a flat []entry the per-cycle scans walk
+// without pointer chasing.
+type Handle uint32
+
+// NoHandle is the nil Handle; its slot field (0xffff) is reserved —
+// New rejects window sizes that could allocate it.
+const NoHandle Handle = ^Handle(0)
+
+// String renders a handle as slot.generation for trace consumers.
+func (h Handle) String() string {
+	if h == NoHandle {
+		return "none"
+	}
+	return fmt.Sprintf("w%d.g%d", uint32(h)&0xffff, uint32(h)>>16)
 }
 
-// entry fields are ordered so the scalars the per-cycle scans touch
-// (issue, writeback, commit) share the first cache line; the large
-// srcsBuf array and the cold slices sit at the end.
+// at dereferences a handle: the live entry it names, or nil if that
+// entry has departed the window. A matching generation proves liveness
+// by itself — the generation bumps at departure, so no range check
+// against head/tail is needed.
+func (c *Core) at(h Handle) *entry {
+	slot := uint32(h) & 0xffff
+	if slot > c.winMask {
+		return nil
+	}
+	e := &c.win[slot]
+	if e.gen != uint16(uint32(h)>>16) {
+		return nil
+	}
+	return e
+}
+
+type srcOperand struct {
+	val      uint64
+	qseq     int64
+	qref     *queue.Queue
+	producer Handle
+	reg      isa.Reg
+	ready    bool
+}
+
+// entry is one window slot, held by value in the core's ring. Fields
+// are ordered so the scalars the per-cycle scans touch (issue,
+// writeback, commit) share the leading cache lines; the large srcsBuf
+// array sits at the end. slot is fixed at construction; gen only ever
+// increments (at window departure).
 type entry struct {
-	seq int64
-	pc  int
-	// inst points into the (immutable) program's instruction slice —
-	// holding the Inst by value made every dispatch copy it twice.
-	inst       *isa.Inst
+	seq        int64
 	completeAt int64
 	result     uint64
+
+	pc         int
+	predNext   int
+	actualNext int
 
 	// memory
 	addr uint32
 
-	// Pool bookkeeping (see Core.retireEntry): refs counts younger
-	// in-window consumers still holding this entry as an operand
-	// producer; pinned marks membership in the not-yet-passed segment
-	// of the push-release list; dead marks departure from the window.
-	refs int32
+	slot, gen uint16
 
-	dest      isa.Reg
+	dest isa.Reg
+
+	// nsrc counts operands in srcsBuf (including GETSCQ's hidden
+	// slip-control credit); nready counts those whose ready flag is
+	// set, so the issue scan skips the per-source loop for the common
+	// entry whose operands have all arrived.
+	nsrc   uint8
+	nready int8
+
 	issued    bool
 	completed bool
 
@@ -155,65 +203,16 @@ type entry struct {
 	isLoad, isStore bool
 	addrReady       bool
 
-	// queue production
-	pushed   bool // queue pushes already released at completion
-	squashed bool
+	// pushed: queue pushes already released (at completion or commit)
+	pushed bool
 
-	pinned bool
-	dead   bool
+	execErr error
 
-	// nready counts sources whose ready flag is set, so the issue scan
-	// can skip refreshOperands (and the per-source ready loop) for the
-	// common entry whose operands have all arrived.
-	nready int8
-
-	// qpend counts operands that are unresolved queue claims; it is the
-	// only reason left to poll refreshOperands, because register
-	// operands are resolved push-style by the producer's completion
-	// (see wakeWaiters). waiters lists in-window consumers holding this
-	// entry as an operand producer. A stale pointer to a squashed (and
-	// possibly recycled) consumer is harmless: the wake scan matches on
-	// src.producer, which the squash already cleared.
-	qpend int8
-
-	predNext   int
-	actualNext int
-	execErr    error
-
-	// srcs aliases srcsBuf so that building the operand list never
-	// allocates; entries are always handled by pointer, which keeps the
-	// alias valid.
-	srcs    []srcOperand
-	waiters []*entry
 	srcsBuf [isa.MaxSources + 1]srcOperand // +1 for GETSCQ's hidden credit
 }
 
-// reset clears the entry state that dispatch does not overwrite.
-// srcsBuf is skipped (srcs re-slices it to zero and dispatch rewrites
-// what it appends), and so are the fields dispatchInsts assigns
-// unconditionally for every entry: seq, pc, inst, dest, predNext,
-// actualNext, isCtl, isLoad and isStore. result must be zeroed: FP
-// compares only set it when true, so a recycled entry would otherwise
-// leak a stale value into a false compare.
-func (e *entry) reset() {
-	e.srcs = e.srcsBuf[:0]
-	e.result = 0
-	e.execErr = nil
-	e.issued = false
-	e.completed = false
-	e.completeAt = 0
-	e.taken = false
-	e.addr = 0
-	e.addrReady = false
-	e.pushed = false
-	e.squashed = false
-	e.refs = 0
-	e.pinned = false
-	e.dead = false
-	e.nready = 0
-	e.qpend = 0
-	e.waiters = e.waiters[:0]
-}
+// handle returns the entry's current identity.
+func (e *entry) handle() Handle { return Handle(uint32(e.gen)<<16 | uint32(e.slot)) }
 
 // fetched carries a fetch-queue slot; the instruction itself is
 // re-read from the immutable program at dispatch (prog.Insts[pc]), so
@@ -225,15 +224,26 @@ type fetched struct {
 
 type fuPool struct {
 	busyUntil []int64
+	// freeAt caches the earliest unit-free time observed at the last
+	// failed acquire. busyUntil entries only ever grow (acquire and
+	// StallMemPorts both extend them), so any attempt before freeAt
+	// must fail again — repeated failed acquires from a saturated
+	// issue scan become one compare instead of a pool scan. A stale-
+	// low freeAt is harmless: it only costs the scan it skipped.
+	freeAt int64
 }
 
 func (f *fuPool) acquire(now int64, occupy int64) bool {
+	if now < f.freeAt {
+		return false
+	}
 	for i := range f.busyUntil {
 		if f.busyUntil[i] <= now {
 			f.busyUntil[i] = now + occupy
 			return true
 		}
 	}
+	f.freeAt = f.nextFree()
 	return false
 }
 
@@ -272,12 +282,24 @@ type dec struct {
 	updatesPred bool // conditional branch trained into the predictor
 	updatesBTB  bool // indirect jump recorded in the BTB
 	isGetSCQ    bool
-	consumeSCQ  bool  // AnnConsumeSCQ (or GETSCQ in non-blocking mode)
-	trigger     bool  // AnnTrigger
-	noExec      bool  // NOP/HALT: completed at dispatch
-	isCQCtl     bool  // BCQ/JCQ: control-queue steered
-	scqID       int32 // slip-control queue id for consumeSCQ/isGetSCQ
+	consumeSCQ  bool // AnnConsumeSCQ (or GETSCQ in non-blocking mode)
+	trigger     bool // AnnTrigger
+	noExec      bool // NOP/HALT: completed at dispatch
+	isCQCtl     bool // BCQ/JCQ: control-queue steered
 
+	// Push-plan and execute predicates, so the hot paths never touch
+	// the Inst struct at all.
+	tapLDQ   bool // AnnTapLDQ
+	tapSDQ   bool // AnnTapSDQ
+	pushCQ   bool // AnnPushCQ
+	isPutSCQ bool
+	isCondBr bool
+
+	scqID  int32 // slip-control queue id for consumeSCQ/isGetSCQ
+	cmasID int32 // trigger target (AnnTrigger)
+	imm    int32
+
+	op     isa.Op
 	dest   isa.Reg
 	target int    // direct-control target
 	msize  uint32 // memory access width in bytes
@@ -328,25 +350,34 @@ func decodeProg(insts []isa.Inst) []dec {
 		src, n := in.SourceList()
 		d.src = src
 		d.nsrc = uint8(n)
+		d.op = in.Op
+		d.imm = in.Imm
 		d.isMem = in.Op.IsMem()
 		d.isCtl = in.Op.IsControl()
 		d.isLoad = in.Op.IsLoad() || in.Op == isa.PREF
 		d.isStore = in.Op.IsStore()
 		d.dest = in.Dest()
 		d.msize = uint32(memSize(in.Op))
-		d.hasPush = d.dest.IsQueue() || in.Op == isa.PUTSCQ ||
-			in.Ann.Has(isa.AnnTapLDQ) || in.Ann.Has(isa.AnnTapSDQ) || in.Ann.Has(isa.AnnPushCQ)
+		d.tapLDQ = in.Ann.Has(isa.AnnTapLDQ)
+		d.tapSDQ = in.Ann.Has(isa.AnnTapSDQ)
+		d.pushCQ = in.Ann.Has(isa.AnnPushCQ)
+		d.isPutSCQ = in.Op == isa.PUTSCQ
+		d.isCondBr = in.Op.IsCondBranch()
+		d.hasPush = d.dest.IsQueue() || d.isPutSCQ || d.tapLDQ || d.tapSDQ || d.pushCQ
 		d.hasQSrc = in.Op == isa.GETSCQ
 		for si := 0; si < n; si++ {
 			if src[si].IsQueue() {
 				d.hasQSrc = true
 			}
 		}
-		d.updatesPred = in.Op.IsCondBranch() && in.Op != isa.BCQ
+		d.updatesPred = d.isCondBr && in.Op != isa.BCQ
 		d.updatesBTB = in.Op.IsIndirect()
 		d.isGetSCQ = in.Op == isa.GETSCQ
 		d.consumeSCQ = in.Ann.Has(isa.AnnConsumeSCQ)
 		d.trigger = in.Ann.Has(isa.AnnTrigger)
+		if d.trigger {
+			d.cmasID = int32(in.Ann.CMASID())
+		}
 		d.noExec = in.Op == isa.NOP || in.Op == isa.HALT
 		d.isCQCtl = in.Op == isa.BCQ || in.Op == isa.JCQ
 		if d.isGetSCQ {
@@ -410,6 +441,15 @@ func decodeProg(insts []isa.Inst) []dec {
 	return t
 }
 
+// pushRef is one push-release list slot: the producing entry by handle
+// plus its dispatch seq, which disambiguates a wrapped generation (the
+// handle alone repeats every 65536 departures of a slot; the seq never
+// repeats).
+type pushRef struct {
+	seq int64
+	h   Handle
+}
+
 // Core is one out-of-order processor.
 type Core struct {
 	cfg  Config
@@ -443,38 +483,72 @@ type Core struct {
 	fetchCQPeek  int // control-queue tokens consumed by instructions still in the IFQ
 	nextSeq      int64
 
-	// The in-flight structures are deques consumed at the front every
-	// cycle. Each keeps an explicit head index and compacts in place
-	// once per cycle instead of re-slicing, so the backing arrays reach
-	// a steady size and the cycle loop stops allocating.
+	// The window is a power-of-two ring of value-typed entries; winHead
+	// and winTail are absolute position counters (position & winMask is
+	// the slot). The backing array never moves after New, so *entry
+	// pointers taken within a cycle stay valid; only Handles may be
+	// stored across cycles. stat, due and waiters are per-slot side
+	// arrays: stat packs the issued/completed/ctl flags the issue,
+	// writeback and wakeup scans test (skipping an entry then touches
+	// one byte, not a cold 200-byte struct), due mirrors completeAt,
+	// and waiters lists the in-window consumers parked on the slot's
+	// occupant as an operand producer.
+	win     []entry
+	winMask uint32
+	winHead int64
+	winTail int64
+	stat    []uint8
+	due     []int64
+	waiters [][]Handle
+
+	// lsqRing holds the window handles of in-flight memory operations
+	// in program order (same absolute-position ring discipline).
+	lsqRing []Handle
+	lsqMask uint32
+	lsqHead int64
+	lsqTail int64
+
+	// ifq is the fetch-queue ring.
 	ifq     []fetched
-	ifqHead int
-	window  []*entry
-	winHead int
-	lsq     []*entry
-	lsqHead int
+	ifqMask uint32
+	ifqHead int64
+	ifqTail int64
 
 	// nUnissued counts window entries not yet issued, so the issue scan
 	// can stop as soon as it has visited all of them instead of walking
 	// the issued-waiting-commit tail of the window every cycle.
 	// nInflight counts issued-but-incomplete entries the same way for
-	// the writeback scan. issueHead is the window index of the first
+	// the writeback scan. issueHead is the window position of the first
 	// unissued entry (entries never revert to unissued in the window),
 	// so the issue scan also skips the issued prefix stuck behind a
 	// blocked head.
 	nUnissued int
 	nInflight int
-	issueHead int
+	issueHead int64
 
-	// stat and due mirror the per-entry scheduling state (issued,
-	// completed, control kind and completion time) in dense arrays
-	// parallel to window. The per-cycle issue, writeback and wakeup
-	// scans mostly *skip* entries; testing a packed byte avoids
-	// dereferencing a cold *entry just to read two booleans. The
-	// arrays shift with compactWindow and truncate with squashAfter,
-	// so index i always describes window[i].
-	stat []uint8
-	due  []int64
+	// Slot bitmaps (active when bmOK, i.e. the window ring fits in 64
+	// slots — every shipped configuration; larger windows fall back to
+	// the counted linear scans). Bit s describes the occupant of slot s:
+	//   readyBm    — unissued entries the issue scan could advance. An
+	//                entry proven operand-blocked drops out and is put
+	//                back by the wake that delivers the operand
+	//                (wakeWaiters or queueWake); entries blocked on
+	//                anything else — LSQ disambiguation, a busy
+	//                functional unit or cache port — stay in and are
+	//                re-visited, exactly as the linear scan would.
+	//   inflightBm — issued but not completed (the writeback scan).
+	//   ctlBm      — control entries not yet resolved (the
+	//                releasePushes oldest-unresolved-branch probe).
+	// The scans rotate a bitmap so bit 0 is the window head and iterate
+	// set bits, which preserves program order — completion order is
+	// architecturally visible (the oldest mispredicted branch must
+	// squash first).
+	bmOK       bool
+	bmSize     uint32
+	bmMask     uint64
+	readyBm    uint64
+	inflightBm uint64
+	ctlBm      uint64
 
 	// Issue-scan gate. A cycle's issue scan can only make progress if
 	// something changed since the last one: a register operand arrived
@@ -495,22 +569,27 @@ type Core struct {
 
 	// rename maps an architectural register to its youngest in-window
 	// producer: a dense array indexed by register number (int and FP
-	// registers share the 0..63 space).
-	rename [isa.NumIntRegs + isa.NumFPRegs]*entry
+	// registers share the 0..63 space). Invariant: it holds only live
+	// handles — commit clears its own entry, squash rebuilds the table
+	// from survivors — so dispatch dereferences without a staleness
+	// check.
+	rename [isa.NumIntRegs + isa.NumFPRegs]Handle
 
-	// free pools retired window entries for reuse (see retireEntry);
 	// pushScratch backs pushPlan's result between calls.
-	free        []*entry
 	pushScratch []pushOp
 
 	// pushList holds queue-producing entries in program order; pushes
 	// release as soon as an entry has completed non-speculatively, so
 	// the consumer stream is fed without waiting for the producer's
 	// commit (which may itself be waiting on the consumer).
-	pushList []*entry
+	pushList []pushRef
 	pushHead int
 
 	intALU, intMulDv, fpALU, fpMulDv, memPorts fuPool
+
+	// pools maps dec.pool ids to the pools above (nil for poolNone), so
+	// the issue path indexes instead of branching through a switch.
+	pools [poolMem + 1]*fuPool
 
 	pred bpred.Predictor
 	btb  *bpred.BTB
@@ -558,10 +637,22 @@ type Core struct {
 	OnTrigger func(id int, ir *[isa.NumIntRegs]uint32, fr *[isa.NumFPRegs]float64)
 }
 
+// pow2at rounds n up to the next power of two (minimum 1).
+func pow2at(n int) int {
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
 // New builds a core executing prog against the shared memory image and
 // hierarchy.
 func New(cfg Config, prog *isa.Program, m *mem.Memory, h *mem.Hierarchy, qs QueueSet) *Core {
 	cfg = cfg.withDefaults()
+	if cfg.WindowSize > 1<<15 || cfg.LSQSize > 1<<15 || cfg.IFQSize > 1<<15 {
+		panic("cpu: structure sizes beyond 1<<15 do not fit the 16-bit handle slot")
+	}
 	mk := func(n int) fuPool { return fuPool{busyUntil: make([]int64, n)} }
 	c := &Core{
 		cfg:      cfg,
@@ -580,6 +671,33 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory, h *mem.Hierarchy, qs Queu
 		ras:      bpred.NewRAS(cfg.RASDepth),
 	}
 	c.deco = decodeProg(prog.Insts)
+	winSize := pow2at(cfg.WindowSize)
+	c.win = make([]entry, winSize)
+	c.winMask = uint32(winSize - 1)
+	for i := range c.win {
+		c.win[i].slot = uint16(i)
+	}
+	c.stat = make([]uint8, winSize)
+	c.due = make([]int64, winSize)
+	c.waiters = make([][]Handle, winSize)
+	if winSize <= 64 {
+		c.bmOK = true
+		c.bmSize = uint32(winSize)
+		if winSize == 64 {
+			c.bmMask = ^uint64(0)
+		} else {
+			c.bmMask = uint64(1)<<winSize - 1
+		}
+	}
+	lq := pow2at(cfg.LSQSize)
+	c.lsqRing = make([]Handle, lq)
+	c.lsqMask = uint32(lq - 1)
+	fq := pow2at(cfg.IFQSize)
+	c.ifq = make([]fetched, fq)
+	c.ifqMask = uint32(fq - 1)
+	for i := range c.rename {
+		c.rename[i] = NoHandle
+	}
 	for r, q := range qs.Pop {
 		if int(r) < len(c.popQ) {
 			c.popQ[r] = q
@@ -589,6 +707,28 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory, h *mem.Hierarchy, qs Queu
 		if int(r) < len(c.pushQ) {
 			c.pushQ[r] = q
 		}
+	}
+	// Register the push-wakeup callback on every queue this core can
+	// claim from: the consumer queues and the slip-control queues
+	// (GETSCQ's hidden credit in blocking mode). A queue has exactly
+	// one claiming core, so a single wake function per queue suffices.
+	wake := c.queueWake
+	for _, q := range c.popQ {
+		if q != nil {
+			q.SetWake(wake)
+		}
+	}
+	for _, q := range qs.SCQ {
+		if q != nil {
+			q.SetWake(wake)
+		}
+	}
+	c.pools = [poolMem + 1]*fuPool{
+		poolIntALU:   &c.intALU,
+		poolIntMulDv: &c.intMulDv,
+		poolFPALU:    &c.fpALU,
+		poolFPMulDv:  &c.fpMulDv,
+		poolMem:      &c.memPorts,
 	}
 	c.intR[isa.SP] = isa.StackTop
 	return c
@@ -633,6 +773,32 @@ func (c *Core) SnapshotRegs() ([isa.NumIntRegs]uint32, [isa.NumFPRegs]float64) {
 
 // IntReg returns a committed integer register value (tests).
 func (c *Core) IntReg(r isa.Reg) uint32 { return c.intR[r] }
+
+// queueWake is the push-wakeup callback registered on every queue this
+// core claims from: when a claimed value arrives (Push) or the queue
+// closes, the queue calls back with the tag parked at claim time —
+// handle<<2 | source-index — and the operand resolves immediately
+// instead of the issue scan polling Ready per cycle. The handle check
+// drops wakes for squashed consumers; the Ready re-check makes any
+// surviving resolution semantically correct even for a stale tag that
+// collides with a live claim (resolving a genuinely-ready claim early
+// is always valid — commit re-verifies readiness independently).
+func (c *Core) queueWake(tag uint64) {
+	e := c.at(Handle(tag >> 2))
+	if e == nil {
+		return
+	}
+	s := &e.srcsBuf[tag&3]
+	if s.ready || s.qref == nil || !s.qref.Ready(s.qseq) {
+		return
+	}
+	s.val = s.qref.ValueAt(s.qseq)
+	s.ready = true
+	e.nready++
+	c.readyBm |= uint64(1) << e.slot // back to being an issue candidate
+	c.issueClean = false
+	c.worked = true
+}
 
 // idleStalls is the set of stall counters an idle cycle may bump (at
 // most once each per cycle). An idle cycle changes nothing else, so
@@ -713,7 +879,7 @@ func (c *Core) CycleEv(now int64) (int64, error) {
 	}
 	c.worked = false
 	c.stats.Cycles++
-	if err := c.commit(now); err != nil {
+	if err := c.commitInsts(now); err != nil {
 		return now + 1, fmt.Errorf("core %s: %w", c.cfg.Name, err)
 	}
 	if !c.halted {
@@ -722,7 +888,7 @@ func (c *Core) CycleEv(now int64) (int64, error) {
 		if err := c.issue(now); err != nil {
 			return now + 1, fmt.Errorf("core %s: %w", c.cfg.Name, err)
 		}
-		c.dispatch(now)
+		c.dispatchInsts(now)
 		c.fetch(now)
 		c.accountStalls(now)
 	}
@@ -762,17 +928,24 @@ func (c *Core) CycleEv(now int64) (int64, error) {
 // producing core's wakeup drives them — so they contribute MaxInt64.
 func (c *Core) nextWake(now int64) int64 {
 	wake := int64(math.MaxInt64)
-	remaining := c.nInflight
-	for i, s := range c.stat {
-		if remaining == 0 {
-			break
+	if c.bmOK {
+		// Order doesn't matter for a minimum; iterate raw slot bits.
+		for bm := c.inflightBm; bm != 0; bm &= bm - 1 {
+			if d := c.due[bits.TrailingZeros64(bm)]; d > now && d < wake {
+				wake = d
+			}
 		}
-		if s&(stIssued|stCompleted) != stIssued {
-			continue
-		}
-		remaining--
-		if d := c.due[i]; d > now && d < wake {
-			wake = d
+	} else {
+		remaining := c.nInflight
+		for p := c.winHead; p < c.winTail && remaining > 0; p++ {
+			slot := uint32(p) & c.winMask
+			if c.stat[slot]&(stIssued|stCompleted) != stIssued {
+				continue
+			}
+			remaining--
+			if d := c.due[slot]; d > now && d < wake {
+				wake = d
+			}
 		}
 	}
 	for _, p := range [...]*fuPool{&c.intALU, &c.intMulDv, &c.fpALU, &c.fpMulDv, &c.memPorts} {
@@ -802,49 +975,20 @@ func (c *Core) CreditIdle(n int64) {
 
 // --- commit ---
 
-func (c *Core) commit(now int64) error {
-	err := c.commitInsts(now)
-	c.compactWindow()
-	return err
-}
-
-// compactWindow shifts the window and LSQ down over the entries
-// committed this cycle, reusing the backing arrays.
-func (c *Core) compactWindow() {
-	if c.winHead > 0 {
-		n := copy(c.window, c.window[c.winHead:])
-		c.window = c.window[:n]
-		copy(c.stat, c.stat[c.winHead:])
-		c.stat = c.stat[:n]
-		copy(c.due, c.due[c.winHead:])
-		c.due = c.due[:n]
-		c.issueHead -= c.winHead
-		if c.issueHead < 0 {
-			c.issueHead = 0
-		}
-		c.winHead = 0
-	}
-	if c.lsqHead > 0 {
-		n := copy(c.lsq, c.lsq[c.lsqHead:])
-		c.lsq = c.lsq[:n]
-		c.lsqHead = 0
-	}
-}
-
 func (c *Core) commitInsts(now int64) error {
-	for n := 0; n < c.cfg.CommitWidth && c.winHead < len(c.window); n++ {
-		e := c.window[c.winHead]
+	for n := 0; n < c.cfg.CommitWidth && c.winHead < c.winTail; n++ {
+		e := &c.win[uint32(c.winHead)&c.winMask]
 		if !e.completed {
 			return nil
 		}
 		if e.execErr != nil {
-			return fmt.Errorf("pc %d (%v): %w", e.pc, e.inst, e.execErr)
+			return fmt.Errorf("pc %d (%v): %w", e.pc, &c.prog.Insts[e.pc], e.execErr)
 		}
 		d := &c.deco[e.pc]
 		// Queue-operand values must have arrived (claims satisfied).
 		if d.hasQSrc {
-			for i := range e.srcs {
-				s := &e.srcs[i]
+			for i := 0; i < int(e.nsrc); i++ {
+				s := &e.srcsBuf[i]
 				if s.qref != nil && !s.qref.Ready(s.qseq) {
 					return nil
 				}
@@ -875,8 +1019,8 @@ func (c *Core) commitInsts(now int64) error {
 		// Effects.
 		if e.dest.IsArch() && e.dest != isa.R0 {
 			c.writeReg(e.dest, e.result)
-			if c.rename[e.dest] == e {
-				c.rename[e.dest] = nil
+			if c.rename[e.dest] == e.handle() {
+				c.rename[e.dest] = NoHandle
 			}
 		}
 		for _, p := range pushes {
@@ -889,9 +1033,9 @@ func (c *Core) commitInsts(now int64) error {
 		}
 		e.pushed = true // the release list must not push this entry again
 		if d.hasQSrc {
-			for i := range e.srcs {
-				if e.srcs[i].qref != nil {
-					e.srcs[i].qref.Free(e.srcs[i].qseq)
+			for i := 0; i < int(e.nsrc); i++ {
+				if s := &e.srcsBuf[i]; s.qref != nil {
+					s.qref.Free(s.qseq)
 				}
 			}
 		}
@@ -934,7 +1078,8 @@ func (c *Core) commitInsts(now int64) error {
 		if e.isLoad || e.isStore {
 			c.lsqHead++
 		}
-		c.retireEntry(e)
+		// Departure: every outstanding handle to this entry goes stale.
+		e.gen++
 		if c.halted {
 			return nil
 		}
@@ -945,57 +1090,6 @@ func (c *Core) commitInsts(now int64) error {
 type pushOp struct {
 	q *queue.Queue
 	v uint64
-}
-
-// --- entry pool ---
-//
-// Window entries are recycled through a free list so the steady-state
-// cycle loop performs no heap allocation. An entry leaves the window at
-// commit or squash but may still be reachable two ways: a younger
-// in-window instruction can hold it as an operand producer (refs), and
-// the push-release list can still have to step over it (pinned). The
-// entry returns to the pool only when all three conditions clear.
-
-func (c *Core) newEntry() *entry {
-	var e *entry
-	if n := len(c.free); n > 0 {
-		e = c.free[n-1]
-		c.free = c.free[:n-1]
-		e.reset()
-	} else {
-		e = new(entry)
-		e.srcs = e.srcsBuf[:0]
-	}
-	return e
-}
-
-// retireEntry marks a window-departed entry dead and recycles it when
-// nothing can reach it any more.
-func (c *Core) retireEntry(e *entry) {
-	e.dead = true
-	if e.refs == 0 && !e.pinned {
-		c.free = append(c.free, e)
-	}
-}
-
-// releaseProducer drops an operand's producer reference (the value has
-// been captured, or the consumer squashed).
-func (c *Core) releaseProducer(s *srcOperand) {
-	p := s.producer
-	s.producer = nil
-	p.refs--
-	if p.refs == 0 && p.dead && !p.pinned {
-		c.free = append(c.free, p)
-	}
-}
-
-// unpinPush releases the push-release list's hold on an entry once the
-// head has moved past it.
-func (c *Core) unpinPush(e *entry) {
-	e.pinned = false
-	if e.refs == 0 && e.dead {
-		c.free = append(c.free, e)
-	}
 }
 
 // queuesHaveSpace reports whether every architectural queue named in
@@ -1038,22 +1132,34 @@ func queuesHaveSpace(pushes []pushOp) bool {
 func (c *Core) releasePushes(now int64) {
 	oldestUnresolved := int64(math.MaxInt64)
 	if c.nCtlPending > 0 {
-		for i, s := range c.stat {
-			if s&(stCtl|stCompleted) == stCtl {
-				oldestUnresolved = c.window[i].seq
-				break
+		if c.bmOK {
+			if bm := c.rotBm(c.ctlBm); bm != 0 {
+				head := uint32(c.winHead) & c.winMask
+				slot := (head + uint32(bits.TrailingZeros64(bm))) & c.winMask
+				oldestUnresolved = c.win[slot].seq
+			}
+		} else {
+			for p := c.winHead; p < c.winTail; p++ {
+				slot := uint32(p) & c.winMask
+				if c.stat[slot]&(stCtl|stCompleted) == stCtl {
+					oldestUnresolved = c.win[slot].seq
+					break
+				}
 			}
 		}
 	}
 	for c.pushHead < len(c.pushList) {
-		e := c.pushList[c.pushHead]
-		if e.squashed || e.pushed {
-			// Squashed, or already pushed by the commit fallback (the
-			// commit stage reaches an entry first when the release head
-			// was blocked on queue space in the preceding cycles).
+		ref := c.pushList[c.pushHead]
+		e := c.at(ref.h)
+		if e == nil || e.seq != ref.seq || e.pushed {
+			// Departed (committed with pushes done, or squashed), or
+			// already pushed by the commit fallback (the commit stage
+			// reaches an entry first when the release head was blocked
+			// on queue space in the preceding cycles). The seq compare
+			// rejects a generation-wrapped handle that landed on a live
+			// re-occupant of the slot.
 			c.pushHead++
 			c.worked = true
-			c.unpinPush(e)
 			continue
 		}
 		if !e.completed || e.execErr != nil || e.seq >= oldestUnresolved {
@@ -1074,7 +1180,6 @@ func (c *Core) releasePushes(now int64) {
 		e.pushed = true
 		c.pushHead++
 		c.worked = true
-		c.unpinPush(e)
 	}
 	if c.pushHead > 4096 {
 		n := copy(c.pushList, c.pushList[c.pushHead:])
@@ -1087,6 +1192,7 @@ func (c *Core) releasePushes(now int64) {
 // The result aliases a scratch buffer on the core and is only valid
 // until the next pushPlan call.
 func (c *Core) pushPlan(e *entry) []pushOp {
+	d := &c.deco[e.pc]
 	out := c.pushScratch[:0]
 	add := func(r isa.Reg, v uint64) {
 		q := c.pushQ[r]
@@ -1098,26 +1204,26 @@ func (c *Core) pushPlan(e *entry) []pushOp {
 	if e.dest.IsQueue() {
 		add(e.dest, e.result)
 	}
-	if e.inst.Ann.Has(isa.AnnTapLDQ) {
+	if d.tapLDQ {
 		add(isa.RegLDQ, e.result)
 	}
-	if e.inst.Ann.Has(isa.AnnTapSDQ) {
+	if d.tapSDQ {
 		add(isa.RegSDQ, e.result)
 	}
-	if e.inst.Ann.Has(isa.AnnPushCQ) {
+	if d.pushCQ {
 		switch {
-		case e.inst.Op.IsCondBranch():
+		case d.isCondBr:
 			v := uint64(0)
 			if e.taken {
 				v = 1
 			}
 			add(isa.RegCQ, v)
-		case e.inst.Op == isa.JR, e.inst.Op == isa.JALR:
+		case d.updatesBTB:
 			add(isa.RegCQ, uint64(uint32(e.actualNext)))
 		}
 	}
-	if e.inst.Op == isa.PUTSCQ {
-		id := int(e.inst.Imm)
+	if d.isPutSCQ {
+		id := int(d.imm)
 		if id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
 			out = append(out, pushOp{c.qs.SCQ[id], 1})
 		}
@@ -1128,8 +1234,8 @@ func (c *Core) pushPlan(e *entry) []pushOp {
 
 func (c *Core) storeCommit(now int64, e *entry) {
 	c.hier.Access(now, e.addr, true, c.cfg.Prefetching)
-	v := e.srcs[1].val
-	switch e.inst.Op {
+	v := e.srcsBuf[1].val
+	switch c.deco[e.pc].op {
 	case isa.SW:
 		c.mem.Write32(e.addr, uint32(v))
 	case isa.SB:
@@ -1151,124 +1257,160 @@ func (c *Core) writeReg(r isa.Reg, raw uint64) {
 
 // flushIFQ empties the instruction fetch queue (redirect or squash).
 func (c *Core) flushIFQ() {
-	c.ifq = c.ifq[:0]
-	c.ifqHead = 0
+	c.ifqHead = c.ifqTail
 	c.fetchCQPeek = 0
 }
 
 // ifqLen returns the number of fetched instructions awaiting dispatch.
-func (c *Core) ifqLen() int { return len(c.ifq) - c.ifqHead }
+func (c *Core) ifqLen() int { return int(c.ifqTail - c.ifqHead) }
+
+// rotBm rotates a slot bitmap so bit 0 corresponds to the window
+// head's slot; trailing-zero iteration then yields window positions in
+// program order. Only meaningful when bmOK.
+func (c *Core) rotBm(bm uint64) uint64 {
+	h := uint32(c.winHead) & c.winMask
+	return (bm>>h | bm<<(c.bmSize-h)) & c.bmMask
+}
 
 func (c *Core) writeback(now int64) {
 	if now < c.minComplete {
 		return // no in-flight completion is due yet (see minComplete)
 	}
 	pending := int64(math.MaxInt64)
+	if c.bmOK {
+		head := uint32(c.winHead) & c.winMask
+		for bm := c.rotBm(c.inflightBm); bm != 0; bm &= bm - 1 {
+			o := uint32(bits.TrailingZeros64(bm))
+			slot := (head + o) & c.winMask
+			if d := c.due[slot]; d > now {
+				if d < pending {
+					pending = d
+				}
+				continue
+			}
+			if c.completeEntry(now, c.winHead+int64(o), slot) {
+				return // window changed; stop scanning
+			}
+		}
+		c.minComplete = pending
+		return
+	}
 	remaining := c.nInflight
-	for i, s := range c.stat {
+	for p := c.winHead; p < c.winTail; p++ {
 		if remaining == 0 {
 			break // every in-flight entry has been visited
 		}
-		if s&(stIssued|stCompleted) != stIssued {
+		slot := uint32(p) & c.winMask
+		if c.stat[slot]&(stIssued|stCompleted) != stIssued {
 			continue
 		}
 		remaining--
-		if d := c.due[i]; d > now {
+		if d := c.due[slot]; d > now {
 			if d < pending {
 				pending = d
 			}
 			continue
 		}
-		e := c.window[i]
-		e.completed = true
-		c.stat[i] = s | stCompleted
-		c.issueClean = false // a completion delivers operands / resolves stores
-		c.nInflight--
-		if e.isCtl {
-			c.nCtlPending--
-		}
-		c.worked = true
-		if len(e.waiters) > 0 {
-			c.wakeWaiters(e)
-		}
-		if c.cfg.Tracer != nil {
-			c.trace(now, StageComplete, e, "")
-		}
-		if e.isCtl && e.actualNext != e.predNext {
-			c.stats.Mispredicts++
-			if c.cfg.Tracer != nil {
-				c.trace(now, StageSquash, e, fmt.Sprintf("mispredict: %d not %d", e.actualNext, e.predNext))
-			}
-			// The squash may drop pending entries and the scan stops
-			// early; reset the bound so the next cycle rescans.
-			c.minComplete = 0
-			c.squashAfter(e)
-			c.pc = e.actualNext
-			c.fetchStopped = false
-			c.flushIFQ()
+		if c.completeEntry(now, p, slot) {
 			return // window changed; stop scanning
 		}
 	}
 	c.minComplete = pending
 }
 
-// squashAfter removes every entry younger than e, rewinding queue
-// claims and rebuilding the rename table.
-func (c *Core) squashAfter(e *entry) {
-	oldLen := len(c.window)
-	cut := oldLen
-	for i := c.winHead; i < oldLen; i++ {
-		if c.window[i].seq > e.seq {
-			cut = i
-			break
+// completeEntry finishes the issued entry at window position p (slot is
+// p's slot), delivering its result to waiting consumers. It returns
+// true when the entry was a mispredicted branch and the window was
+// squashed behind it — the caller's scan indices are then stale and it
+// must stop.
+func (c *Core) completeEntry(now, p int64, slot uint32) bool {
+	e := &c.win[slot]
+	e.completed = true
+	c.stat[slot] |= stCompleted
+	bit := uint64(1) << slot
+	c.inflightBm &^= bit
+	c.issueClean = false // a completion delivers operands / resolves stores
+	c.nInflight--
+	if e.isCtl {
+		c.nCtlPending--
+		c.ctlBm &^= bit
+	}
+	c.worked = true
+	if len(c.waiters[slot]) > 0 {
+		c.wakeWaiters(slot, e)
+	}
+	if c.cfg.Tracer != nil {
+		c.trace(now, StageComplete, e, "")
+	}
+	if e.isCtl && e.actualNext != e.predNext {
+		c.stats.Mispredicts++
+		if c.cfg.Tracer != nil {
+			c.trace(now, StageSquash, e, fmt.Sprintf("mispredict: %d not %d", e.actualNext, e.predNext))
 		}
+		// The squash may drop pending entries and the scan stops
+		// early; reset the bound so the next cycle rescans.
+		c.minComplete = 0
+		c.squashAfter(p)
+		c.pc = e.actualNext
+		c.fetchStopped = false
+		c.flushIFQ()
+		return true
 	}
-	// Unclaim in reverse order so per-queue claim counters rewind
-	// exactly. Reverse order also releases consumer references before
-	// their (equally squashed, older) producers are retired.
-	for i := len(c.window) - 1; i >= cut; i-- {
-		w := c.window[i]
-		w.squashed = true
-		for j := len(w.srcs) - 1; j >= 0; j-- {
-			s := &w.srcs[j]
-			if s.qref != nil {
-				s.qref.Unclaim(1)
+	return false
+}
+
+// squashAfter removes every entry at a window position greater than
+// pos, rewinding queue claims and rebuilding the rename table. Each
+// removed entry's generation bumps, which atomically invalidates every
+// outstanding handle to it — the rename table, LSQ ring, waiter lists,
+// push-release list and parked queue-wake tags all fail the generation
+// compare instead of being walked and edited.
+func (c *Core) squashAfter(pos int64) {
+	for c.winTail > pos+1 {
+		slot := uint32(c.winTail-1) & c.winMask
+		w := &c.win[slot]
+		// Unclaim in reverse dispatch order (youngest first, and within
+		// an entry last source first) so per-queue claim counters rewind
+		// exactly; the queue drops any waiter parked on a dead claim.
+		for j := int(w.nsrc) - 1; j >= 0; j-- {
+			if q := w.srcsBuf[j].qref; q != nil {
+				q.Unclaim(1)
 			}
-			if s.producer != nil {
-				c.releaseProducer(s)
-			}
-		}
-		c.stats.Squashed++
-		c.retireEntry(w)
-		c.window[i] = nil
-	}
-	c.window = c.window[:cut]
-	c.stat = c.stat[:cut]
-	c.due = c.due[:cut]
-	c.issueClean = false
-	if c.issueHead > cut {
-		c.issueHead = cut
-	}
-	// Rebuild LSQ, rename table, and the scan counters from survivors.
-	c.lsq = c.lsq[:0]
-	c.nUnissued = 0
-	c.nInflight = 0
-	c.nCtlPending = 0
-	c.rename = [isa.NumIntRegs + isa.NumFPRegs]*entry{}
-	for _, w := range c.window {
-		if w.isLoad || w.isStore {
-			c.lsq = append(c.lsq, w)
 		}
 		if !w.issued {
-			c.nUnissued++
+			c.nUnissued--
 		} else if !w.completed {
-			c.nInflight++
+			c.nInflight--
 		}
 		if w.isCtl && !w.completed {
-			c.nCtlPending++
+			c.nCtlPending--
 		}
+		if w.isLoad || w.isStore {
+			// The LSQ is position-ordered, so squashing the window tail
+			// truncates exactly the LSQ tail.
+			c.lsqTail--
+		}
+		c.stats.Squashed++
+		bit := uint64(1) << slot
+		c.readyBm &^= bit
+		c.inflightBm &^= bit
+		c.ctlBm &^= bit
+		w.gen++
+		c.winTail--
+	}
+	c.issueClean = false
+	if c.issueHead > c.winTail {
+		c.issueHead = c.winTail
+	}
+	// Rebuild the rename table from survivors (completed producers
+	// included: a later consumer still captures their result).
+	for i := range c.rename {
+		c.rename[i] = NoHandle
+	}
+	for p := c.winHead; p < c.winTail; p++ {
+		w := &c.win[uint32(p)&c.winMask]
 		if w.dest.IsArch() && w.dest != isa.R0 {
-			c.rename[w.dest] = w
+			c.rename[w.dest] = w.handle()
 		}
 	}
 }
@@ -1286,117 +1428,36 @@ func (c *Core) issue(now int64) error {
 	}
 	retryAt := int64(math.MaxInt64)
 	issued := 0
-	remaining := c.nUnissued
-	i := c.issueHead
-	for i < len(c.window) && c.stat[i]&stIssued != 0 {
-		i++
-	}
-	c.issueHead = i
-	for ; i < len(c.window); i++ {
-		if remaining == 0 || issued >= c.cfg.IssueWidth {
-			break
+	if c.bmOK {
+		// Dense path: visit only the candidate slots, in program order.
+		// Operand-blocked entries are not in readyBm, so an occupied
+		// window stalled on far operands costs a popcount, not a walk.
+		head := uint32(c.winHead) & c.winMask
+		for bm := c.rotBm(c.readyBm); bm != 0 && issued < c.cfg.IssueWidth; bm &= bm - 1 {
+			o := uint32(bits.TrailingZeros64(bm))
+			c.issueVisit(now, (head+o)&c.winMask, &issued, &retryAt)
 		}
-		if c.stat[i]&stIssued != 0 {
-			continue
+	} else {
+		remaining := c.nUnissued
+		i := c.issueHead
+		if i < c.winHead {
+			i = c.winHead
 		}
-		e := c.window[i]
-		remaining--
-		if e.qpend > 0 {
-			c.refreshOperands(e)
+		for i < c.winTail && c.stat[uint32(i)&c.winMask]&stIssued != 0 {
+			i++
 		}
-		switch {
-		case e.isStore:
-			// Address generation when the base register arrives; the
-			// store completes when address and data are both present.
-			if !e.addrReady && e.srcs[0].ready {
-				e.addr = uint32(e.srcs[0].val) + uint32(e.inst.Imm)
-				e.addrReady = true
-				c.worked = true
-				issued++
+		c.issueHead = i
+		for ; i < c.winTail; i++ {
+			if remaining == 0 || issued >= c.cfg.IssueWidth {
+				break
 			}
-			if e.addrReady && e.srcs[1].ready && !e.issued {
-				e.issued = true
-				c.stat[i] |= stIssued
-				c.due[i] = now + 1
-				c.nUnissued--
-				c.nInflight++
-				e.completed = false
-				e.completeAt = now + 1
-				if e.completeAt < c.minComplete {
-					c.minComplete = e.completeAt
-				}
-				c.worked = true
-			}
-			continue
-		case e.isLoad:
-			if !e.srcs[0].ready {
+			slot := uint32(i) & c.winMask
+			if c.stat[slot]&stIssued != 0 {
 				continue
 			}
-			if !e.addrReady {
-				e.addr = uint32(e.srcs[0].val) + uint32(e.inst.Imm)
-				e.addrReady = true
-				c.worked = true
-			}
-			ok, fwd, wait := c.loadDisambiguate(e)
-			if wait {
-				continue
-			}
-			if !ok {
-				continue
-			}
-			if fwd != nil {
-				if err := c.loadForward(e, fwd); err != nil {
-					e.execErr = err
-				}
-				e.issued = true
-				c.stat[i] |= stIssued
-				c.due[i] = now + 1
-				c.nUnissued--
-				c.nInflight++
-				e.completeAt = now + 1
-				if e.completeAt < c.minComplete {
-					c.minComplete = e.completeAt
-				}
-				c.worked = true
-				issued++
-				continue
-			}
-			if !c.memPorts.acquire(now, 1) {
-				if t := c.memPorts.nextFree(); t < retryAt {
-					retryAt = t
-				}
-				continue
-			}
-			done := c.hier.Access(now, e.addr, false, c.cfg.Prefetching || e.inst.Op == isa.PREF)
-			c.loadValue(e)
-			e.issued = true
-			c.stat[i] |= stIssued
-			c.due[i] = done
-			c.nUnissued--
-			c.nInflight++
-			e.completeAt = done
-			if done < c.minComplete {
-				c.minComplete = done
-			}
-			c.worked = true
-			issued++
-			continue
+			remaining--
+			c.issueVisit(now, slot, &issued, &retryAt)
 		}
-		// Non-memory operations need every operand.
-		if int(e.nready) < len(e.srcs) {
-			continue
-		}
-		d := &c.deco[e.pc]
-		if pool := c.poolByID(d.pool); pool != nil && !pool.acquire(now, d.occupy) {
-			if t := pool.nextFree(); t < retryAt {
-				retryAt = t
-			}
-			continue
-		}
-		c.execute(now, e, d.lat)
-		c.stat[i] |= stIssued
-		c.due[i] = e.completeAt
-		issued++
 	}
 	// A scan that issued anything may have unblocked entries it already
 	// passed (or was truncated by the issue width); only a fully
@@ -1406,22 +1467,117 @@ func (c *Core) issue(now int64) error {
 	return nil
 }
 
-// refreshOperands resolves operands whose producers have completed or
-// whose queue values have arrived.
-func (c *Core) refreshOperands(e *entry) {
-	for i := range e.srcs {
-		s := &e.srcs[i]
-		if s.ready || s.qref == nil {
-			continue
+// issueVisit attempts to advance the unissued entry at slot. Entries
+// it proves operand-blocked leave readyBm (the delivering wake puts
+// them back); entries blocked on disambiguation or a busy unit stay,
+// since their unblocking events don't run through a wake.
+func (c *Core) issueVisit(now int64, slot uint32, issued *int, retryAt *int64) {
+	e := &c.win[slot]
+	bit := uint64(1) << slot
+	switch {
+	case e.isStore:
+		// Address generation when the base register arrives; the
+		// store completes when address and data are both present.
+		if !e.addrReady && e.srcsBuf[0].ready {
+			e.addr = uint32(e.srcsBuf[0].val) + uint32(c.deco[e.pc].imm)
+			e.addrReady = true
+			c.worked = true
+			*issued++
 		}
-		if s.qref.Ready(s.qseq) {
-			s.val = s.qref.ValueAt(s.qseq)
-			s.ready = true
-			e.nready++
-			e.qpend--
+		if e.addrReady && e.srcsBuf[1].ready && !e.issued {
+			e.issued = true
+			c.stat[slot] |= stIssued
+			c.due[slot] = now + 1
+			c.nUnissued--
+			c.nInflight++
+			c.readyBm &^= bit
+			c.inflightBm |= bit
+			e.completed = false
+			e.completeAt = now + 1
+			if e.completeAt < c.minComplete {
+				c.minComplete = e.completeAt
+			}
+			c.worked = true
+		} else {
+			c.readyBm &^= bit // waiting on the base or the datum
+		}
+		return
+	case e.isLoad:
+		if !e.srcsBuf[0].ready {
+			c.readyBm &^= bit // waiting on the base register
+			return
+		}
+		if !e.addrReady {
+			e.addr = uint32(e.srcsBuf[0].val) + uint32(c.deco[e.pc].imm)
+			e.addrReady = true
 			c.worked = true
 		}
+		ok, fwd, wait := c.loadDisambiguate(e)
+		if wait || !ok {
+			return // disambiguation wait: stays a candidate
+		}
+		if fwd != nil {
+			if err := c.loadForward(e, fwd); err != nil {
+				e.execErr = err
+			}
+			e.issued = true
+			c.stat[slot] |= stIssued
+			c.due[slot] = now + 1
+			c.nUnissued--
+			c.nInflight++
+			c.readyBm &^= bit
+			c.inflightBm |= bit
+			e.completeAt = now + 1
+			if e.completeAt < c.minComplete {
+				c.minComplete = e.completeAt
+			}
+			c.worked = true
+			*issued++
+			return
+		}
+		if !c.memPorts.acquire(now, 1) {
+			if t := c.memPorts.freeAt; t < *retryAt {
+				*retryAt = t
+			}
+			return // port-blocked: stays a candidate
+		}
+		done := c.hier.Access(now, e.addr, false, c.cfg.Prefetching || c.deco[e.pc].op == isa.PREF)
+		c.loadValue(e)
+		e.issued = true
+		c.stat[slot] |= stIssued
+		c.due[slot] = done
+		c.nUnissued--
+		c.nInflight++
+		c.readyBm &^= bit
+		c.inflightBm |= bit
+		e.completeAt = done
+		if done < c.minComplete {
+			c.minComplete = done
+		}
+		c.worked = true
+		*issued++
+		return
 	}
+	// Non-memory operations need every operand.
+	if int(e.nready) < int(e.nsrc) {
+		c.readyBm &^= bit // waiting on an operand wake
+		return
+	}
+	d := &c.deco[e.pc]
+	if pool := c.pools[d.pool]; pool != nil && !pool.acquire(now, d.occupy) {
+		// acquire just refreshed freeAt (or fast-failed against a
+		// still-valid one); either bound is a sound retry time.
+		if t := pool.freeAt; t < *retryAt {
+			*retryAt = t
+		}
+		return // unit-blocked: stays a candidate
+	}
+	c.execute(now, e, d)
+	c.stat[slot] |= stIssued
+	c.due[slot] = e.completeAt
+	c.readyBm &^= bit
+	c.inflightBm |= bit
+	*issued++
 }
 
 // wakeWaiters resolves the operands of every consumer waiting on a
@@ -1429,33 +1585,45 @@ func (c *Core) refreshOperands(e *entry) {
 // results are delivered here, at completion inside writeback, instead
 // of each consumer polling its producers every cycle in the issue
 // scan; the consuming entry observes exactly the same state when issue
-// runs later in the same cycle. Stale waiters (squashed, possibly
-// recycled consumers) no longer name e as a producer and fall through
-// the match.
-func (c *Core) wakeWaiters(e *entry) {
-	for _, w := range e.waiters {
-		for i := range w.srcs {
-			s := &w.srcs[i]
-			if s.producer == e {
+// runs later in the same cycle. A stale waiter handle (a squashed
+// consumer, even one whose slot has been re-occupied) fails the
+// generation compare or the producer match and falls through.
+func (c *Core) wakeWaiters(slot uint32, e *entry) {
+	myH := e.handle()
+	ws := c.waiters[slot]
+	for _, wh := range ws {
+		w := c.at(wh)
+		if w == nil {
+			continue
+		}
+		for i := 0; i < int(w.nsrc); i++ {
+			s := &w.srcsBuf[i]
+			if s.producer == myH {
 				s.val = e.result
 				s.ready = true
-				s.producer = nil
+				s.producer = NoHandle
 				w.nready++
-				e.refs--
+				c.readyBm |= uint64(1) << w.slot // back to being an issue candidate
 			}
 		}
 	}
-	e.waiters = e.waiters[:0]
+	c.waiters[slot] = ws[:0]
 }
 
 // loadDisambiguate applies the LSQ rules: the load may proceed when
 // every older store has a known address and none overlaps; an older
 // store with an identical address range and ready data forwards; any
-// other overlap waits.
+// other overlap waits. The returned *entry is only used within the
+// same cycle (the window ring never reallocates), so a raw pointer is
+// safe here.
 func (c *Core) loadDisambiguate(e *entry) (ok bool, fwd *entry, wait bool) {
 	lo, hi := e.addr, e.addr+c.deco[e.pc].msize
 	var newestFwd *entry
-	for _, s := range c.lsq[c.lsqHead:] {
+	for p := c.lsqHead; p < c.lsqTail; p++ {
+		s := c.at(c.lsqRing[uint32(p)&c.lsqMask])
+		if s == nil {
+			panic("cpu: stale LSQ handle")
+		}
 		if s.seq >= e.seq {
 			break
 		}
@@ -1470,7 +1638,7 @@ func (c *Core) loadDisambiguate(e *entry) (ok bool, fwd *entry, wait bool) {
 			continue // disjoint
 		}
 		if slo == lo && shi == hi {
-			if s.srcs[1].ready {
+			if s.srcsBuf[1].ready {
 				newestFwd = s
 				continue
 			}
@@ -1482,8 +1650,8 @@ func (c *Core) loadDisambiguate(e *entry) (ok bool, fwd *entry, wait bool) {
 }
 
 func (c *Core) loadForward(e *entry, s *entry) error {
-	v := s.srcs[1].val
-	switch e.inst.Op {
+	v := s.srcsBuf[1].val
+	switch c.deco[e.pc].op {
 	case isa.LW:
 		e.result = uint64(uint32(v))
 	case isa.LBU:
@@ -1497,7 +1665,7 @@ func (c *Core) loadForward(e *entry, s *entry) error {
 // loadValue reads the architectural value; disambiguation guarantees
 // no older in-flight store overlaps.
 func (c *Core) loadValue(e *entry) {
-	switch e.inst.Op {
+	switch c.deco[e.pc].op {
 	case isa.LW:
 		e.result = uint64(c.mem.Read32(e.addr))
 	case isa.LBU:
@@ -1520,31 +1688,14 @@ func memSize(op isa.Op) int {
 	}
 }
 
-// poolByID maps a dec.pool id to the core's functional-unit pool.
-func (c *Core) poolByID(id int8) *fuPool {
-	switch id {
-	case poolIntALU:
-		return &c.intALU
-	case poolIntMulDv:
-		return &c.intMulDv
-	case poolFPALU:
-		return &c.fpALU
-	case poolFPMulDv:
-		return &c.fpMulDv
-	case poolMem:
-		return &c.memPorts
-	}
-	return nil
-}
-
 // execute computes the result of a non-memory instruction and
-// schedules its completion lat cycles out (the decode-table latency of
-// its functional-unit class).
-func (c *Core) execute(now int64, e *entry, lat int64) {
-	in := e.inst
+// schedules its completion d.lat cycles out (the decode-table latency
+// of its functional-unit class). Everything it needs is in the decode
+// record and the entry — the Inst struct is never touched here.
+func (c *Core) execute(now int64, e *entry, d *dec) {
 	val := func(i int) uint64 {
-		if i < len(e.srcs) {
-			return e.srcs[i].val
+		if i < int(e.nsrc) {
+			return e.srcsBuf[i].val
 		}
 		return 0
 	}
@@ -1552,31 +1703,31 @@ func (c *Core) execute(now int64, e *entry, lat int64) {
 	asFP := func(i int) float64 { return math.Float64frombits(val(i)) }
 
 	var err error
-	switch in.Op {
+	switch d.op {
 	case isa.NOP, isa.HALT, isa.GETSCQ, isa.PUTSCQ:
 		// GETSCQ's credit is its operand; PUTSCQ pushes at commit.
 	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR, isa.XOR,
 		isa.NOR, isa.SLL, isa.SRL, isa.SRA, isa.SLT, isa.SLTU:
 		var v uint32
-		v, err = isa.EvalIntALU(in.Op, asInt(0), asInt(1))
+		v, err = isa.EvalIntALU(d.op, asInt(0), asInt(1))
 		e.result = uint64(v)
 	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI, isa.SLTI:
 		var v uint32
-		v, err = isa.EvalIntALUImm(in.Op, asInt(0), in.Imm)
+		v, err = isa.EvalIntALUImm(d.op, asInt(0), d.imm)
 		e.result = uint64(v)
 	case isa.LI:
-		e.result = uint64(uint32(in.Imm))
+		e.result = uint64(uint32(d.imm))
 	case isa.LUI:
-		e.result = uint64(uint32(in.Imm) << 16)
+		e.result = uint64(uint32(d.imm) << 16)
 	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
 		var v float64
-		v, err = isa.EvalFP(in.Op, asFP(0), asFP(1))
+		v, err = isa.EvalFP(d.op, asFP(0), asFP(1))
 		e.result = math.Float64bits(v)
 	case isa.FMOV, isa.FNEG, isa.FABS:
 		a := asFP(0)
 		// A queue source carries raw bits; interpret as FP.
 		var v float64
-		v, err = isa.EvalFP(in.Op, a, 0)
+		v, err = isa.EvalFP(d.op, a, 0)
 		e.result = math.Float64bits(v)
 	case isa.CVTIF:
 		e.result = math.Float64bits(float64(int32(asInt(0))))
@@ -1584,7 +1735,7 @@ func (c *Core) execute(now int64, e *entry, lat int64) {
 		e.result = uint64(uint32(int32(math.Trunc(asFP(0)))))
 	case isa.FLT, isa.FLE, isa.FEQ:
 		var b bool
-		b, err = isa.EvalFPCmp(in.Op, asFP(0), asFP(1))
+		b, err = isa.EvalFPCmp(d.op, asFP(0), asFP(1))
 		if b {
 			e.result = 1
 		}
@@ -1594,27 +1745,27 @@ func (c *Core) execute(now int64, e *entry, lat int64) {
 	case isa.BEQ, isa.BNE, isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ:
 		a := asInt(0)
 		b := uint32(0)
-		if in.Op == isa.BEQ || in.Op == isa.BNE {
+		if d.op == isa.BEQ || d.op == isa.BNE {
 			b = asInt(1)
 		}
-		e.taken, err = isa.EvalBranch(in.Op, a, b)
+		e.taken, err = isa.EvalBranch(d.op, a, b)
 		e.actualNext = e.pc + 1
 		if e.taken {
-			e.actualNext = in.Target()
+			e.actualNext = d.target
 		}
 	case isa.BCQ:
 		c.resolveCtlToken(e, val(0))
 	case isa.J:
 		e.taken = true
-		e.actualNext = in.Target()
+		e.actualNext = d.target
 	case isa.JAL:
 		e.taken = true
-		e.actualNext = in.Target()
+		e.actualNext = d.target
 		e.result = uint64(uint32(e.pc + 1))
 	case isa.JR, isa.JALR:
 		e.taken = true
 		e.actualNext = int(int32(asInt(0)))
-		if in.Op == isa.JALR {
+		if d.op == isa.JALR {
 			e.result = uint64(uint32(e.pc + 1))
 		}
 		if e.actualNext < 0 || e.actualNext >= len(c.prog.Insts) {
@@ -1624,7 +1775,7 @@ func (c *Core) execute(now int64, e *entry, lat int64) {
 	case isa.JCQ:
 		c.resolveCtlToken(e, val(0))
 	default:
-		err = fmt.Errorf("unimplemented op %v", in.Op)
+		err = fmt.Errorf("unimplemented op %v", d.op)
 	}
 	if err != nil {
 		e.execErr = err
@@ -1632,7 +1783,7 @@ func (c *Core) execute(now int64, e *entry, lat int64) {
 	e.issued = true
 	c.nUnissued--
 	c.nInflight++
-	e.completeAt = now + lat
+	e.completeAt = now + d.lat
 	if e.completeAt < c.minComplete {
 		c.minComplete = e.completeAt
 	}
@@ -1644,28 +1795,16 @@ func (c *Core) execute(now int64, e *entry, lat int64) {
 
 // --- dispatch ---
 
-func (c *Core) dispatch(now int64) {
-	c.dispatchInsts(now)
-	// Compact the fetch queue over the dispatched prefix so fetch (which
-	// runs next) appends into the reused backing array.
-	if c.ifqHead > 0 {
-		n := copy(c.ifq, c.ifq[c.ifqHead:])
-		c.ifq = c.ifq[:n]
-		c.ifqHead = 0
-	}
-}
-
 func (c *Core) dispatchInsts(now int64) {
-	for n := 0; n < c.cfg.IssueWidth && c.ifqLen() > 0; n++ {
-		if len(c.window)-c.winHead >= c.cfg.WindowSize {
+	for n := 0; n < c.cfg.IssueWidth && c.ifqHead < c.ifqTail; n++ {
+		if c.winTail-c.winHead >= int64(c.cfg.WindowSize) {
 			c.stats.DispatchStalls++
 			return
 		}
-		f := c.ifq[c.ifqHead]
-		in := &c.prog.Insts[f.pc]
+		f := c.ifq[uint32(c.ifqHead)&c.ifqMask]
 		d := &c.deco[f.pc]
 		isMem := d.isMem
-		if isMem && len(c.lsq)-c.lsqHead >= c.cfg.LSQSize {
+		if isMem && c.lsqTail-c.lsqHead >= int64(c.cfg.LSQSize) {
 			c.stats.DispatchStalls++
 			return
 		}
@@ -1675,10 +1814,16 @@ func (c *Core) dispatchInsts(now int64) {
 			c.fetchCQPeek--
 		}
 
-		e := c.newEntry()
+		// Claim the tail slot. Occupancy < WindowSize <= ring size, so
+		// the slot is vacant; its generation was bumped when the
+		// previous occupant departed, so the fresh handle is distinct
+		// from every outstanding one.
+		slot := uint32(c.winTail) & c.winMask
+		e := &c.win[slot]
+		c.waiters[slot] = c.waiters[slot][:0]
+		h := e.handle()
 		e.seq = c.nextSeq
 		e.pc = f.pc
-		e.inst = in
 		e.dest = d.dest
 		e.predNext = f.predNext
 		e.isCtl = d.isCtl
@@ -1686,26 +1831,35 @@ func (c *Core) dispatchInsts(now int64) {
 		e.isStore = d.isStore
 		c.nextSeq++
 		e.actualNext = f.pc + 1 // non-control default: never mispredicts
+		e.result = 0
+		e.execErr = nil
+		e.issued = false
+		e.completed = false
+		e.completeAt = 0
+		e.taken = false
+		e.addr = 0
+		e.addrReady = false
+		e.pushed = false
+		e.nready = 0
 		if isMem && !c.cfg.HasMem {
-			e.execErr = fmt.Errorf("memory operation %v on a core without memory access", in.Op)
+			e.execErr = fmt.Errorf("memory operation %v on a core without memory access", d.op)
 		}
 
-		// Operands are built in place in srcsBuf: appending a ~40-byte
-		// srcOperand per source re-checks capacity and rewrites the
-		// slice header for every operand of every dispatched
-		// instruction, which is measurable at simulation scale.
+		// Operands are built in place in srcsBuf. Queue claims that are
+		// already satisfied resolve on the spot; unsatisfied ones park a
+		// wake tag (handle<<2 | source index) with the queue, which
+		// calls queueWake at the Push that satisfies them — no per-cycle
+		// polling. Register operands resolve from a completed producer's
+		// result, a parked waiter registration on a pending producer, or
+		// the committed register file.
 		nsrc := int(d.nsrc)
 		for si := 0; si < nsrc; si++ {
 			r := d.src[si]
 			s := &e.srcsBuf[si]
-			// Field-by-field initialization: a whole-struct composite
-			// assignment copies the 40-byte srcOperand through a
-			// temporary on every operand of every dispatch. qseq may
-			// stay stale — it is only read when qref is non-nil.
 			s.reg = r
 			s.ready = false
 			s.val = 0
-			s.producer = nil
+			s.producer = NoHandle
 			s.qref = nil
 			switch {
 			case r.IsQueue():
@@ -1716,19 +1870,25 @@ func (c *Core) dispatchInsts(now int64) {
 				} else {
 					s.qref = q
 					s.qseq = q.Claim()
-					e.qpend++
+					if q.Ready(s.qseq) {
+						s.val = q.ValueAt(s.qseq)
+						s.ready = true
+					} else {
+						q.AddWaiter(s.qseq, uint64(h)<<2|uint64(si))
+					}
 				}
 			case r == isa.R0:
 				s.ready = true
 			default:
-				if prod := c.rename[r]; prod != nil {
+				if ph := c.rename[r]; ph != NoHandle {
+					prod := &c.win[uint32(ph)&c.winMask]
 					if prod.completed {
 						s.val = prod.result
 						s.ready = true
 					} else {
-						s.producer = prod
-						prod.refs++
-						prod.waiters = append(prod.waiters, e)
+						s.producer = ph
+						ps := uint32(ph) & 0xffff
+						c.waiters[ps] = append(c.waiters[ps], h)
 					}
 				} else {
 					s.val = c.readReg(r)
@@ -1739,21 +1899,34 @@ func (c *Core) dispatchInsts(now int64) {
 				e.nready++
 			}
 		}
-		e.srcs = e.srcsBuf[:nsrc]
 		// In blocking mode GETSCQ consumes a slip-control credit as a
 		// hidden operand (in non-blocking mode the credit, if present,
 		// is consumed at commit).
 		if d.isGetSCQ && c.cfg.BlockingSCQ {
-			id := int(in.Imm)
+			id := int(d.imm)
 			if id < len(c.qs.SCQ) && c.qs.SCQ[id] != nil {
 				q := c.qs.SCQ[id]
-				e.srcs = append(e.srcs, srcOperand{reg: isa.RegSCQ, qref: q, qseq: q.Claim()})
-				e.qpend++
+				s := &e.srcsBuf[nsrc]
+				s.reg = isa.RegSCQ
+				s.ready = false
+				s.val = 0
+				s.producer = NoHandle
+				s.qref = q
+				s.qseq = q.Claim()
+				if q.Ready(s.qseq) {
+					s.val = q.ValueAt(s.qseq)
+					s.ready = true
+					e.nready++
+				} else {
+					q.AddWaiter(s.qseq, uint64(h)<<2|uint64(nsrc))
+				}
+				nsrc++
 			}
 		}
+		e.nsrc = uint8(nsrc)
 
 		if e.dest.IsArch() && e.dest != isa.R0 {
-			c.rename[e.dest] = e
+			c.rename[e.dest] = h
 		}
 		if d.noExec {
 			e.issued = true
@@ -1763,17 +1936,17 @@ func (c *Core) dispatchInsts(now int64) {
 		if c.cfg.Tracer != nil {
 			c.trace(now, StageDispatch, e, "")
 		}
-		c.window = append(c.window, e)
+		c.winTail++
 		if isMem {
-			c.lsq = append(c.lsq, e)
+			c.lsqRing[uint32(c.lsqTail)&c.lsqMask] = h
+			c.lsqTail++
 		}
 		if d.hasPush {
-			e.pinned = true
-			c.pushList = append(c.pushList, e)
+			c.pushList = append(c.pushList, pushRef{seq: e.seq, h: h})
 		}
 
 		if c.cfg.EnableTriggers && d.trigger && c.OnTrigger != nil {
-			c.OnTrigger(in.Ann.CMASID(), &c.intR, &c.fpR)
+			c.OnTrigger(int(d.cmasID), &c.intR, &c.fpR)
 		}
 
 		// Control-queue branches resolve at dispatch when their token
@@ -1782,56 +1955,56 @@ func (c *Core) dispatchInsts(now int64) {
 		// fetch queue — no window squash, no mispredict penalty. This
 		// is the hardware benefit of an *architectural* control queue
 		// over prediction.
-		if d.isCQCtl && len(e.srcs) == 1 &&
-			e.srcs[0].qref != nil && e.srcs[0].qref.Ready(e.srcs[0].qseq) {
-			v := e.srcs[0].qref.ValueAt(e.srcs[0].qseq)
-			e.srcs[0].val = v
-			e.srcs[0].ready = true
-			e.nready++
-			e.qpend--
-			c.resolveCtlToken(e, v)
-			e.issued, e.completed = true, true
-			e.completeAt = now
-			if e.execErr == nil && e.actualNext != e.predNext {
-				c.stats.DispatchRedirects++
-				if c.cfg.Tracer != nil {
-					c.trace(now, StageRedirect, e, fmt.Sprintf("token steers to %d", e.actualNext))
+		if d.isCQCtl && nsrc == 1 {
+			s0 := &e.srcsBuf[0]
+			if s0.qref != nil && s0.ready {
+				c.resolveCtlToken(e, s0.val)
+				e.issued, e.completed = true, true
+				e.completeAt = now
+				if e.execErr == nil && e.actualNext != e.predNext {
+					c.stats.DispatchRedirects++
+					if c.cfg.Tracer != nil {
+						c.trace(now, StageRedirect, e, fmt.Sprintf("token steers to %d", e.actualNext))
+					}
+					c.flushIFQ()
+					c.pc = e.actualNext
+					c.fetchStopped = false
+					e.predNext = e.actualNext // already steered; nothing to squash
 				}
-				c.flushIFQ()
-				c.pc = e.actualNext
-				c.fetchStopped = false
-				e.predNext = e.actualNext // already steered; nothing to squash
 			}
 		}
 
-		var s uint8
+		var st uint8
 		if e.issued {
-			s |= stIssued
+			st |= stIssued
 		} else {
 			c.nUnissued++
+			c.readyBm |= uint64(1) << slot
 		}
 		if e.completed {
-			s |= stCompleted
+			st |= stCompleted
 		}
 		if e.isCtl {
-			s |= stCtl
+			st |= stCtl
 			if !e.completed {
 				c.nCtlPending++
+				c.ctlBm |= uint64(1) << slot
 			}
 		}
-		c.stat = append(c.stat, s)
-		c.due = append(c.due, e.completeAt)
+		c.stat[slot] = st
+		c.due[slot] = e.completeAt
 		c.issueClean = false // the new entry is an issue candidate
 	}
 }
 
 // resolveCtlToken computes the target of a BCQ/JCQ from its token.
 func (c *Core) resolveCtlToken(e *entry, v uint64) {
-	if e.inst.Op == isa.BCQ {
+	d := &c.deco[e.pc]
+	if d.op == isa.BCQ {
 		e.taken = v != 0
 		e.actualNext = e.pc + 1
 		if e.taken {
-			e.actualNext = e.inst.Target()
+			e.actualNext = d.target
 		}
 		return
 	}
@@ -1888,7 +2061,8 @@ func (c *Core) fetch(now int64) {
 		switch d.ctlKind {
 		case ctlNone:
 		case ctlHalt:
-			c.ifq = append(c.ifq, fetched{pc: c.pc, predNext: next})
+			c.ifq[uint32(c.ifqTail)&c.ifqMask] = fetched{pc: c.pc, predNext: next}
+			c.ifqTail++
 			c.fetchStopped = true
 			c.worked = true
 			return
@@ -1956,7 +2130,8 @@ func (c *Core) fetch(now int64) {
 				taken = true
 			}
 		}
-		c.ifq = append(c.ifq, fetched{pc: c.pc, predNext: next})
+		c.ifq[uint32(c.ifqTail)&c.ifqMask] = fetched{pc: c.pc, predNext: next}
+		c.ifqTail++
 		c.pc = next
 		c.worked = true
 		if taken {
@@ -1994,8 +2169,7 @@ func (c *Core) StallMemPorts(until int64) {
 const recentPCDepth = 32
 
 // FaultState captures the core's pipeline state for a fault snapshot.
-// It is called between cycles (never from inside Cycle), so the deque
-// head indices are zero and occupancies are the architectural ones.
+// It is called between cycles (never from inside Cycle).
 func (c *Core) FaultState() simfault.CoreState {
 	cs := simfault.CoreState{
 		Name:         c.cfg.Name,
@@ -2003,9 +2177,9 @@ func (c *Core) FaultState() simfault.CoreState {
 		PC:           c.pc,
 		Committed:    c.stats.Committed,
 		Squashed:     c.stats.Squashed,
-		WindowOcc:    len(c.window) - c.winHead,
+		WindowOcc:    int(c.winTail - c.winHead),
 		WindowCap:    c.cfg.WindowSize,
-		LSQOcc:       len(c.lsq) - c.lsqHead,
+		LSQOcc:       int(c.lsqTail - c.lsqHead),
 		LSQCap:       c.cfg.LSQSize,
 		IFQOcc:       c.ifqLen(),
 		IFQCap:       c.cfg.IFQSize,
@@ -2018,11 +2192,11 @@ func (c *Core) FaultState() simfault.CoreState {
 	for i := uint64(0); i < n; i++ {
 		cs.RecentPCs = append(cs.RecentPCs, int(c.recentPCs[(c.recentLen-n+i)%recentPCDepth]))
 	}
-	if c.winHead < len(c.window) {
-		e := c.window[c.winHead]
+	if c.winHead < c.winTail {
+		e := &c.win[uint32(c.winHead)&c.winMask]
 		h := &simfault.HeadState{
 			PC:         e.pc,
-			Inst:       e.inst.String(),
+			Inst:       c.prog.Insts[e.pc].String(),
 			Seq:        e.seq,
 			Issued:     e.issued,
 			Completed:  e.completed,
@@ -2032,8 +2206,8 @@ func (c *Core) FaultState() simfault.CoreState {
 			Addr:       e.addr,
 			AddrReady:  e.addrReady,
 		}
-		for i := range e.srcs {
-			s := &e.srcs[i]
+		for i := 0; i < int(e.nsrc); i++ {
+			s := &e.srcsBuf[i]
 			src := simfault.SourceState{
 				Reg:        s.reg.String(),
 				Ready:      s.ready,
@@ -2044,9 +2218,9 @@ func (c *Core) FaultState() simfault.CoreState {
 				src.Seq = s.qseq
 				src.QueueReady = s.qref.Ready(s.qseq)
 			}
-			if s.producer != nil {
-				src.ProducerPC = s.producer.pc
-				src.ProducerDone = s.producer.completed
+			if p := c.at(s.producer); p != nil {
+				src.ProducerPC = p.pc
+				src.ProducerDone = p.completed
 			}
 			h.Sources = append(h.Sources, src)
 		}
@@ -2058,20 +2232,20 @@ func (c *Core) FaultState() simfault.CoreState {
 // DescribeHead reports the oldest window entry's state for deadlock
 // diagnostics.
 func (c *Core) DescribeHead() string {
-	if c.winHead >= len(c.window) {
+	if c.winHead >= c.winTail {
 		return fmt.Sprintf("%s: window empty, pc=%d fetchStopped=%v ifq=%d", c.cfg.Name, c.pc, c.fetchStopped, c.ifqLen())
 	}
-	e := c.window[c.winHead]
+	e := &c.win[uint32(c.winHead)&c.winMask]
 	s := fmt.Sprintf("%s head: pc=%d %q issued=%v completed=%v completeAt=%d addrReady=%v",
-		c.cfg.Name, e.pc, e.inst.String(), e.issued, e.completed, e.completeAt, e.addrReady)
-	for i := range e.srcs {
-		src := &e.srcs[i]
+		c.cfg.Name, e.pc, c.prog.Insts[e.pc].String(), e.issued, e.completed, e.completeAt, e.addrReady)
+	for i := 0; i < int(e.nsrc); i++ {
+		src := &e.srcsBuf[i]
 		s += fmt.Sprintf(" src%d(%v ready=%v", i, src.reg, src.ready)
 		if src.qref != nil {
 			s += fmt.Sprintf(" q=%s seq=%d qready=%v", src.qref.Name(), src.qseq, src.qref.Ready(src.qseq))
 		}
-		if src.producer != nil {
-			s += fmt.Sprintf(" prod=pc%d done=%v", src.producer.pc, src.producer.completed)
+		if p := c.at(src.producer); p != nil {
+			s += fmt.Sprintf(" prod=pc%d done=%v", p.pc, p.completed)
 		}
 		s += ")"
 	}
@@ -2081,15 +2255,15 @@ func (c *Core) DescribeHead() string {
 // accountStalls attributes head-of-window wait reasons for the LOD
 // analysis.
 func (c *Core) accountStalls(now int64) {
-	if c.winHead >= len(c.window) {
+	if c.winHead >= c.winTail {
 		return
 	}
-	e := c.window[c.winHead]
+	e := &c.win[uint32(c.winHead)&c.winMask]
 	if e.completed {
 		return
 	}
-	for i := range e.srcs {
-		s := &e.srcs[i]
+	for i := 0; i < int(e.nsrc); i++ {
+		s := &e.srcsBuf[i]
 		if !s.ready && s.qref != nil && !s.qref.Ready(s.qseq) {
 			c.stats.QueueWaitCycles++
 			return

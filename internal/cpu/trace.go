@@ -30,7 +30,12 @@ type TraceEvent struct {
 	PC    int
 	Seq   int64
 	Inst  isa.Inst
-	Note  string
+	// Win identifies the window slot+generation the event's entry
+	// occupies (NoHandle for events without a window entry), so trace
+	// consumers can correlate the lifetime of one window residency
+	// across stages even when seq counters or PCs repeat.
+	Win  Handle
+	Note string
 }
 
 // Tracer receives pipeline events; attach one via Config.Tracer to
@@ -77,12 +82,11 @@ func (c *Core) trace(now int64, stage Stage, e *entry, note string) {
 	if c.cfg.Tracer == nil {
 		return
 	}
-	ev := TraceEvent{Cycle: now, Core: c.cfg.Name, Stage: stage, Note: note}
+	ev := TraceEvent{Cycle: now, Core: c.cfg.Name, Stage: stage, Win: NoHandle, Note: note}
 	if e != nil {
 		ev.PC, ev.Seq = e.pc, e.seq
-		if e.inst != nil {
-			ev.Inst = *e.inst
-		}
+		ev.Inst = c.prog.Insts[e.pc]
+		ev.Win = e.handle()
 	}
 	c.cfg.Tracer.Event(ev)
 }

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -240,7 +241,12 @@ func (r *Runner) measure(ctx context.Context, j Job) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	res, err := mach.RunContext(ctx)
+	// Label the simulation span so a CPU profile taken over a whole
+	// figure attributes its samples per (workload, arch) job. Labels
+	// cost nothing when no profiler is attached.
+	var res machine.Result
+	pprof.Do(ctx, pprof.Labels("workload", name, "arch", string(arch)),
+		func(ctx context.Context) { res, err = mach.RunContext(ctx) })
 	if err != nil {
 		return Measurement{}, fmt.Errorf("%s on %s: %w", name, arch, err)
 	}

@@ -50,7 +50,25 @@ type Queue struct {
 	// free, pinned by the AllocsPerRun test.
 	probe Probe
 
+	// wake, when attached, is the consumer core's push-wakeup callback.
+	// waiters holds the claims whose consuming instructions are parked
+	// on this queue, sorted by seq (claims are issued in program order);
+	// wHead indexes the first still-parked waiter. A push drains every
+	// waiter whose claim it satisfies, so the consumer never polls.
+	wake    func(tag uint64)
+	waiters []waiter
+	wHead   int
+
 	stats Stats
+}
+
+// waiter parks a consumer-side reference until the claim's value
+// arrives. The tag is opaque to the queue — the core packs a
+// generation-checked window handle into it, so a waiter that outlives
+// its instruction (squash) wakes into a stale-handle no-op.
+type waiter struct {
+	seq int64
+	tag uint64
 }
 
 // Probe observes a queue's externally visible data events for the
@@ -88,6 +106,60 @@ func (q *Queue) SetEpoch(p *int64) { q.epoch = p }
 
 // SetProbe attaches an event observer (nil detaches).
 func (q *Queue) SetProbe(p Probe) { q.probe = p }
+
+// SetWake attaches the consuming core's push-wakeup callback. A queue
+// has exactly one consumer (the machine wires each pop side to one
+// core), so a single callback suffices. Must be set before AddWaiter.
+func (q *Queue) SetWake(fn func(tag uint64)) { q.wake = fn }
+
+// AddWaiter parks an opaque consumer tag until claim seq is satisfied.
+// The consumer claims in program order, so seqs arrive non-decreasing;
+// that keeps the list sorted and makes the push-side drain O(woken).
+func (q *Queue) AddWaiter(seq int64, tag uint64) {
+	if q.wake == nil {
+		panic(fmt.Sprintf("queue %q: AddWaiter without SetWake", q.name))
+	}
+	if n := len(q.waiters); n > q.wHead && q.waiters[n-1].seq > seq {
+		panic(fmt.Sprintf("queue %q: AddWaiter(%d) out of order (last %d)", q.name, seq, q.waiters[n-1].seq))
+	}
+	if q.wHead == len(q.waiters) {
+		q.waiters = q.waiters[:0]
+		q.wHead = 0
+	} else if q.wHead > 0 && len(q.waiters) == cap(q.waiters) {
+		n := copy(q.waiters, q.waiters[q.wHead:])
+		q.waiters = q.waiters[:n]
+		q.wHead = 0
+	}
+	q.waiters = append(q.waiters, waiter{seq: seq, tag: tag})
+}
+
+// wakeSatisfied drains waiters whose claims are now ready (pushed, or
+// any claim once the queue is closed — closed queues read as zero).
+func (q *Queue) wakeSatisfied() {
+	for q.wHead < len(q.waiters) && (q.waiters[q.wHead].seq < q.tail || q.closed) {
+		tag := q.waiters[q.wHead].tag
+		q.wHead++
+		q.wake(tag)
+	}
+	if q.wHead == len(q.waiters) {
+		q.waiters = q.waiters[:0]
+		q.wHead = 0
+	}
+}
+
+// Spawn returns a fresh generation of this queue: same name, capacity,
+// epoch counter, and consumer wakeup, but empty state. The CMP engine
+// uses it when a fork replaces a finished CMAS thread's SCQ — claims
+// bound to the old generation keep resolving (and unwinding) against
+// the old object, while new claims bind to the new one. The telemetry
+// probe is deliberately not carried over: the machine registers probes
+// on the original generation only.
+func (q *Queue) Spawn() *Queue {
+	nq := New(q.name, len(q.buf))
+	nq.epoch = q.epoch
+	nq.wake = q.wake
+	return nq
+}
 
 func (q *Queue) bump() {
 	if q.epoch != nil {
@@ -130,6 +202,9 @@ func (q *Queue) Closed() bool { return q.closed }
 func (q *Queue) Close() {
 	q.closed = true
 	q.bump()
+	if q.wake != nil {
+		q.wakeSatisfied()
+	}
 }
 
 // Reopen clears the closed flag (a re-triggered CMAS reopens its SCQ).
@@ -153,6 +228,9 @@ func (q *Queue) Push(v uint64) bool {
 	if q.probe != nil {
 		q.probe.QueuePush(q.name, q.Len())
 	}
+	if q.wake != nil {
+		q.wakeSatisfied()
+	}
 	return true
 }
 
@@ -173,6 +251,12 @@ func (q *Queue) Unclaim(k int) {
 	}
 	q.next -= int64(k)
 	q.stats.Unclaims += uint64(k)
+	// Drop waiters parked on the rewound claims: the same seq numbers
+	// will be re-claimed after the squash, and the sorted invariant
+	// requires the dead registrations gone before then.
+	for n := len(q.waiters); n > q.wHead && q.waiters[n-1].seq >= q.next; n-- {
+		q.waiters = q.waiters[:n-1]
+	}
 	q.bump()
 }
 
@@ -248,6 +332,8 @@ func (q *Queue) PopCommitted() (uint64, bool) {
 func (q *Queue) Reset() {
 	q.head, q.tail, q.next = 0, 0, 0
 	q.closed = false
+	q.waiters = q.waiters[:0]
+	q.wHead = 0
 	q.bump()
 }
 

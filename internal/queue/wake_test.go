@@ -1,0 +1,174 @@
+package queue
+
+import "testing"
+
+// collectWake returns a wake fn appending tags to the given slice.
+func collectWake(got *[]uint64) func(uint64) {
+	return func(tag uint64) { *got = append(*got, tag) }
+}
+
+func TestWakeOnPushDrainsSatisfiedClaimsInOrder(t *testing.T) {
+	q := New("ldq", 8)
+	var got []uint64
+	q.SetWake(collectWake(&got))
+
+	s0 := q.Claim()
+	s1 := q.Claim()
+	s2 := q.Claim()
+	q.AddWaiter(s0, 100)
+	q.AddWaiter(s1, 101)
+	q.AddWaiter(s2, 102)
+
+	if !q.Push(7) {
+		t.Fatal("push failed")
+	}
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("after first push got %v, want [100]", got)
+	}
+	q.Push(8)
+	q.Push(9)
+	if len(got) != 3 || got[1] != 101 || got[2] != 102 {
+		t.Fatalf("after three pushes got %v, want [100 101 102]", got)
+	}
+	// Satisfied waiters are gone: another push wakes nobody.
+	q.Push(10)
+	if len(got) != 3 {
+		t.Fatalf("extra wake after drain: %v", got)
+	}
+}
+
+func TestWakeSkipsUnsatisfiedClaims(t *testing.T) {
+	q := New("cq", 4)
+	var got []uint64
+	q.SetWake(collectWake(&got))
+
+	// Claim two ahead of any push; only the first becomes ready.
+	q.AddWaiter(q.Claim(), 1)
+	q.AddWaiter(q.Claim(), 2)
+	q.Push(42)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+}
+
+func TestCloseWakesAllWaiters(t *testing.T) {
+	q := New("scq", 4)
+	var got []uint64
+	q.SetWake(collectWake(&got))
+
+	q.AddWaiter(q.Claim(), 1)
+	q.AddWaiter(q.Claim(), 2)
+	q.Close()
+	if len(got) != 2 {
+		t.Fatalf("close woke %v, want both", got)
+	}
+	if !q.Ready(0) || !q.Ready(1) || q.ValueAt(1) != 0 {
+		t.Fatal("closed-queue claims must read as ready zeros")
+	}
+}
+
+func TestUnclaimDropsParkedWaiters(t *testing.T) {
+	q := New("sdq", 4)
+	var got []uint64
+	q.SetWake(collectWake(&got))
+
+	s0 := q.Claim()
+	s1 := q.Claim()
+	q.AddWaiter(s0, 10)
+	q.AddWaiter(s1, 11)
+	q.Unclaim(1) // squash the consumer of s1
+
+	// Re-claim the same seq (post-squash re-dispatch) and park a fresh
+	// waiter: the dead registration must not resurface or break order.
+	if s := q.Claim(); s != s1 {
+		t.Fatalf("re-claim got %d, want %d", s, s1)
+	}
+	q.AddWaiter(s1, 12)
+	q.Push(1)
+	q.Push(2)
+	if len(got) != 2 || got[0] != 10 || got[1] != 12 {
+		t.Fatalf("got %v, want [10 12]", got)
+	}
+}
+
+func TestResetClearsWaiters(t *testing.T) {
+	q := New("ldq", 4)
+	var got []uint64
+	q.SetWake(collectWake(&got))
+	q.AddWaiter(q.Claim(), 1)
+	q.Reset()
+	q.Push(5)
+	if len(got) != 0 {
+		t.Fatalf("reset left waiters behind: %v", got)
+	}
+}
+
+func TestSpawnPreservesWakeAndEpoch(t *testing.T) {
+	var epoch int64
+	q := New("scq0", 4)
+	q.SetEpoch(&epoch)
+	var got []uint64
+	q.SetWake(collectWake(&got))
+
+	nq := q.Spawn()
+	if nq.Name() != "scq0" || nq.Cap() != 4 {
+		t.Fatalf("spawn changed identity: %s cap %d", nq.Name(), nq.Cap())
+	}
+	if nq.Len() != 0 || nq.Avail() != 0 || nq.Closed() {
+		t.Fatal("spawn must start empty and open")
+	}
+	before := epoch
+	nq.AddWaiter(nq.Claim(), 9)
+	nq.Push(1)
+	if epoch == before {
+		t.Fatal("spawned generation does not bump the shared epoch")
+	}
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("spawned generation wake got %v, want [9]", got)
+	}
+}
+
+func TestAddWaiterOutOfOrderPanics(t *testing.T) {
+	q := New("ldq", 4)
+	q.SetWake(func(uint64) {})
+	q.AddWaiter(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order AddWaiter")
+		}
+	}()
+	q.AddWaiter(3, 2)
+}
+
+func TestAddWaiterWithoutWakePanics(t *testing.T) {
+	q := New("ldq", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on AddWaiter without SetWake")
+		}
+	}()
+	q.AddWaiter(0, 1)
+}
+
+// The park/wake cycle must not allocate once the waiter slice has
+// grown to its steady capacity — it runs inside the core's dispatch
+// and the producer's commit path.
+func TestWaiterCycleDoesNotAllocate(t *testing.T) {
+	q := New("ldq", 8)
+	q.SetWake(func(uint64) {})
+	// Warm up the waiter slice.
+	for i := 0; i < 8; i++ {
+		q.AddWaiter(q.Claim(), uint64(i))
+		q.Push(uint64(i))
+		q.Free(int64(i))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		s := q.Claim()
+		q.AddWaiter(s, 1)
+		q.Push(0)
+		q.Free(s)
+	})
+	if avg != 0 {
+		t.Fatalf("waiter cycle allocates %v per run, want 0", avg)
+	}
+}

@@ -192,13 +192,17 @@ func traceSession(t *testing.T, format Format) string {
 	tr := w.Session("test-job")
 	inst := isa.Inst{Op: isa.ADD, Rd: isa.R1, Rs: isa.R2, Rt: isa.R3}
 	tr.SetNow(0)
-	tr.Event(cpu.TraceEvent{Cycle: 0, Core: "cp", Stage: cpu.StageDispatch, PC: 4, Seq: 9, Inst: inst})
-	tr.Event(cpu.TraceEvent{Cycle: 0, Core: "cp", Stage: cpu.StageIssue, PC: 4, Seq: 9, Inst: inst})
+	// Window handles as the core's trace() emits them: slot 5 at
+	// generation 1 for seq 9, its reuse at generation 2 for seq 10;
+	// the redirect carries no entry, hence NoHandle.
+	h9, h10 := cpu.Handle(1<<16|5), cpu.Handle(2<<16|5)
+	tr.Event(cpu.TraceEvent{Cycle: 0, Core: "cp", Stage: cpu.StageDispatch, PC: 4, Seq: 9, Inst: inst, Win: h9})
+	tr.Event(cpu.TraceEvent{Cycle: 0, Core: "cp", Stage: cpu.StageIssue, PC: 4, Seq: 9, Inst: inst, Win: h9})
 	tr.SetNow(3)
-	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageCommit, PC: 4, Seq: 9, Inst: inst})
-	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageDispatch, PC: 5, Seq: 10, Inst: inst})
-	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageSquash, PC: 5, Seq: 10, Inst: inst, Note: "mispredict"})
-	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageRedirect, PC: 6, Seq: 11, Note: "token steers to 2"})
+	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageCommit, PC: 4, Seq: 9, Inst: inst, Win: h9})
+	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageDispatch, PC: 5, Seq: 10, Inst: inst, Win: h10})
+	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageSquash, PC: 5, Seq: 10, Inst: inst, Note: "mispredict", Win: h10})
+	tr.Event(cpu.TraceEvent{Cycle: 3, Core: "cp", Stage: cpu.StageRedirect, PC: 6, Seq: 11, Note: "token steers to 2", Win: cpu.NoHandle})
 	tr.QueuePush("ldq", 3)
 	tr.QueuePop("ldq", 2)
 	tr.CacheMiss("l1d", 0x1000, false)
@@ -294,6 +298,21 @@ func TestTraceWriterNDJSON(t *testing.T) {
 	// Lossless: every pipeline stage appears, including issue.
 	if kinds["pipeline"] != 6 {
 		t.Errorf("pipeline events = %d, want 6 (%v)", kinds["pipeline"], kinds)
+	}
+	// Window handles survive into the stream: the squash row must name
+	// slot 5 at generation 2, and the redirect (no entry) must omit win.
+	wins := map[string]int{}
+	for _, line := range lines {
+		var ev map[string]any
+		_ = json.Unmarshal([]byte(line), &ev)
+		if ev["ev"] == "pipeline" {
+			if w, ok := ev["win"].(string); ok {
+				wins[w]++
+			}
+		}
+	}
+	if wins["w5.g1"] != 3 || wins["w5.g2"] != 2 {
+		t.Errorf("win handles = %v, want w5.g1 x3 and w5.g2 x2", wins)
 	}
 	for _, k := range []string{"session", "queue", "cache", "prefetch", "mshr"} {
 		if kinds[k] == 0 {

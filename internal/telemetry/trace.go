@@ -62,6 +62,9 @@ func (t *Trace) Event(ev cpu.TraceEvent) {
 			"ev": "pipeline", "pid": t.pid, "cycle": ev.Cycle, "core": ev.Core,
 			"stage": string(ev.Stage), "pc": ev.PC, "seq": ev.Seq, "inst": ev.Inst.String(),
 		}
+		if ev.Win != cpu.NoHandle {
+			m["win"] = ev.Win.String()
+		}
 		if ev.Note != "" {
 			m["note"] = ev.Note
 		}
@@ -90,7 +93,7 @@ func (t *Trace) Event(ev cpu.TraceEvent) {
 			t.w.emit(map[string]any{
 				"ph": "X", "cat": "pipeline", "name": name,
 				"pid": t.pid, "tid": tid, "ts": sl.start, "dur": ev.Cycle - sl.start + 1,
-				"args": map[string]any{"pc": sl.pc, "seq": ev.Seq, "note": ev.Note},
+				"args": map[string]any{"pc": sl.pc, "seq": ev.Seq, "note": ev.Note, "win": ev.Win.String()},
 			})
 		}
 	case cpu.StageRedirect, cpu.StagePush:
