@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json bench-ab bench-guard serve-smoke trace-smoke store-smoke
+.PHONY: ci build vet test race fuzz-smoke bench bench-smoke bench-json bench-ab bench-guard serve-smoke trace-smoke store-smoke cluster-smoke
 
-ci: vet build test race fuzz-smoke bench-smoke serve-smoke trace-smoke store-smoke
+ci: vet build test race fuzz-smoke bench-smoke serve-smoke trace-smoke store-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ test:
 # pair, and the result store's single-writer/multi-reader locking; run
 # them under the race detector.
 race:
-	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu ./internal/simserver ./internal/fnsim ./internal/resultstore
+	$(GO) test -race ./internal/experiments ./internal/machine ./internal/queue ./internal/cpu ./internal/simserver ./internal/fnsim ./internal/resultstore ./internal/cluster
 
 # Short native-fuzz passes: arbitrary assembler source must never
 # panic, and the compiled fnsim fast path must stay bit-identical to
@@ -66,6 +66,15 @@ trace-smoke:
 		-trace .smoke/trace.json -timeline .smoke/timeline.ndjson > /dev/null
 	$(GO) run ./cmd/hidisc-tracecheck -trace .smoke/trace.json -timeline .smoke/timeline.ndjson
 	rm -rf .smoke
+
+# End-to-end cluster smoke under the race detector: a coordinator and a
+# three-worker fleet run a fig8-derived batch, one worker is killed -9
+# mid-batch (its jobs must requeue onto the survivors and the batch
+# complete byte-identical to a single node), then a two-worker fleet is
+# drained with SIGTERM and every process must exit 0 with the
+# departures recorded as graceful.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestClusterSurvivesKill9|TestClusterFleetDrain' -v ./cmd/hidisc-coord
 
 # Regenerate the committed per-run timing baseline. The Figure 8 matrix
 # runs sequentially at paper scale, repeated 3 times interleaved; each

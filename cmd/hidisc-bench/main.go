@@ -184,12 +184,14 @@ func main() {
 	}
 	var rem *remoteRunner
 	if *remote != "" {
-		rc := simclient.New(*remote)
-		// Ride through server restarts and overload shedding instead of
-		// failing the figure: the server is content-addressed (and, with
+		// DefaultOptions carries the production retry policy: ride
+		// through server restarts and overload shedding instead of
+		// failing the figure. The server is content-addressed (and, with
 		// -store, durable), so a retried batch re-simulates nothing that
-		// already completed.
-		rc.Retry = simclient.DefaultBackoff()
+		// already completed. The same Options value configures the
+		// coordinator's per-worker clients, so pointing -remote at a
+		// cluster coordinator needs no flag changes.
+		rc := simclient.NewWithOptions(*remote, simclient.DefaultOptions())
 		rem = &remoteRunner{c: rc, ctx: ctx, scale: *scale, hier: mem.DefaultHierConfig()}
 		if err := rem.c.Healthz(ctx); err != nil {
 			fatal(fmt.Errorf("remote %s: %w", *remote, err))

@@ -8,6 +8,12 @@
 //	hidisc-serve [-addr HOST:PORT] [-scale test|paper] [-j N]
 //	             [-queue N] [-cache N] [-job-timeout D] [-drain D]
 //	             [-store DIR] [-store-sync always|never]
+//	             [-coord URL] [-advertise URL]
+//
+// With -coord, the server joins a hidisc-coord fleet: it registers its
+// advertised URL and capacity, heartbeats on the coordinator's cadence,
+// and deregisters before draining on SIGTERM so the coordinator stops
+// routing to it the moment shutdown starts.
 //
 //	curl -s localhost:8080/v1/jobs -d '{"workload":"Pointer","arch":"hidisc"}'
 //	curl -s localhost:8080/v1/batch -d '{"matrix":"fig8"}'
@@ -39,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"hidisc/internal/cluster"
 	"hidisc/internal/machine"
 	"hidisc/internal/resultstore"
 	"hidisc/internal/simclient"
@@ -56,6 +63,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline after SIGTERM")
 	storeDir := flag.String("store", "", "durable result-store directory (the system of record; empty disables persistence)")
 	storeSync := flag.String("store-sync", "always", "store fsync policy: always (every append is durable) or never (OS writeback; crash loses the unsynced tail)")
+	coord := flag.String("coord", "", "hidisc-coord base URL to register with (empty: standalone)")
+	advertise := flag.String("advertise", "", "base URL the fleet dials this worker at (default http://<listen addr>)")
 	smoke := flag.Bool("smoke", false, "self-test: serve, run one job via the client, SIGTERM, verify clean drain")
 	flag.Parse()
 
@@ -109,6 +118,20 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// Fleet membership: register with the coordinator and heartbeat
+	// until shutdown begins.
+	var agent *cluster.Agent
+	agentCtx, agentCancel := context.WithCancel(context.Background())
+	defer agentCancel()
+	if *coord != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = fmt.Sprintf("http://%s", ln.Addr())
+		}
+		agent = &cluster.Agent{Coordinator: *coord, Advertise: adv, Server: srv, Logger: logger}
+		go agent.Run(agentCtx)
+	}
+
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 
@@ -123,6 +146,14 @@ func main() {
 		logger.Info("draining", "signal", sig.String(), "deadline", *drain)
 	}
 
+	// Leave the fleet first: a deregistered worker gets no new routes,
+	// so the drain below only waits on jobs already admitted.
+	if agent != nil {
+		agentCancel()
+		dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		agent.Deregister(dctx)
+		dcancel()
+	}
 	// Graceful drain: refuse new work, let admitted jobs finish.
 	srv.StartDraining()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

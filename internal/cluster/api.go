@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"hidisc/internal/simserver"
+)
+
+// Cluster control-plane endpoints, mounted on the coordinator next to
+// the data-plane job API:
+//
+//	POST /v1/cluster/register    RegisterRequest  -> RegisterResponse
+//	POST /v1/cluster/heartbeat   HeartbeatRequest -> 204 (404: re-register)
+//	POST /v1/cluster/deregister  DeregisterRequest -> 204
+//
+// Workers are identified by their advertised base URL — unique on a
+// fleet, stable across restarts (a worker that crashes and restarts on
+// the same address re-registers as itself and reclaims its ring arcs,
+// cache shard and all).
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// URL is the worker's advertised base URL (its identity).
+	URL string `json:"url"`
+	// Workers and Queue are the worker's admission configuration; their
+	// sum is its contribution to fleet capacity.
+	Workers int `json:"workers"`
+	Queue   int `json:"queue"`
+	// Store is the worker's result-store state ("off", "ok",
+	// "degraded") for the fleet health view.
+	Store string `json:"store,omitempty"`
+}
+
+// RegisterResponse tells the worker the fleet's heartbeat cadence.
+type RegisterResponse struct {
+	// HeartbeatMs is how often the worker should heartbeat.
+	HeartbeatMs int64 `json:"heartbeatMs"`
+	// TTLMs is the liveness budget: a worker silent for TTLMs is
+	// suspect, for 2×TTLMs dead (see the state machine on Fleet).
+	TTLMs int64 `json:"ttlMs"`
+}
+
+// HeartbeatRequest refreshes a worker's liveness and reports its depth.
+type HeartbeatRequest struct {
+	URL string `json:"url"`
+	// InFlight is the worker's own admitted-jobs count — includes work
+	// submitted directly to the worker, which the coordinator cannot
+	// see from its side.
+	InFlight int `json:"inFlight"`
+	// Draining is set while the worker refuses new submissions.
+	Draining bool `json:"draining"`
+	// Store is the worker's current result-store state.
+	Store string `json:"store,omitempty"`
+}
+
+// DeregisterRequest removes a worker gracefully (SIGTERM drain): the
+// coordinator stops routing to it immediately and does not count the
+// departure as a death.
+type DeregisterRequest struct {
+	URL string `json:"url"`
+}
+
+// WorkerState is a worker's position in the heartbeat TTL state
+// machine.
+type WorkerState string
+
+const (
+	// StateAlive: heartbeats within TTL; in the ring.
+	StateAlive WorkerState = "alive"
+	// StateSuspect: silent past TTL but not yet 2×TTL; still in the
+	// ring (a GC pause or scheduling hiccup should not reshard the key
+	// space), flagged in healthz.
+	StateSuspect WorkerState = "suspect"
+	// StateDead: silent past 2×TTL, failed a forward at the transport
+	// level, or crashed: out of the ring, in-flight jobs requeued. A
+	// dead worker rejoins by re-registering (heartbeats from it are
+	// answered 404 to force that).
+	StateDead WorkerState = "dead"
+)
+
+// WorkerHealth is one worker's row in the fleet health view.
+type WorkerHealth struct {
+	URL      string      `json:"url"`
+	State    WorkerState `json:"state"`
+	Store    string      `json:"store"`
+	Draining bool        `json:"draining,omitempty"`
+	// InFlight is the number of coordinator-routed jobs currently on
+	// this worker; ReportedInFlight is the worker's own last-heartbeat
+	// count (includes direct submissions).
+	InFlight         int `json:"inFlight"`
+	ReportedInFlight int `json:"reportedInFlight"`
+	Capacity         int `json:"capacity"`
+	// SinceHeartbeatMs is the age of the last heartbeat.
+	SinceHeartbeatMs int64 `json:"sinceHeartbeatMs"`
+}
+
+// HealthSnapshot is the coordinator's GET /healthz body: per-worker
+// status plus an overall verdict ("ok" with at least one alive worker,
+// "down" with none, "draining" while shutting down).
+type HealthSnapshot struct {
+	Status  string         `json:"status"`
+	Workers []WorkerHealth `json:"workers"`
+}
+
+// CoordinatorMetrics is the coordinator's own counter block.
+type CoordinatorMetrics struct {
+	// Routed counts successfully forwarded jobs; Failed counts jobs
+	// that exhausted their attempts or failed fast on a job-shaped
+	// error.
+	Routed int64 `json:"routed"`
+	Failed int64 `json:"failed"`
+	// Requeued counts forwards that were in flight on a worker when it
+	// died at the transport level and were replayed onto the ring minus
+	// the dead node. Rerouted counts jobs that completed on a worker
+	// other than their ring home (requeues and drain-dodges land here).
+	Requeued int64 `json:"requeued"`
+	Rerouted int64 `json:"rerouted"`
+	// Throttled counts per-worker 429s absorbed by waiting out the
+	// worker's Retry-After on its home shard; Rejected counts
+	// submissions the coordinator itself answered 429 because the
+	// fleet was saturated.
+	Throttled int64 `json:"throttled"`
+	Rejected  int64 `json:"rejected"`
+	// Membership counters.
+	Registered   int64 `json:"registered"`
+	Deregistered int64 `json:"deregistered"`
+	WorkerDeaths int64 `json:"workerDeaths"`
+	// Fleet occupancy at snapshot time.
+	WorkersAlive   int `json:"workersAlive"`
+	WorkersSuspect int `json:"workersSuspect"`
+	WorkersDead    int `json:"workersDead"`
+	FleetCapacity  int `json:"fleetCapacity"`
+	FleetInFlight  int `json:"fleetInFlight"`
+	// JobsPerSec is routed jobs per second of coordinator uptime — the
+	// scaling headline (compare a 1-worker and a 3-worker fleet).
+	JobsPerSec    float64 `json:"jobsPerSec"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// WorkerMetrics pairs a worker with its live metrics snapshot.
+type WorkerMetrics struct {
+	URL   string      `json:"url"`
+	State WorkerState `json:"state"`
+	// Metrics is the worker's own GET /metrics snapshot; omitted for
+	// workers that could not be reached at snapshot time.
+	Metrics *simserver.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// MetricsSnapshot is the coordinator's GET /metrics payload. The
+// embedded simserver.MetricsSnapshot holds the fleet-wide merged
+// totals at the top level — summed over every reachable worker — so
+// existing consumers (simclient.Metrics, hidisc-bench's throughput
+// line) read a coordinator exactly like a single big server.
+type MetricsSnapshot struct {
+	simserver.MetricsSnapshot
+	Coordinator CoordinatorMetrics `json:"coordinator"`
+	Workers     []WorkerMetrics    `json:"workers"`
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"hidisc/internal/simclient"
+)
+
+// worker is the coordinator's view of one fleet member.
+type worker struct {
+	url      string
+	workers  int // simulation pool width
+	queue    int // admission queue depth
+	state    WorkerState
+	lastSeen time.Time
+	draining bool
+	store    string // last-reported result-store state
+
+	// inFlight counts coordinator-routed jobs currently forwarded to
+	// this worker; reported is the worker's own last-heartbeat count
+	// (it also sees direct submissions).
+	inFlight int
+	reported int
+
+	// static members were named on the command line: the coordinator
+	// probes them instead of waiting for registrations, and a dead
+	// static worker keeps being probed forever (it may come back).
+	static bool
+
+	client *simclient.Client
+}
+
+func (w *worker) capacity() int { return w.workers + w.queue }
+
+// fleet owns cluster membership and the routing ring. The heartbeat
+// TTL state machine (documented on the WorkerState constants):
+//
+//	         register / heartbeat
+//	 ┌────────────────────────────┐
+//	 ▼                            │
+//	alive ──TTL silent──> suspect ┤
+//	 │                        │
+//	 │ transport failure      │ 2×TTL silent
+//	 ▼                        ▼
+//	dead <────────────────── dead        (out of the ring; 404s
+//	 │                                    heartbeats until re-register)
+//	 └── deregister (any state): removed, not a death
+//
+// Suspect workers stay in the ring — evicting a worker over one missed
+// heartbeat would reshard the key space on every GC pause. Death is
+// either sustained silence (2×TTL) or hard evidence (a forward failed
+// at the transport level), and removal from the ring is what triggers
+// requeue: in-flight forwards to the dead worker fail, and the
+// coordinator replays them on the ring minus the dead node.
+type fleet struct {
+	mu      sync.Mutex
+	ring    *Ring
+	workers map[string]*worker
+
+	hbInterval time.Duration
+	ttl        time.Duration
+	opts       simclient.Options
+	now        func() time.Time
+	logger     *slog.Logger
+
+	// onDeath is called (outside the lock) for each death transition.
+	onDeath func(url string, reason string)
+}
+
+func newFleet(hbInterval, ttl time.Duration, opts simclient.Options, logger *slog.Logger) *fleet {
+	return &fleet{
+		ring:       NewRing(),
+		workers:    map[string]*worker{},
+		hbInterval: hbInterval,
+		ttl:        ttl,
+		opts:       opts,
+		now:        time.Now,
+		logger:     logger,
+	}
+}
+
+// Register adds (or revives) a worker and puts it in the ring.
+// Re-registration is idempotent and refreshes capacity.
+func (f *fleet) Register(req RegisterRequest) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[req.URL]
+	if !ok {
+		w = &worker{url: req.URL, client: simclient.NewWithOptions(req.URL, f.opts)}
+		f.workers[req.URL] = w
+	}
+	w.workers = req.Workers
+	w.queue = req.Queue
+	w.state = StateAlive
+	w.lastSeen = f.now()
+	w.draining = false
+	if req.Store != "" {
+		w.store = req.Store
+	}
+	f.ring.Add(req.URL)
+}
+
+// Heartbeat refreshes liveness. It reports false for unknown or dead
+// workers — the signal (a 404 on the wire) that the worker must
+// re-register, so a coordinator restart or a missed death never leaves
+// a worker believing it is a member when it is not.
+func (f *fleet) Heartbeat(req HeartbeatRequest) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[req.URL]
+	if !ok || w.state == StateDead {
+		return false
+	}
+	w.state = StateAlive
+	w.lastSeen = f.now()
+	w.reported = req.InFlight
+	w.draining = req.Draining
+	if req.Store != "" {
+		w.store = req.Store
+	}
+	return true
+}
+
+// Deregister removes a worker gracefully (not a death): the ring drops
+// it immediately so no new jobs route there while it drains. Static
+// members stay tracked (dead) so the prober can re-admit them.
+func (f *fleet) Deregister(url string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[url]
+	if !ok {
+		return false
+	}
+	f.ring.Remove(url)
+	if w.static {
+		w.state = StateDead
+		w.draining = true
+	} else {
+		delete(f.workers, url)
+	}
+	return true
+}
+
+// MarkDead records hard evidence of death (a transport-level forward
+// failure): the worker leaves the ring at once. Heartbeats from it are
+// refused until it re-registers — if the "death" was a blip, the
+// worker is back within one heartbeat interval.
+func (f *fleet) MarkDead(url, reason string) {
+	f.mu.Lock()
+	w, ok := f.workers[url]
+	if !ok || w.state == StateDead {
+		f.mu.Unlock()
+		return
+	}
+	w.state = StateDead
+	f.ring.Remove(url)
+	f.mu.Unlock()
+	f.logger.Warn("worker dead", "worker", url, "reason", reason)
+	if f.onDeath != nil {
+		f.onDeath(url, reason)
+	}
+}
+
+// Sweep advances the TTL state machine on the current clock: alive
+// workers silent past TTL become suspect, suspect workers silent past
+// 2×TTL die. Called periodically by the coordinator.
+func (f *fleet) Sweep() {
+	var died []string
+	f.mu.Lock()
+	now := f.now()
+	for url, w := range f.workers {
+		if w.state == StateDead {
+			continue
+		}
+		silent := now.Sub(w.lastSeen)
+		switch {
+		case silent > 2*f.ttl:
+			w.state = StateDead
+			f.ring.Remove(url)
+			died = append(died, url)
+		case silent > f.ttl:
+			if w.state == StateAlive {
+				w.state = StateSuspect
+				f.logger.Warn("worker suspect", "worker", url, "silent", silent.Round(time.Millisecond))
+			}
+		}
+	}
+	f.mu.Unlock()
+	for _, url := range died {
+		f.logger.Warn("worker dead", "worker", url, "reason", "heartbeat TTL expired")
+		if f.onDeath != nil {
+			f.onDeath(url, "heartbeat TTL expired")
+		}
+	}
+}
+
+// PickClient routes key to its owner on the ring (skipping excluded
+// workers) and returns the worker's URL and client. Empty URL means no
+// routable worker exists right now.
+func (f *fleet) PickClient(key string, excluded map[string]bool) (string, *simclient.Client) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	url := f.ring.PickExcluding(key, excluded)
+	if url == "" {
+		return "", nil
+	}
+	return url, f.workers[url].client
+}
+
+// Begin/End bracket one forward for depth accounting.
+func (f *fleet) Begin(url string) {
+	f.mu.Lock()
+	if w, ok := f.workers[url]; ok {
+		w.inFlight++
+	}
+	f.mu.Unlock()
+}
+
+func (f *fleet) End(url string) {
+	f.mu.Lock()
+	if w, ok := f.workers[url]; ok && w.inFlight > 0 {
+		w.inFlight--
+	}
+	f.mu.Unlock()
+}
+
+// Occupancy returns the admission inputs: total coordinator-routed
+// jobs in flight, the fleet's admission capacity, and its summed
+// simulation-pool width (alive + suspect members — a suspect worker is
+// still doing its work).
+func (f *fleet) Occupancy() (inFlight, capacity, poolWidth int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.workers {
+		inFlight += w.inFlight
+		if w.state == StateDead || w.draining {
+			continue
+		}
+		capacity += w.capacity()
+		poolWidth += w.workers
+	}
+	return inFlight, capacity, poolWidth
+}
+
+// AliveCount returns the number of routable (in-ring) workers.
+func (f *fleet) AliveCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.Len()
+}
+
+// Health snapshots every tracked worker, sorted by URL.
+func (f *fleet) Health() []WorkerHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.now()
+	out := make([]WorkerHealth, 0, len(f.workers))
+	for _, url := range sortedURLs(f.workers) {
+		w := f.workers[url]
+		store := w.store
+		if store == "" {
+			store = "off"
+		}
+		out = append(out, WorkerHealth{
+			URL: url, State: w.state, Store: store, Draining: w.draining,
+			InFlight: w.inFlight, ReportedInFlight: w.reported, Capacity: w.capacity(),
+			SinceHeartbeatMs: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	return out
+}
+
+// Clients snapshots the reachable (non-dead) workers for metrics
+// fan-out.
+func (f *fleet) Clients() map[string]*simclient.Client {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := map[string]*simclient.Client{}
+	for url, w := range f.workers {
+		if w.state != StateDead {
+			out[url] = w.client
+		}
+	}
+	return out
+}
+
+// State returns a worker's current state ("" if unknown).
+func (f *fleet) State(url string) WorkerState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.workers[url]; ok {
+		return w.state
+	}
+	return ""
+}
+
+// AddStatic seeds a command-line worker: tracked dead until its first
+// successful probe, probed forever after.
+func (f *fleet) AddStatic(url string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.workers[url]; ok {
+		f.workers[url].static = true
+		return
+	}
+	f.workers[url] = &worker{
+		url: url, state: StateDead, static: true, lastSeen: f.now(),
+		client: simclient.NewWithOptions(url, f.opts),
+	}
+}
+
+// StaticURLs lists the static members (probe targets).
+func (f *fleet) StaticURLs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for url, w := range f.workers {
+		if w.static {
+			out = append(out, url)
+		}
+	}
+	return out
+}
+
+func sortedURLs(m map[string]*worker) []string {
+	out := make([]string, 0, len(m))
+	for url := range m {
+		out = append(out, url)
+	}
+	sort.Strings(out)
+	return out
+}

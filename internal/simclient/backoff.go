@@ -146,6 +146,36 @@ func (b *Backoff) DelayFor(attempt int, err error) time.Duration {
 	return b.Delay(attempt)
 }
 
+// RetryableStatus is the one shared classification of HTTP statuses
+// worth another attempt — used by Backoff for same-target retries and
+// by the cluster coordinator to decide re-route vs fail-fast. The
+// split matters for the coordinator: a retryable status (or a
+// transport error) means the *worker* is the problem, so the job may
+// be replayed on another worker — content addressing makes the replay
+// free. A non-retryable status is a property of the *job*, so sending
+// it to a different worker would just fail (or fault) identically and
+// burn a second core:
+//
+//	429 overloaded     → retryable: the worker shed it; honour
+//	                     Retry-After on the same worker — its cache
+//	                     shard still makes it the cheapest home
+//	502 bad gateway    → retryable: intermediary blip
+//	503 draining       → retryable: a graceful restart/deregister is
+//	                     in progress; the coordinator re-routes
+//	400/404/405/413/422 → fail fast: malformed or wedging content,
+//	                     identical on every worker — MUST NOT be
+//	                     retried elsewhere
+//	500 invariant      → fail fast: deterministic simulator fault
+//	504 timeout fault  → fail fast: the job deterministically exceeds
+//	                     its budget
+func RetryableStatus(status int) bool {
+	switch status {
+	case 429, 502, 503:
+		return true
+	}
+	return false
+}
+
 // Retryable classifies an error per the table in the type comment.
 func (b *Backoff) Retryable(err error) bool {
 	if err == nil {
@@ -156,11 +186,7 @@ func (b *Backoff) Retryable(err error) bool {
 	}
 	var ae *APIError
 	if errors.As(err, &ae) {
-		switch ae.Status {
-		case 429, 502, 503:
-			return true
-		}
-		return false
+		return RetryableStatus(ae.Status)
 	}
 	// Everything else that survives the context check is
 	// transport-shaped: dial failures, resets, truncated streams.

@@ -41,11 +41,61 @@ type Client struct {
 	// restarted server answers completed jobs from its result store.
 	// Nil means every failure surfaces immediately.
 	Retry *Backoff
+	// Header holds static headers applied to every request (the
+	// per-request X-Request-Id travels via the context instead; see
+	// simserver.ContextWithRequestID).
+	Header http.Header
 }
 
 // New returns a client for the given base URL.
 func New(base string) *Client {
 	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+// Options bundles the client configuration every consumer of the API
+// shares — the HTTP transport (timeouts live on it), the retry policy,
+// and static headers. It exists so the coordinator's per-worker
+// clients and hidisc-bench's -remote client are built from one config
+// value instead of drifting duplicated literals; construct clients
+// from it with NewWithOptions or Targets.
+type Options struct {
+	// HTTPClient is the transport; nil means http.DefaultClient
+	// (deliberately no overall timeout — simulations can run for
+	// minutes; bound requests with a context).
+	HTTPClient *http.Client
+	// Retry is the backoff policy; nil disables retries.
+	Retry *Backoff
+	// Header holds static headers applied to every request.
+	Header http.Header
+}
+
+// DefaultOptions is the production client configuration: the default
+// transport and DefaultBackoff. The coordinator strips Retry from it
+// (it owns re-routing itself, see Backoff's retryable-status table)
+// but shares everything else.
+func DefaultOptions() Options {
+	return Options{Retry: DefaultBackoff()}
+}
+
+// NewWithOptions returns a client for base configured by o.
+func NewWithOptions(base string, o Options) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(base, "/"),
+		HTTPClient: o.HTTPClient,
+		Retry:      o.Retry,
+		Header:     o.Header,
+	}
+}
+
+// Targets builds one client per target URL from a single shared
+// Options value — the fan-out constructor a coordinator uses for its
+// worker fleet.
+func Targets(bases []string, o Options) []*Client {
+	cs := make([]*Client, len(bases))
+	for i, b := range bases {
+		cs[i] = NewWithOptions(b, o)
+	}
+	return cs
 }
 
 // withRetry runs op under the client's retry policy, if any.
@@ -94,6 +144,16 @@ func (c *Client) do(ctx context.Context, method, path string, body any) (*http.R
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range c.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	// Propagate the caller's request ID so a job forwarded by the
+	// coordinator logs under one ID on both hops.
+	if id := simserver.RequestIDFrom(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
 	}
 	resp, err := c.httpc().Do(req)
 	if err != nil {

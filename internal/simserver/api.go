@@ -26,6 +26,7 @@ package simserver
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -59,6 +60,40 @@ type JobRequest struct {
 	// injector. Faulted jobs bypass the cache and dedup layers: a
 	// perturbation is not part of the content key.
 	Fault *simfault.Injector `json:"fault,omitempty"`
+}
+
+// CanonicalJob resolves a request into the canonical experiments.Job
+// it denotes: the hierarchy decoded over the Table 1 defaults and
+// validated, the architecture name checked, and the scale resolved
+// against def. This is the single place a JobRequest becomes
+// content-addressable — the server's execute path and the cluster
+// coordinator's ring routing both use it, so a job's Key() is
+// guaranteed to agree across the fleet. Errors are request-shaped
+// (map them to 400).
+func (jr JobRequest) CanonicalJob(def workloads.Scale) (experiments.Job, error) {
+	hier := mem.DefaultHierConfig()
+	if len(jr.Hier) > 0 {
+		if err := json.Unmarshal(jr.Hier, &hier); err != nil {
+			return experiments.Job{}, fmt.Errorf("hier: %w", err)
+		}
+	}
+	if err := hier.Validate(); err != nil {
+		return experiments.Job{}, err
+	}
+	if jr.Workload == "" {
+		return experiments.Job{}, errors.New("missing workload")
+	}
+	if jr.Arch == "" {
+		return experiments.Job{}, errors.New("missing arch")
+	}
+	if _, err := machine.ParseArch(string(jr.Arch)); err != nil {
+		return experiments.Job{}, err
+	}
+	scale, err := ParseScale(jr.Scale, def)
+	if err != nil {
+		return experiments.Job{}, err
+	}
+	return experiments.Job{Workload: jr.Workload, Arch: jr.Arch, Hier: hier, Scale: scale}, nil
 }
 
 // BatchRequest submits many jobs at once. Either Jobs or Matrix is
@@ -191,8 +226,8 @@ func wireError(err error) WireError {
 	return we
 }
 
-// parseScale resolves a wire scale name.
-func parseScale(s string, def workloads.Scale) (workloads.Scale, error) {
+// ParseScale resolves a wire scale name against a default.
+func ParseScale(s string, def workloads.Scale) (workloads.Scale, error) {
 	switch s {
 	case "":
 		return def, nil
@@ -229,6 +264,13 @@ type MetricsSnapshot struct {
 	// queued); CacheEntries is the current result-cache population.
 	InFlight     int64 `json:"inFlight"`
 	CacheEntries int   `json:"cacheEntries"`
+	// Workers and Queue echo the admission configuration; Capacity is
+	// their sum — the most jobs this server admits at once. A cluster
+	// coordinator learns a worker's contribution to fleet capacity
+	// from these.
+	Workers  int `json:"workers"`
+	Queue    int `json:"queue"`
+	Capacity int `json:"capacity"`
 	// Store describes the durable system-of-record tier.
 	Store StoreMetrics `json:"store"`
 	// Aggregate simulation throughput since the server started, via

@@ -21,6 +21,14 @@ func RequestIDFrom(ctx context.Context) string {
 	return id
 }
 
+// ContextWithRequestID attaches a request ID to ctx. The coordinator
+// uses it to thread its assigned ID through simclient into the
+// forwarded request's X-Request-Id header, so one submission logs
+// under one ID on both hops.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
 // statusWriter captures the response status for the access log while
 // forwarding the Flusher capability the batch NDJSON stream needs.
 type statusWriter struct {
@@ -42,10 +50,15 @@ func (w *statusWriter) Flush() {
 // withObservability assigns each request an ID — returned in the
 // X-Request-Id header, threaded through the context into job execution
 // and error bodies — and emits one structured access-log line per
-// request.
+// request. A request that already carries an X-Request-Id (one a
+// coordinator assigned before forwarding) keeps it, so the fleet's
+// logs correlate end to end.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+		}
 		w.Header().Set("X-Request-Id", id)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()

@@ -188,6 +188,16 @@ func (s *Server) ForceCancel() { s.cancelJobs() }
 // InFlight returns the number of admitted, unfinished jobs.
 func (s *Server) InFlight() int { return s.adm.InFlight() }
 
+// Capacity returns the admission configuration (resolved worker-pool
+// width and queue depth) — what a registering worker reports to the
+// cluster coordinator as its contribution to fleet capacity.
+func (s *Server) Capacity() (workers, queue int) { return s.workers, s.cfg.Queue }
+
+// StoreState reports the result-store tier's health ("off", "ok",
+// "degraded") — what a worker's cluster heartbeat carries to the fleet
+// health view.
+func (s *Server) StoreState() string { return s.storeState() }
+
 // CloseStore flushes and closes the result store, exactly once no
 // matter how many shutdown paths race to call it (graceful drain,
 // drain-deadline force-cancel, second-signal force-cancel). Without a
@@ -311,26 +321,10 @@ type outcome struct {
 // budget) so a disconnected client cannot kill a result that other
 // submissions — or the cache — still want.
 func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.Scale) outcome {
-	hier := mem.DefaultHierConfig()
-	if len(jr.Hier) > 0 {
-		if err := json.Unmarshal(jr.Hier, &hier); err != nil {
-			return outcome{err: badRequest(fmt.Errorf("hier: %w", err))}
-		}
-	}
-	if err := hier.Validate(); err != nil {
+	job, err := jr.CanonicalJob(scale)
+	if err != nil {
 		return outcome{err: badRequest(err)}
 	}
-	if jr.Workload == "" {
-		return outcome{err: badRequest(errors.New("missing workload"))}
-	}
-	if jr.Arch == "" {
-		return outcome{err: badRequest(errors.New("missing arch"))}
-	}
-	if _, err := machine.ParseArch(string(jr.Arch)); err != nil {
-		return outcome{err: badRequest(err)}
-	}
-
-	job := experiments.Job{Workload: jr.Workload, Arch: jr.Arch, Hier: hier, Scale: scale}
 	key := job.Key()
 
 	// Faulted jobs are perturbed: not content-addressed, so neither
@@ -485,7 +479,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, wireError(badRequest(err)))
 		return
 	}
-	scale, err := parseScale(jr.Scale, s.cfg.Scale)
+	scale, err := ParseScale(jr.Scale, s.cfg.Scale)
 	if err != nil {
 		s.writeError(w, r, wireError(badRequest(err)))
 		return
@@ -517,12 +511,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, wireError(badRequest(err)))
 		return
 	}
-	scale, err := parseScale(br.Scale, s.cfg.Scale)
+	scale, err := ParseScale(br.Scale, s.cfg.Scale)
 	if err != nil {
 		s.writeError(w, r, wireError(badRequest(err)))
 		return
 	}
-	jobs, err := expandBatch(br, scale)
+	jobs, err := ExpandBatch(br, scale)
 	if err != nil {
 		s.writeError(w, r, wireError(badRequest(err)))
 		return
@@ -549,7 +543,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range jobs {
 		go func(i int) {
 			defer s.adm.Release(1)
-			jscale, serr := parseScale(jobs[i].Scale, scale)
+			jscale, serr := ParseScale(jobs[i].Scale, scale)
 			var out outcome
 			if serr != nil {
 				out = outcome{err: badRequest(serr)}
@@ -579,8 +573,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// expandBatch resolves a batch request to per-job requests.
-func expandBatch(br BatchRequest, scale workloads.Scale) ([]JobRequest, error) {
+// ExpandBatch resolves a batch request to per-job requests. Exported
+// because the cluster coordinator expands batches the same way before
+// routing each job to its ring owner.
+func ExpandBatch(br BatchRequest, scale workloads.Scale) ([]JobRequest, error) {
 	switch {
 	case br.Matrix != "" && len(br.Jobs) > 0:
 		return nil, errors.New("set either matrix or jobs, not both")
@@ -664,6 +660,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Failed:        s.failed.Load(),
 		InFlight:      int64(s.adm.InFlight()),
 		CacheEntries:  s.cache.Len(),
+		Workers:       s.workers,
+		Queue:         s.cfg.Queue,
+		Capacity:      s.workers + s.cfg.Queue,
 		Store:         st,
 		UptimeSeconds: wall.Seconds(),
 		SimCycles:     cycles,
