@@ -59,13 +59,17 @@ serve-smoke:
 # and interval timeline enabled, then validate the artifacts — the
 # trace must be loadable Chrome trace-event JSON and the timeline must
 # honour the sampler's row contract (boundary rows, ceil(cycles/
-# interval) count).
+# interval) count). Then the distributed half: a three-worker fleet
+# runs the fig8 matrix with tracing on, the coordinator assembles one
+# merged Perfetto file, and tracecheck -merged validates the span
+# forest plus the spliced machine timelines.
 trace-smoke:
 	rm -rf .smoke && mkdir -p .smoke
 	$(GO) run ./cmd/hidisc-sim -workload Pointer -scale test -arch hidisc \
 		-trace .smoke/trace.json -timeline .smoke/timeline.ndjson > /dev/null
 	$(GO) run ./cmd/hidisc-tracecheck -trace .smoke/trace.json -timeline .smoke/timeline.ndjson
 	rm -rf .smoke
+	$(GO) test -count=1 -run TestFleetTraceMerged -v ./cmd/hidisc-coord
 
 # End-to-end cluster smoke under the race detector: a coordinator and a
 # three-worker fleet run a fig8-derived batch, one worker is killed -9

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"syscall"
@@ -27,6 +28,7 @@ import (
 	"hidisc/internal/machine"
 	"hidisc/internal/simclient"
 	"hidisc/internal/simserver"
+	"hidisc/internal/tracing"
 	"hidisc/internal/workloads"
 )
 
@@ -80,6 +82,27 @@ func startProc(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
 		t.Fatal("process never logged its listening URL")
 		return nil, ""
 	}
+}
+
+// fetchSpans pulls GET /v1/traces from a process and decodes the
+// NDJSON span stream, filtered by request ID.
+func fetchSpans(t *testing.T, base, requestID string) []tracing.Span {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/traces?request=" + requestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var spans []tracing.Span
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var s tracing.Span
+		if err := dec.Decode(&s); err != nil {
+			t.Fatalf("traces NDJSON from %s: %v", base, err)
+		}
+		spans = append(spans, s)
+	}
+	return spans
 }
 
 // fleetHealth fetches the coordinator's health view.
@@ -191,18 +214,20 @@ func TestClusterSurvivesKill9(t *testing.T) {
 	// arrives, SIGKILL the worker carrying the most in-flight jobs. Its
 	// share fails at the transport level and must be requeued onto the
 	// ring minus the dead node — the stream must still deliver every
-	// item.
+	// item. A fixed request ID lets the trace assertions below pull
+	// exactly this batch's spans from every process.
+	const batchID = "kill9-fig8"
 	killed := false
+	victim := ""
 	items := make([]simserver.BatchItem, len(batch.Jobs))
 	c := simclient.New(coURL)
-	err = c.BatchStream(ctx, batch, func(it simserver.BatchItem) error {
+	err = c.BatchStream(simserver.ContextWithRequestID(ctx, batchID), batch, func(it simserver.BatchItem) error {
 		if it.Error != nil {
 			t.Fatalf("batch item %d failed: %+v", it.Index, it.Error)
 		}
 		items[it.Index] = it
 		if !killed {
 			killed = true
-			victim := ""
 			most := -1
 			for _, w := range fleetHealth(t, coURL).Workers {
 				if w.State == cluster.StateAlive && w.InFlight > most {
@@ -259,6 +284,160 @@ func TestClusterSurvivesKill9(t *testing.T) {
 	}
 	if dead != 1 {
 		t.Errorf("healthz shows %d dead workers, want 1", dead)
+	}
+
+	// The spans are the narrative of the recovery: the coordinator must
+	// carry a coord.requeue span naming the SIGKILLed worker, and the
+	// surviving span forest (coordinator + live workers) must have no
+	// orphans — every parent pointer resolves even though one process's
+	// ring died with it. Spans publish on End, which can trail the HTTP
+	// response by a beat, so poll briefly before judging.
+	assertRecoveryTrace := func() []string {
+		spans := fetchSpans(t, coURL, batchID)
+		for url := range workers {
+			if url != victim {
+				spans = append(spans, fetchSpans(t, url, batchID)...)
+			}
+		}
+		var problems []string
+		byID := map[string]bool{}
+		for _, s := range spans {
+			byID[s.SpanID] = true
+		}
+		requeues := 0
+		for _, s := range spans {
+			if s.Name == "coord.requeue" && s.Attrs["worker"] == victim {
+				requeues++
+			}
+			if s.ParentID != "" && !byID[s.ParentID] {
+				problems = append(problems, fmt.Sprintf("span %s (%q) orphaned: parent %s missing", s.SpanID, s.Name, s.ParentID))
+			}
+		}
+		if requeues == 0 {
+			problems = append(problems, fmt.Sprintf("no coord.requeue span names the killed worker %s", victim))
+		}
+		if len(spans) == 0 {
+			problems = append(problems, "no spans for the batch request at all")
+		}
+		return problems
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		problems := assertRecoveryTrace()
+		if len(problems) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, p := range problems {
+				t.Error(p)
+			}
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestFleetTraceMerged is the showpiece e2e: a three-worker fleet runs
+// the fig8 matrix with machine-telemetry capture on, the coordinator
+// assembles one merged Perfetto file for the batch, and the extended
+// tracecheck binary validates it — HTTP spans from coordinator and
+// workers in one span forest, with at least one spliced per-core
+// machine timeline parented under the simulate span that produced it.
+func TestFleetTraceMerged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e")
+	}
+	serveBin := buildBin(t, "cmd/hidisc-serve")
+	coordBin := buildBin(t, "cmd/hidisc-coord")
+	checkBin := buildBin(t, "cmd/hidisc-tracecheck")
+	traceDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	_, coURL := startProc(t, coordBin, "-addr", "127.0.0.1:0", "-scale", "test",
+		"-heartbeat", "100ms", "-ttl", "400ms", "-trace-dir", traceDir)
+	for i := 0; i < 3; i++ {
+		startProc(t, serveBin, "-addr", "127.0.0.1:0", "-scale", "test",
+			"-j", "1", "-queue", "256", "-coord", coURL, "-trace-machine")
+	}
+	waitAlive(t, coURL, 3)
+
+	const reqID = "fleet-fig8"
+	c := simclient.New(coURL)
+	items, errs, err := c.Batch(simserver.ContextWithRequestID(ctx, reqID),
+		simserver.BatchRequest{Matrix: "fig8"})
+	if err != nil {
+		t.Fatalf("fig8 batch: %v", err)
+	}
+	for i := range items {
+		if errs[i] != nil {
+			t.Fatalf("job %d failed: %v", i, errs[i])
+		}
+	}
+
+	// The assembler waits ~100ms for worker spans to land, then writes
+	// via rename — poll for the finished file.
+	mergedPath := filepath.Join(traceDir, "trace-"+reqID+".json")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(mergedPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			entries, _ := os.ReadDir(traceDir)
+			names := make([]string, 0, len(entries))
+			for _, e := range entries {
+				names = append(names, e.Name())
+			}
+			t.Fatalf("merged trace %s never appeared (dir has %v)", mergedPath, names)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The extended tracecheck must accept it: well-formed span forest,
+	// machine timelines parented under their simulate spans.
+	out, err := exec.Command(checkBin, "-merged", mergedPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tracecheck -merged rejected the file: %v\n%s", err, out)
+	}
+	t.Logf("tracecheck: %s", bytes.TrimSpace(out))
+
+	// And the file must actually tell the cross-process story: the
+	// coordinator's batch root, worker simulate spans, and at least one
+	// spliced machine timeline.
+	data, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("merged trace not valid JSON: %v", err)
+	}
+	spanNames := map[string]int{}
+	machines := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			if id, _ := ev.Args["spanId"].(string); id != "" {
+				spanNames[ev.Name]++
+			}
+		}
+		if ev.Ph == "M" && ev.Name == "span_context" {
+			machines++
+		}
+	}
+	for _, want := range []string{"coord POST /v1/batch", "coord.job", "coord.attempt", "client POST /v1/jobs", "serve POST /v1/jobs", "serve.simulate"} {
+		if spanNames[want] == 0 {
+			t.Errorf("merged trace has no %q span (have %v)", want, spanNames)
+		}
+	}
+	if machines == 0 {
+		t.Error("merged trace spliced no machine timelines despite -trace-machine workers")
 	}
 }
 

@@ -39,7 +39,9 @@ import (
 	"time"
 
 	"hidisc/internal/cluster"
+	"hidisc/internal/debugserver"
 	"hidisc/internal/simclient"
+	"hidisc/internal/tracing"
 	"hidisc/internal/workloads"
 )
 
@@ -50,6 +52,9 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "heartbeat cadence workers are told to use")
 	ttl := flag.Duration("ttl", 3*time.Second, "liveness budget: silent past -ttl is suspect, past 2x -ttl is dead")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain deadline after SIGTERM")
+	traceBuffer := flag.Int("trace-buffer", tracing.DefaultCapacity, "span ring capacity for GET /v1/traces (0 disables tracing)")
+	traceDir := flag.String("trace-dir", "", "assemble one merged Perfetto trace file per traced request into this directory (requires tracing)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof (empty disables; never exposed on -addr)")
 	flag.Parse()
 
 	sc := workloads.ScalePaper
@@ -64,14 +69,32 @@ func main() {
 			static = append(static, strings.TrimRight(w, "/"))
 		}
 	}
-	co := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		Scale:             sc,
 		HeartbeatInterval: *heartbeat,
 		TTL:               *ttl,
 		ClientOptions:     simclient.Options{},
 		StaticWorkers:     static,
 		Logger:            logger,
-	})
+	}
+	if *traceBuffer > 0 {
+		ccfg.Tracer = tracing.New("hidisc-coord", *traceBuffer)
+	}
+	if *traceDir != "" {
+		if ccfg.Tracer == nil {
+			fatal(fmt.Errorf("-trace-dir requires tracing (-trace-buffer > 0)"))
+		}
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(fmt.Errorf("trace dir: %w", err))
+		}
+		ccfg.TraceDir = *traceDir
+	}
+	if *debugAddr != "" {
+		if _, err := debugserver.Start(*debugAddr, logger); err != nil {
+			fatal(fmt.Errorf("debug listener: %w", err))
+		}
+	}
+	co := cluster.New(ccfg)
 	runCtx, stopRun := context.WithCancel(context.Background())
 	defer stopRun()
 	go co.Run(runCtx)

@@ -46,10 +46,12 @@ import (
 	"time"
 
 	"hidisc/internal/cluster"
+	"hidisc/internal/debugserver"
 	"hidisc/internal/machine"
 	"hidisc/internal/resultstore"
 	"hidisc/internal/simclient"
 	"hidisc/internal/simserver"
+	"hidisc/internal/tracing"
 	"hidisc/internal/workloads"
 )
 
@@ -65,6 +67,10 @@ func main() {
 	storeSync := flag.String("store-sync", "always", "store fsync policy: always (every append is durable) or never (OS writeback; crash loses the unsynced tail)")
 	coord := flag.String("coord", "", "hidisc-coord base URL to register with (empty: standalone)")
 	advertise := flag.String("advertise", "", "base URL the fleet dials this worker at (default http://<listen addr>)")
+	traceBuffer := flag.Int("trace-buffer", tracing.DefaultCapacity, "span ring capacity for GET /v1/traces (0 disables tracing)")
+	traceMachine := flag.Bool("trace-machine", false, "capture a machine-telemetry Perfetto document on every simulate span (requires tracing)")
+	slowJob := flag.Duration("slow-job", 0, "log a warning with the per-stage span breakdown for jobs slower than this (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof (empty disables; never exposed on -addr)")
 	smoke := flag.Bool("smoke", false, "self-test: serve, run one job via the client, SIGTERM, verify clean drain")
 	flag.Parse()
 
@@ -83,6 +89,16 @@ func main() {
 		CacheEntries: *cacheN,
 		JobTimeout:   *jobTimeout,
 		Logger:       logger,
+		MachineTrace: *traceMachine,
+		SlowJob:      *slowJob,
+	}
+	if *traceBuffer > 0 {
+		cfg.Tracer = tracing.New("hidisc-serve", *traceBuffer)
+	}
+	if *debugAddr != "" {
+		if _, err := debugserver.Start(*debugAddr, logger); err != nil {
+			fatal(fmt.Errorf("debug listener: %w", err))
+		}
 	}
 	if *smoke {
 		*addr = "127.0.0.1:0"
@@ -240,6 +256,11 @@ func runSmoke(base string, logger *slog.Logger) {
 	if err := checkPromMetrics(ctx, base); err != nil {
 		fatal(fmt.Errorf("smoke: %w", err))
 	}
+	// Tracing is on by default: the jobs above must have left a span
+	// tree in the ring, served as NDJSON.
+	if err := checkTraces(ctx, c); err != nil {
+		fatal(fmt.Errorf("smoke: %w", err))
+	}
 	logger.Info("smoke ok; sending SIGTERM",
 		"workload", m.Workload, "arch", m.Arch, "cycles", m.Cycles)
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -275,6 +296,31 @@ func checkPromMetrics(ctx context.Context, base string) error {
 	} {
 		if !strings.Contains(string(body), want) {
 			return fmt.Errorf("prom metrics missing %q", want)
+		}
+	}
+	return nil
+}
+
+// checkTraces verifies GET /v1/traces serves the span ring: the smoke
+// jobs above must have produced a request-root span and a simulate
+// span.
+func checkTraces(ctx context.Context, c *simclient.Client) error {
+	spans, err := c.Traces(ctx, "")
+	if err != nil {
+		return fmt.Errorf("traces: %w", err)
+	}
+	want := map[string]bool{"serve POST /v1/jobs": false, "serve.simulate": false}
+	for _, s := range spans {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+		if s.TraceID == "" || s.SpanID == "" {
+			return fmt.Errorf("traces: span %q missing ids", s.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			return fmt.Errorf("traces: no %q span in ring (%d spans)", name, len(spans))
 		}
 	}
 	return nil

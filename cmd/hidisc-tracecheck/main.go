@@ -8,7 +8,14 @@
 //     containing duration slices, counters, and track metadata;
 //   - -timeline FILE: every NDJSON row must parse, and each labelled
 //     series must honour the sampler's row contract — boundary rows at
-//     (i+1)*interval and exactly ceil(lastCycle/interval) rows.
+//     (i+1)*interval and exactly ceil(lastCycle/interval) rows;
+//   - -merged FILE: a merged service+machine trace assembled by
+//     hidisc-coord -trace-dir must carry a well-formed span forest
+//     (every span's parent resolves in-file or is a remote root, child
+//     spans share their parent's trace ID) and every spliced machine
+//     timeline must be parented under the simulate span that ran it
+//     (matching span_context ids, events starting at or after the
+//     span).
 //
 // Exit status 0 means all supplied artifacts validate; any violation
 // prints a diagnostic and exits 1.
@@ -25,10 +32,11 @@ import (
 func main() {
 	traceFile := flag.String("trace", "", "Chrome trace-event JSON file to validate")
 	timelineFile := flag.String("timeline", "", "timeline NDJSON file to validate")
+	mergedFile := flag.String("merged", "", "merged service+machine trace (hidisc-coord -trace-dir output) to validate")
 	flag.Parse()
 
-	if *traceFile == "" && *timelineFile == "" {
-		fatal(fmt.Errorf("nothing to check: pass -trace and/or -timeline"))
+	if *traceFile == "" && *timelineFile == "" && *mergedFile == "" {
+		fatal(fmt.Errorf("nothing to check: pass -trace, -timeline and/or -merged"))
 	}
 	if *traceFile != "" {
 		if err := checkTrace(*traceFile); err != nil {
@@ -38,6 +46,11 @@ func main() {
 	if *timelineFile != "" {
 		if err := checkTimeline(*timelineFile); err != nil {
 			fatal(fmt.Errorf("%s: %w", *timelineFile, err))
+		}
+	}
+	if *mergedFile != "" {
+		if err := checkMerged(*mergedFile); err != nil {
+			fatal(fmt.Errorf("%s: %w", *mergedFile, err))
 		}
 	}
 }
@@ -84,6 +97,129 @@ func checkTrace(path string) error {
 		}
 	}
 	fmt.Printf("%s: ok (%d events, %d tracks, phases %v)\n", path, len(doc.TraceEvents), len(pids), phases)
+	return nil
+}
+
+// mergedEvent is the richer event subset the merged-trace checker
+// inspects (span identity travels in args).
+type mergedEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+func (e mergedEvent) arg(key string) string {
+	s, _ := e.Args[key].(string)
+	return s
+}
+
+func checkMerged(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []mergedEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+
+	// Index the service spans: X events that carry a spanId.
+	spans := map[string]mergedEvent{}
+	services := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.arg("spanId") != "" {
+			if _, dup := spans[ev.arg("spanId")]; dup {
+				return fmt.Errorf("span id %s appears twice", ev.arg("spanId"))
+			}
+			spans[ev.arg("spanId")] = ev
+			services++
+		}
+	}
+	if services == 0 {
+		return fmt.Errorf("no service spans (X events with args.spanId)")
+	}
+
+	// Span forest well-formedness: every parent pointer resolves
+	// in-file (a root has parentId "") and children stay in their
+	// parent's trace — the traceparent propagation invariant.
+	roots := 0
+	for id, ev := range spans {
+		parent := ev.arg("parentId")
+		if parent == "" {
+			roots++
+			continue
+		}
+		pev, ok := spans[parent]
+		if !ok {
+			return fmt.Errorf("span %s (%q) orphaned: parent %s not in file", id, ev.Name, parent)
+		}
+		if pev.arg("traceId") != ev.arg("traceId") {
+			return fmt.Errorf("span %s (%q) trace %s != parent trace %s",
+				id, ev.Name, ev.arg("traceId"), pev.arg("traceId"))
+		}
+	}
+	if roots == 0 {
+		return fmt.Errorf("no root span")
+	}
+
+	// Machine timelines: a pid group carrying a span_context metadata
+	// event is a spliced machine document. Its ids must name a simulate
+	// span present in the file, and its events must start at or after
+	// that span — the splice re-timed them onto the span's clock.
+	type machineGroup struct {
+		spanID, traceID string
+		minTs           int64
+		events          int
+	}
+	groups := map[int]*machineGroup{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "span_context" {
+			g := groups[ev.Pid]
+			if g == nil {
+				g = &machineGroup{minTs: -1}
+				groups[ev.Pid] = g
+			}
+			g.spanID, g.traceID = ev.arg("spanId"), ev.arg("traceId")
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		g, ok := groups[ev.Pid]
+		if !ok || ev.Ph == "M" {
+			continue
+		}
+		g.events++
+		if g.minTs < 0 || ev.Ts < g.minTs {
+			g.minTs = ev.Ts
+		}
+	}
+	machines := 0
+	for pid, g := range groups {
+		sp, ok := spans[g.spanID]
+		if !ok {
+			return fmt.Errorf("machine pid %d: span_context %s names no span in file", pid, g.spanID)
+		}
+		if sp.arg("traceId") != g.traceID {
+			return fmt.Errorf("machine pid %d: trace %s != owning span's trace %s", pid, g.traceID, sp.arg("traceId"))
+		}
+		if g.events == 0 {
+			return fmt.Errorf("machine pid %d: no timeline events", pid)
+		}
+		if g.minTs < sp.Ts {
+			return fmt.Errorf("machine pid %d: first event at %dµs precedes its simulate span at %dµs", pid, g.minTs, sp.Ts)
+		}
+		machines++
+	}
+
+	fmt.Printf("%s: ok (%d events, %d service spans, %d roots, %d machine timelines)\n",
+		path, len(doc.TraceEvents), services, roots, machines)
 	return nil
 }
 

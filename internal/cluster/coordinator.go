@@ -13,6 +13,7 @@ import (
 
 	"hidisc/internal/simclient"
 	"hidisc/internal/simserver"
+	"hidisc/internal/tracing"
 	"hidisc/internal/workloads"
 )
 
@@ -42,6 +43,19 @@ type Config struct {
 	StaticWorkers []string
 	// Logger receives structured logs; nil logs nowhere.
 	Logger *slog.Logger
+	// Tracer, when non-nil, collects routing-lifecycle spans (request,
+	// per-job, per-attempt, requeue/re-route) into its ring, served on
+	// GET /v1/traces. The coordinator also injects each attempt's span
+	// context into the forwarded request (via simclient), so worker
+	// span trees parent under the attempt that sent them.
+	Tracer *tracing.Tracer
+	// TraceDir, when set (and Tracer is on), makes the coordinator
+	// assemble one merged Perfetto JSON file per traced request after
+	// it completes: its own spans plus spans fetched from the workers'
+	// /v1/traces rings, with any captured machine-telemetry documents
+	// spliced under their simulate spans. Files land in TraceDir as
+	// trace-<requestID>.json.
+	TraceDir string
 }
 
 // Coordinator fronts a fleet of hidisc-serve workers with the same
@@ -62,6 +76,7 @@ type Coordinator struct {
 	logger   *slog.Logger
 	reqSeq   atomic.Int64
 	backoff  *simclient.Backoff
+	tracer   *tracing.Tracer
 
 	routed       atomic.Int64
 	failed       atomic.Int64
@@ -104,6 +119,7 @@ func New(cfg Config) *Coordinator {
 		cancel:  cancel,
 		logger:  logger,
 		backoff: cfg.Backoff,
+		tracer:  cfg.Tracer,
 	}
 	co.fleet.onDeath = func(url, reason string) { co.workerDeaths.Add(1) }
 	for _, url := range cfg.StaticWorkers {
@@ -177,7 +193,23 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/cluster/register", co.handleRegister)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", co.handleHeartbeat)
 	mux.HandleFunc("POST /v1/cluster/deregister", co.handleDeregister)
+	mux.HandleFunc("GET /v1/traces", co.handleTraces)
 	return co.withObservability(mux)
+}
+
+// Tracer returns the coordinator's span collector (nil when tracing is
+// off).
+func (co *Coordinator) Tracer() *tracing.Tracer { return co.tracer }
+
+// handleTraces dumps the coordinator's span ring as NDJSON, filterable
+// by ?request=<id> — the same wire shape workers serve, so one tool
+// reads both.
+func (co *Coordinator) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if co.tracer == nil {
+		return
+	}
+	_ = co.tracer.WriteNDJSON(w, r.URL.Query().Get("request"))
 }
 
 // withObservability mirrors the worker-side middleware: assign (or
@@ -191,9 +223,22 @@ func (co *Coordinator) withObservability(next http.Handler) http.Handler {
 			id = fmt.Sprintf("co-%08d", co.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-Id", id)
+		ctx := simserver.ContextWithRequestID(r.Context(), id)
+		var span *tracing.Span
+		if r.URL.Path == "/v1/jobs" || r.URL.Path == "/v1/batch" {
+			span = co.tracer.Root("coord "+r.Method+" "+r.URL.Path, r.Header.Get("traceparent"), id)
+			ctx = tracing.ContextWithSpan(ctx, span)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
-		next.ServeHTTP(sw, r.WithContext(simserver.ContextWithRequestID(r.Context(), id)))
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.End()
+		if span != nil && co.cfg.TraceDir != "" {
+			// Assemble in the background: trace collection must never
+			// hold up the response path.
+			go co.assembleTrace(id)
+		}
 		co.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("requestId", id),
 			slog.String("method", r.Method),
@@ -290,6 +335,8 @@ func (co *Coordinator) forward(reqCtx context.Context, jr simserver.JobRequest, 
 	// it, so the worker must run exactly that.
 	jr.Scale = simserver.ScaleName(job.Scale)
 
+	sp := tracing.SpanFrom(reqCtx)
+	sp.SetAttr("key", key)
 	excluded := map[string]bool{}
 	home := ""
 	var lastErr error
@@ -312,11 +359,21 @@ func (co *Coordinator) forward(reqCtx context.Context, jr simserver.JobRequest, 
 		if home == "" {
 			home = url
 		}
+		// One span per forward attempt; the worker's own span tree (and
+		// simclient's client span) parent under it via the traceparent
+		// simclient injects from the attempt context.
+		asp := sp.Child("coord.attempt")
+		asp.SetAttr("worker", url)
+		if url != home {
+			asp.SetAttr("reroutedFrom", home)
+		}
+		actx := tracing.ContextWithSpan(reqCtx, asp)
 		co.fleet.Begin(url)
 		t0 := time.Now()
-		resp, err := c.Run(reqCtx, jr)
+		resp, err := c.Run(actx, jr)
 		co.fleet.End(url)
 		if err == nil {
+			asp.End()
 			co.observeJobTime(time.Since(t0))
 			co.routed.Add(1)
 			if url != home {
@@ -324,6 +381,8 @@ func (co *Coordinator) forward(reqCtx context.Context, jr simserver.JobRequest, 
 			}
 			return forwardOutcome{resp: resp}
 		}
+		asp.SetAttr("error", err.Error())
+		asp.End()
 		lastErr = err
 		var ae *simclient.APIError
 		switch {
@@ -343,6 +402,10 @@ func (co *Coordinator) forward(reqCtx context.Context, jr simserver.JobRequest, 
 		case errors.As(err, &ae):
 			// 502/503: draining or an intermediary blip — re-route now.
 			excluded[url] = true
+			rsp := sp.Child("coord.reroute")
+			rsp.SetAttr("worker", url)
+			rsp.SetAttr("status", strconv.Itoa(ae.Status))
+			rsp.End()
 			co.logger.Info("worker refused job; re-routing",
 				"requestId", simserver.RequestIDFrom(reqCtx), "worker", url,
 				"status", ae.Status)
@@ -350,10 +413,16 @@ func (co *Coordinator) forward(reqCtx context.Context, jr simserver.JobRequest, 
 			return forwardOutcome{err: reqCtx.Err()}
 		default:
 			// Transport-level failure: the worker died under this job.
-			// Requeue it onto the ring minus the dead node.
+			// Requeue it onto the ring minus the dead node. The requeue
+			// span names the dead worker, so a merged trace shows exactly
+			// which node a job had to abandon.
 			co.fleet.MarkDead(url, err.Error())
 			co.requeued.Add(1)
 			excluded[url] = true
+			qsp := sp.Child("coord.requeue")
+			qsp.SetAttr("worker", url)
+			qsp.SetAttr("reason", err.Error())
+			qsp.End()
 			co.logger.Warn("worker died in flight; requeueing job",
 				"requestId", simserver.RequestIDFrom(reqCtx), "worker", url,
 				"key", key, "err", err.Error())
@@ -418,7 +487,12 @@ func (co *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		co.writeError(w, r, co.wireError(errNoWorkers))
 		return
 	}
-	if ok, secs, backlog := co.tryAdmit(1); !ok {
+	asp := tracing.SpanFrom(r.Context()).Child("coord.admit")
+	ok, secs, backlog := co.tryAdmit(1)
+	asp.SetAttr("ok", strconv.FormatBool(ok))
+	asp.SetAttr("backlog", strconv.Itoa(backlog))
+	asp.End()
+	if !ok {
 		co.reject(w, r, secs, backlog)
 		return
 	}
@@ -465,7 +539,13 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		co.writeError(w, r, co.wireError(errNoWorkers))
 		return
 	}
-	if ok, secs, backlog := co.tryAdmit(len(jobs)); !ok {
+	asp := tracing.SpanFrom(r.Context()).Child("coord.admit")
+	ok, secs, backlog := co.tryAdmit(len(jobs))
+	asp.SetAttr("ok", strconv.FormatBool(ok))
+	asp.SetAttr("jobs", strconv.Itoa(len(jobs)))
+	asp.SetAttr("backlog", strconv.Itoa(backlog))
+	asp.End()
+	if !ok {
 		co.reject(w, r, secs, backlog)
 		return
 	}
@@ -481,9 +561,19 @@ func (co *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	items := make(chan simserver.BatchItem)
 	for i := range jobs {
 		go func(i int) {
+			// Each routed job gets its own span on its own track, so a
+			// fleet batch renders as parallel rows per job.
+			jctx := ctx
+			jsp := tracing.SpanFrom(ctx).Child("coord.job")
+			if jsp != nil {
+				jsp.SetTrack(fmt.Sprintf("job[%d]", i))
+				jsp.SetAttr("index", strconv.Itoa(i))
+				jctx = tracing.ContextWithSpan(ctx, jsp)
+			}
 			// scale (the batch-level resolution) is the default for jobs
 			// without their own, matching the worker's batch semantics.
-			out := co.forward(ctx, jobs[i], scale)
+			out := co.forward(jctx, jobs[i], scale)
+			jsp.End()
 			it := simserver.BatchItem{
 				Index: i, Key: out.resp.Key, Cached: out.resp.Cached,
 				Stored: out.resp.Stored, Deduped: out.resp.Deduped,

@@ -54,8 +54,12 @@ func (co *Coordinator) Metrics(ctx context.Context) MetricsSnapshot {
 		mergeTotals(&snap.MetricsSnapshot, f.m)
 	}
 	// Fleet uptime is the coordinator's; summed worker uptimes would
-	// read as a fleet older than its oldest member.
+	// read as a fleet older than its oldest member. Likewise the
+	// top-level runtime view is the coordinator's own process — summed
+	// goroutine counts or GOMAXPROCS across processes are meaningless;
+	// per-worker runtimes live in the per-worker snapshots.
 	snap.UptimeSeconds = snap.Coordinator.UptimeSeconds
+	snap.Runtime = simserver.ReadRuntimeMetrics()
 	for _, h := range co.fleet.Health() {
 		snap.Workers = append(snap.Workers, WorkerMetrics{
 			URL: h.URL, State: h.State, Metrics: byURL[h.URL],
@@ -200,6 +204,7 @@ func (co *Coordinator) writePrometheus(w io.Writer, snap MetricsSnapshot) {
 	gauge("hidisc_fleet_in_flight", "Coordinator-routed jobs currently forwarded.", strconv.Itoa(m.FleetInFlight))
 	gauge("hidisc_coord_jobs_per_sec", "Routed jobs per second of coordinator uptime.", strconv.FormatFloat(m.JobsPerSec, 'g', -1, 64))
 	gauge("hidisc_coord_uptime_seconds", "Seconds since the coordinator started.", strconv.FormatFloat(m.UptimeSeconds, 'g', -1, 64))
+	simserver.WriteRuntimePrometheus(w, snap.Runtime)
 	// Per-worker liveness as labelled gauges.
 	fmt.Fprintf(w, "# HELP hidisc_worker_up Worker liveness (1 alive, 0.5 suspect, 0 dead).\n# TYPE hidisc_worker_up gauge\n")
 	for _, wm := range snap.Workers {

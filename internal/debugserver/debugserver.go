@@ -1,0 +1,39 @@
+// Package debugserver starts the pprof side listener both server
+// binaries share behind their -debug-addr flag. The profiling mux is
+// deliberately its own listener — net/http/pprof registers on
+// http.DefaultServeMux, and mounting that next to the public API would
+// expose heap dumps and symbol tables to anyone who can submit a job.
+package debugserver
+
+import (
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Start listens on addr and serves the net/http/pprof handlers on a
+// private mux, on its own goroutine. It returns the bound address
+// (useful with port 0) or an error if the listener cannot be opened.
+// The listener lives for the life of the process — profiling must stay
+// reachable while the server drains, which is exactly when it is
+// needed most.
+func Start(addr string, logger *slog.Logger) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	logger.Info("debug listener", "url", "http://"+ln.Addr().String()+"/debug/pprof/")
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logger.Error("debug listener failed", "err", err.Error())
+		}
+	}()
+	return ln.Addr().String(), nil
+}

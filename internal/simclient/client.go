@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,6 +23,7 @@ import (
 
 	"hidisc/internal/experiments"
 	"hidisc/internal/simserver"
+	"hidisc/internal/tracing"
 )
 
 // Client talks to one hidisc-serve instance.
@@ -155,7 +157,24 @@ func (c *Client) do(ctx context.Context, method, path string, body any) (*http.R
 	if id := simserver.RequestIDFrom(ctx); id != "" {
 		req.Header.Set("X-Request-Id", id)
 	}
+	// When the caller is traced, open a client span for the outbound
+	// call and inject its context as the traceparent header, so the
+	// receiving server's span tree parents under this call. Untraced
+	// callers pay exactly this one branch.
+	csp := tracing.SpanFrom(ctx).Child("client " + method + " " + path)
+	if csp != nil {
+		csp.SetAttr("url", c.BaseURL)
+		req.Header.Set("traceparent", csp.Traceparent())
+	}
 	resp, err := c.httpc().Do(req)
+	if csp != nil {
+		if err != nil {
+			csp.SetAttr("error", err.Error())
+		} else {
+			csp.SetAttr("status", strconv.Itoa(resp.StatusCode))
+		}
+		csp.End()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -305,6 +324,39 @@ func (c *Client) Healthz(ctx context.Context) error {
 		resp.Body.Close()
 		return nil
 	})
+}
+
+// Traces fetches the server's span ring (GET /v1/traces NDJSON),
+// optionally filtered by request ID. An empty slice means the server
+// has no matching spans (or tracing is off) — not an error.
+func (c *Client) Traces(ctx context.Context, requestID string) ([]tracing.Span, error) {
+	path := "/v1/traces"
+	if requestID != "" {
+		path += "?request=" + url.QueryEscape(requestID)
+	}
+	var spans []tracing.Span
+	err := c.withRetry(ctx, func() error {
+		resp, err := c.do(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		spans = spans[:0]
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var s tracing.Span
+			if err := dec.Decode(&s); err == io.EOF {
+				return nil
+			} else if err != nil {
+				return err
+			}
+			spans = append(spans, s)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return spans, nil
 }
 
 // Metrics fetches the server counters.

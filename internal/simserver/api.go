@@ -281,6 +281,22 @@ type MetricsSnapshot struct {
 	MCyclesPerSec float64 `json:"mcyclesPerSec"`
 	SimMIPS       float64 `json:"simMIPS"`
 	Throughput    string  `json:"throughput"`
+	// Runtime is this process's Go runtime introspection snapshot.
+	// When the coordinator merges worker snapshots it does NOT sum
+	// these — the merged view reports the coordinator's own runtime,
+	// and per-worker values live in the per-worker snapshots.
+	Runtime RuntimeMetrics `json:"runtime"`
+}
+
+// RuntimeMetrics is the Go runtime introspection slice of the metrics
+// payload: scheduler and heap health for the process serving the
+// endpoint.
+type RuntimeMetrics struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapInuseBytes uint64 `json:"heapInuseBytes"`
+	GCPauseTotalNs uint64 `json:"gcPauseTotalNs"`
+	GCCycles       uint32 `json:"gcCycles"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
 }
 
 // StoreMetrics is the system-of-record slice of the metrics payload.

@@ -6,7 +6,10 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
+
+	"hidisc/internal/tracing"
 )
 
 // ctxKey is the private context-key namespace.
@@ -47,12 +50,23 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// tracedPath limits span creation to the data plane: tracing the
+// trace/metrics/health endpoints themselves would fill the ring with
+// scrape noise.
+func tracedPath(p string) bool { return p == "/v1/jobs" || p == "/v1/batch" }
+
 // withObservability assigns each request an ID — returned in the
 // X-Request-Id header, threaded through the context into job execution
 // and error bodies — and emits one structured access-log line per
 // request. A request that already carries an X-Request-Id (one a
 // coordinator assigned before forwarding) keeps it, so the fleet's
 // logs correlate end to end.
+//
+// With tracing configured it also opens the request-root span,
+// adopting the caller's traceparent header — a job forwarded by the
+// coordinator parents its worker-side span tree under the coordinator
+// attempt that sent it. Without a tracer (or for a sampled-out
+// traceparent) span is nil and every downstream site costs one branch.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
@@ -60,9 +74,17 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			id = fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-Id", id)
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+		var span *tracing.Span
+		if tracedPath(r.URL.Path) {
+			span = s.tracer.Root("serve "+r.Method+" "+r.URL.Path, r.Header.Get("traceparent"), id)
+			ctx = tracing.ContextWithSpan(ctx, span)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id)))
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.End()
 		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("requestId", id),
 			slog.String("method", r.Method),

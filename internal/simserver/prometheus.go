@@ -104,6 +104,26 @@ func (s *Server) writePrometheus(w io.Writer) {
 	gauge("hidisc_store_records", "Records in the durable result store.", strconv.Itoa(m.Store.Records))
 	gauge("hidisc_store_degraded", "1 when the store tier has seen an error, else 0 (absent store: 0).", boolGauge(m.Store.State == "degraded"))
 	gauge("hidisc_uptime_seconds", "Seconds since the server started.", formatFloat(m.UptimeSeconds))
+	WriteRuntimePrometheus(w, m.Runtime)
 	s.jobSeconds.write(w, "hidisc_job_seconds", "Wall time of executed simulation jobs.")
 	s.queueWaitSeconds.write(w, "hidisc_job_queue_wait_seconds", "Time jobs waited for a worker slot.")
+}
+
+// WriteRuntimePrometheus renders the Go runtime introspection gauges —
+// exported so the cluster coordinator's exposition reports the same
+// metric names for its own process. The values come from the same
+// RuntimeMetrics snapshot the JSON view embeds, so the two views
+// always agree.
+func WriteRuntimePrometheus(w io.Writer, rt RuntimeMetrics) {
+	gauge := func(name, help string, v string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("hidisc_go_goroutines", "Live goroutines in this process.", strconv.Itoa(rt.Goroutines))
+	gauge("hidisc_go_heap_inuse_bytes", "Heap bytes in in-use spans.", strconv.FormatUint(rt.HeapInuseBytes, 10))
+	gauge("hidisc_go_gomaxprocs", "Scheduler parallelism (GOMAXPROCS).", strconv.Itoa(rt.GOMAXPROCS))
+	counter("hidisc_go_gc_pause_ns_total", "Cumulative stop-the-world GC pause time.", int64(rt.GCPauseTotalNs))
+	counter("hidisc_go_gc_cycles_total", "Completed GC cycles.", int64(rt.GCCycles))
 }

@@ -1,0 +1,23 @@
+package simserver
+
+import "runtime"
+
+// ReadRuntimeMetrics snapshots the Go runtime introspection counters
+// for the current process. Exported because the cluster coordinator
+// reports its own process's runtime on its merged /metrics view with
+// the same reader.
+//
+// ReadMemStats stops the world briefly; /metrics is a scrape-cadence
+// endpoint, not a hot path, so that cost is fine here — never call
+// this from the job execution path.
+func ReadRuntimeMetrics() RuntimeMetrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeMetrics{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		GCPauseTotalNs: ms.PauseTotalNs,
+		GCCycles:       ms.NumGC,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
+}

@@ -1,12 +1,14 @@
 package simserver
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,6 +21,8 @@ import (
 	"hidisc/internal/resultstore"
 	"hidisc/internal/simfault"
 	"hidisc/internal/stats"
+	"hidisc/internal/telemetry"
+	"hidisc/internal/tracing"
 	"hidisc/internal/workloads"
 )
 
@@ -47,6 +51,25 @@ type Config struct {
 	// re-simulated. The server takes ownership: CloseStore (idempotent)
 	// flushes and closes it on the drain path.
 	Store *resultstore.Store
+	// Tracer, when non-nil, collects job-lifecycle spans (request,
+	// cache lookup, store read/append, singleflight wait, queue wait,
+	// simulate) into its ring, served on GET /v1/traces. Nil disables
+	// tracing; every instrumentation site then costs one pointer check
+	// and allocates nothing.
+	Tracer *tracing.Tracer
+	// MachineTrace, when set (and Tracer is on), attaches a machine
+	// telemetry session to every simulation this server runs and
+	// captures the resulting Perfetto document on the simulate span, so
+	// the coordinator's trace assembler can splice the per-core
+	// pipeline timeline directly under the HTTP span that caused it.
+	// Telemetry is a pure observer (the PR 5 contract): results stay
+	// bit-identical, so cached/stored results remain valid either way.
+	MachineTrace bool
+	// SlowJob, when > 0, logs a structured warning with the per-stage
+	// span breakdown for any job whose execute path exceeds it. The
+	// durations in the log line are read from the spans themselves, so
+	// the line and GET /v1/traces always agree.
+	SlowJob time.Duration
 }
 
 // DefaultConfig returns production-shaped defaults at the given scale.
@@ -102,6 +125,7 @@ type Server struct {
 	storeCloseErr error
 
 	logger *slog.Logger
+	tracer *tracing.Tracer
 	reqSeq atomic.Int64 // request-ID source
 
 	jobSeconds       *histogram // executed-job wall time
@@ -139,10 +163,16 @@ func New(cfg Config) *Server {
 		store:      cfg.Store,
 
 		logger:           logger,
+		tracer:           cfg.Tracer,
 		jobSeconds:       newHistogram(jobLatencyBounds),
 		queueWaitSeconds: newHistogram(queueWaitBounds),
 	}
 }
+
+// Tracer returns the server's span collector (nil when tracing is
+// off) — the agent and tests read it; the coordinator reaches worker
+// spans over GET /v1/traces instead.
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 
 // runner returns the (lazily created) runner for a scale.
 func (s *Server) runner(scale workloads.Scale) *experiments.Runner {
@@ -165,6 +195,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	return s.withObservability(mux)
 }
 
@@ -239,11 +270,15 @@ func (s *Server) storeState() string {
 // storeGet consults the system of record below the LRU. A read error
 // degrades the store tier but does not fail the job — the result can
 // be re-simulated.
-func (s *Server) storeGet(reqCtx context.Context, key string) ([]byte, bool) {
+func (s *Server) storeGet(reqCtx context.Context, key string, ph *phases) ([]byte, bool) {
 	if s.store == nil {
 		return nil, false
 	}
+	ssp := tracing.SpanFrom(reqCtx).Child("serve.store.read")
+	ts := time.Now()
 	enc, ok, err := s.store.Get(key)
+	ssp.SetAttr("hit", strconv.FormatBool(ok && err == nil))
+	ph.storeRead += endPhase(ssp, ts)
 	if err != nil {
 		if !errors.Is(err, resultstore.ErrClosed) {
 			// Read-after-close is a shutdown artefact (the drain path
@@ -266,11 +301,15 @@ func (s *Server) storeGet(reqCtx context.Context, key string) ([]byte, bool) {
 // storePut appends a completed result to the system of record. A
 // write error degrades the store tier but never fails the job: the
 // measurement is already in hand (and in the LRU).
-func (s *Server) storePut(reqCtx context.Context, key string, enc []byte) {
+func (s *Server) storePut(reqCtx context.Context, key string, enc []byte, ph *phases) {
 	if s.store == nil {
 		return
 	}
-	if err := s.store.Put(key, enc); err != nil {
+	ssp := tracing.SpanFrom(reqCtx).Child("serve.store.append")
+	ts := time.Now()
+	err := s.store.Put(key, enc)
+	ph.storeAppend += endPhase(ssp, ts)
+	if err != nil {
 		if !errors.Is(err, resultstore.ErrClosed) {
 			// Put-after-close only happens when a job completes while
 			// the drain path is closing the store; the job's client
@@ -315,6 +354,25 @@ type outcome struct {
 	err     error
 }
 
+// phases collects one job's per-stage durations for the slow-job log
+// line. Each field mirrors the span of the same name: when tracing is
+// on the value is the span's own measured duration, so the log line
+// and GET /v1/traces agree exactly; with tracing off the stages are
+// timed directly.
+type phases struct {
+	queueWait, cacheLookup, storeRead, simulate, storeAppend time.Duration
+}
+
+// endPhase closes a stage span and returns its duration, falling back
+// to direct timing when tracing is off.
+func endPhase(sp *tracing.Span, t0 time.Time) time.Duration {
+	if sp == nil {
+		return time.Since(t0)
+	}
+	sp.End()
+	return sp.Duration()
+}
+
 // execute runs one validated submission through cache, dedup, and the
 // worker pool. reqCtx governs only this caller's wait: a leader's
 // simulation runs under the server's base context (plus the job's time
@@ -326,14 +384,37 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 		return outcome{err: badRequest(err)}
 	}
 	key := job.Key()
+	tracing.SpanFrom(reqCtx).SetAttr("key", key)
+	t0 := time.Now()
+	var ph phases
+	out := s.executeJob(reqCtx, jr, job, key, scale, &ph)
+	if s.cfg.SlowJob > 0 {
+		if wall := time.Since(t0); wall >= s.cfg.SlowJob {
+			s.logger.Warn("slow job",
+				"requestId", RequestIDFrom(reqCtx), "key", key,
+				"workload", job.Workload, "arch", string(job.Arch),
+				"wallNs", wall.Nanoseconds(),
+				"queueWaitNs", ph.queueWait.Nanoseconds(),
+				"cacheLookupNs", ph.cacheLookup.Nanoseconds(),
+				"storeReadNs", ph.storeRead.Nanoseconds(),
+				"simulateNs", ph.simulate.Nanoseconds(),
+				"storeAppendNs", ph.storeAppend.Nanoseconds(),
+				"cached", out.cached, "stored", out.stored, "deduped", out.deduped)
+		}
+	}
+	return out
+}
 
+// executeJob is execute's body: the cache → store → singleflight →
+// simulate ladder, with one span per rung.
+func (s *Server) executeJob(reqCtx context.Context, jr JobRequest, job experiments.Job, key string, scale workloads.Scale, ph *phases) outcome {
 	// Faulted jobs are perturbed: not content-addressed, so neither
 	// cached nor deduplicated. Each gets a private Injector copy (the
 	// storm PRNG mutates).
 	if jr.Fault != nil {
 		inj := *jr.Fault
 		job.Configure = func(c *machine.Config) { c.Inject = &inj }
-		m, err := s.simulate(reqCtx, jr, job, scale)
+		m, err := s.simulate(reqCtx, jr, job, scale, ph)
 		if err != nil {
 			return outcome{key: key, err: err}
 		}
@@ -344,18 +425,30 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 		return outcome{key: key, enc: enc}
 	}
 
+	sp := tracing.SpanFrom(reqCtx)
+
 	// Lookup order: LRU cache, then the durable system of record, then
 	// simulate-and-append. A store hit is promoted into the LRU so the
 	// next lookup is memory-speed.
-	if enc, ok := s.cache.Get(key); ok {
+	csp := sp.Child("serve.cache.lookup")
+	tc := time.Now()
+	enc, ok := s.cache.Get(key)
+	csp.SetAttr("hit", strconv.FormatBool(ok))
+	ph.cacheLookup = endPhase(csp, tc)
+	if ok {
 		s.cacheHits.Add(1)
 		return outcome{key: key, enc: enc, cached: true}
 	}
-	if enc, ok := s.storeGet(reqCtx, key); ok {
+	if enc, ok := s.storeGet(reqCtx, key, ph); ok {
 		s.cache.Put(key, enc)
 		return outcome{key: key, enc: enc, stored: true}
 	}
 
+	// The singleflight span covers this caller's whole wait: for the
+	// leader it contains the simulate span; for followers it is the
+	// dedup wait itself.
+	fsp := sp.Child("serve.flight")
+	fctx := tracing.ContextWithSpan(reqCtx, fsp)
 	var fromStore bool
 	_, enc, err, shared := s.flight.Do(reqCtx, key, func() (experiments.Measurement, []byte, error) {
 		if s.leadGate != nil {
@@ -367,12 +460,12 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 			s.cacheHits.Add(1)
 			return experiments.Measurement{}, enc, nil
 		}
-		if enc, ok := s.storeGet(reqCtx, key); ok {
+		if enc, ok := s.storeGet(fctx, key, ph); ok {
 			fromStore = true
 			s.cache.Put(key, enc)
 			return experiments.Measurement{}, enc, nil
 		}
-		m, err := s.simulate(reqCtx, jr, job, scale)
+		m, err := s.simulate(fctx, jr, job, scale, ph)
 		if err != nil {
 			return experiments.Measurement{}, nil, err
 		}
@@ -381,9 +474,11 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 			return experiments.Measurement{}, nil, err
 		}
 		s.cache.Put(key, enc)
-		s.storePut(reqCtx, key, enc)
+		s.storePut(fctx, key, enc, ph)
 		return m, enc, nil
 	})
+	fsp.SetAttr("deduped", strconv.FormatBool(shared))
+	fsp.End()
 	if shared {
 		s.deduped.Add(1)
 	}
@@ -395,16 +490,20 @@ func (s *Server) execute(reqCtx context.Context, jr JobRequest, scale workloads.
 
 // simulate acquires a worker slot and runs one job under its time
 // budget, recording throughput bookkeeping and latency histograms.
-// reqCtx carries only observability state (the request ID); the
-// simulation itself runs under the server's base context.
-func (s *Server) simulate(reqCtx context.Context, jr JobRequest, job experiments.Job, scale workloads.Scale) (experiments.Measurement, error) {
+// reqCtx carries only observability state (the request ID and span);
+// the simulation itself runs under the server's base context.
+func (s *Server) simulate(reqCtx context.Context, jr JobRequest, job experiments.Job, scale workloads.Scale, ph *phases) (experiments.Measurement, error) {
+	sp := tracing.SpanFrom(reqCtx)
+	qsp := sp.Child("serve.queue.wait")
 	tq := time.Now()
 	if err := s.adm.AcquireRun(s.baseCtx); err != nil {
+		ph.queueWait = endPhase(qsp, tq)
 		return experiments.Measurement{}, &simfault.TimeoutFault{
 			Origin: "simserver", Cause: "server shutting down: " + err.Error(),
 		}
 	}
 	s.queueWaitSeconds.Observe(time.Since(tq))
+	ph.queueWait = endPhase(qsp, tq)
 	defer s.adm.ReleaseRun()
 
 	ctx := s.baseCtx
@@ -418,9 +517,50 @@ func (s *Server) simulate(reqCtx context.Context, jr JobRequest, job experiments
 		defer cancel()
 	}
 
+	ssp := sp.Child("serve.simulate")
+	ssp.SetAttr("workload", job.Workload)
+	ssp.SetAttr("arch", string(job.Arch))
+
+	// The showpiece link between service and machine tracing: with
+	// MachineTrace on, attach a telemetry session whose Perfetto
+	// document records this span's trace/span ids, then capture the
+	// document on the simulate span so the coordinator's assembler can
+	// splice the per-core pipeline timeline under the HTTP span that
+	// caused it. Telemetry is a pure observer, so the measurement (and
+	// therefore the cache/store entry) is bit-identical either way.
+	var mtrace *bytes.Buffer
+	var mtw *telemetry.TraceWriter
+	if s.cfg.MachineTrace && ssp != nil {
+		mtrace = &bytes.Buffer{}
+		mtw = telemetry.NewTraceWriter(mtrace, telemetry.FormatPerfetto)
+		sess := mtw.Session(job.Workload + "/" + string(job.Arch))
+		sess.SetSpanContext(ssp.TraceID, ssp.SpanID)
+		prev := job.Configure
+		job.Configure = func(c *machine.Config) {
+			if prev != nil {
+				prev(c)
+			}
+			c.Trace = sess
+		}
+	}
+
+	// Profiler labels make fleet CPU profiles sliceable per job kind:
+	// `go tool pprof -tagfocus workload=Pointer` against -debug-addr
+	// isolates one workload's share of the samples (DESIGN.md §4).
 	t0 := time.Now()
-	ms, err := s.runner(scale).RunJobsContext(ctx, 1, []experiments.Job{job})
+	var ms []experiments.Measurement
+	var err error
+	pprof.Do(ctx, pprof.Labels("workload", job.Workload, "arch", string(job.Arch)),
+		func(ctx context.Context) {
+			ms, err = s.runner(scale).RunJobsContext(ctx, 1, []experiments.Job{job})
+		})
 	wall := time.Since(t0)
+	if mtw != nil {
+		if cerr := mtw.Close(); cerr == nil {
+			ssp.SetMachine(mtrace.Bytes())
+		}
+	}
+	ph.simulate = endPhase(ssp, t0)
 	s.observeJobTime(wall)
 	s.jobSeconds.Observe(wall)
 	if err != nil {
@@ -543,13 +683,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range jobs {
 		go func(i int) {
 			defer s.adm.Release(1)
+			// Each job gets its own span on its own track, so concurrent
+			// jobs render as parallel Perfetto rows instead of
+			// interleaving on the request row.
+			ctx := r.Context()
+			jsp := tracing.SpanFrom(ctx).Child("serve.job")
+			if jsp != nil {
+				jsp.SetTrack(fmt.Sprintf("job[%d]", i))
+				jsp.SetAttr("index", strconv.Itoa(i))
+				ctx = tracing.ContextWithSpan(ctx, jsp)
+			}
 			jscale, serr := ParseScale(jobs[i].Scale, scale)
 			var out outcome
 			if serr != nil {
 				out = outcome{err: badRequest(serr)}
 			} else {
-				out = s.execute(r.Context(), jobs[i], jscale)
+				out = s.execute(ctx, jobs[i], jscale)
 			}
+			jsp.End()
 			it := BatchItem{Index: i, Key: out.key, Cached: out.cached, Stored: out.stored, Deduped: out.deduped, Measurement: out.enc}
 			if out.err != nil {
 				we := wireError(out.err)
@@ -616,6 +767,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTraces dumps the span ring as NDJSON, optionally filtered by
+// ?request=<id>. With tracing off the body is empty — the endpoint
+// stays mounted so probes don't need to know the configuration.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if s.tracer == nil {
+		return
+	}
+	_ = s.tracer.WriteNDJSON(w, r.URL.Query().Get("request"))
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]string{"status": "ok", "store": s.storeState()}
 	if s.Draining() {
@@ -670,6 +832,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		MCyclesPerSec: tp.CyclesPerSec() / 1e6,
 		SimMIPS:       tp.MIPS(),
 		Throughput:    tp.String(),
+		Runtime:       ReadRuntimeMetrics(),
 	}
 }
 

@@ -32,6 +32,25 @@ type openSlice struct {
 // visited cycle, before any component ticks.
 func (t *Trace) SetNow(cycle int64) { t.now = cycle }
 
+// SetSpanContext records the distributed-tracing span this session ran
+// under, as a metadata event. The coordinator's trace assembler reads
+// it back to parent this machine timeline under the simulate span that
+// produced it; trace viewers ignore unknown metadata. Call before the
+// simulation starts so the ids lead the event stream.
+func (t *Trace) SetSpanContext(traceID, spanID string) {
+	switch t.w.format {
+	case FormatPerfetto:
+		t.w.emit(map[string]any{
+			"ph": "M", "name": "span_context", "pid": t.pid,
+			"args": map[string]any{"traceId": traceID, "spanId": spanID},
+		})
+	case FormatNDJSON:
+		t.w.emit(map[string]any{
+			"ev": "span_context", "pid": t.pid, "traceId": traceID, "spanId": spanID,
+		})
+	}
+}
+
 // Label returns the session label.
 func (t *Trace) Label() string { return t.label }
 
